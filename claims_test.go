@@ -1,0 +1,229 @@
+package ftclust
+
+// claims_test.go states each claim of the paper as an executable test at
+// the public-API level. The internal packages verify the same claims in
+// depth (and at larger scale); this file is the quick, readable index.
+
+import (
+	"math"
+	"testing"
+
+	"ftclust/internal/core"
+	"ftclust/internal/exp"
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/lp"
+	"ftclust/internal/sim"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+// Theorem 4.5: Algorithm 1 computes a feasible fractional solution in
+// O(t²) rounds with ratio ≤ t((Δ+1)^{2/t} + (Δ+1)^{1/t}).
+func TestClaimTheorem45(t *testing.T) {
+	g := graph.Gnp(150, 0.1, 11)
+	k := core.EffectiveDemands(g, 2)
+	c := lp.FromGraph(g, k)
+	_, opt, err := c.SolveFractional()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []int{1, 2, 4} {
+		res, err := core.SolveFractional(g, k, core.FractionalOptions{T: tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckPrimal(res.X, 1e-9); err != nil {
+			t.Errorf("t=%d: infeasible: %v", tt, err)
+		}
+		if got, bound := res.Objective()/opt, core.TheoreticalRatio(tt, res.Delta); got > bound {
+			t.Errorf("t=%d: ratio %.3f > bound %.3f", tt, got, bound)
+		}
+		if res.LoopRounds != 2*tt*tt {
+			t.Errorf("t=%d: rounds %d ≠ 2t²", tt, res.LoopRounds)
+		}
+	}
+}
+
+// Lemmas 4.3 and 4.4: the dual certificate satisfies the dual-fitting
+// identity exactly and is feasible up to κ = t(Δ+1)^{1/t}.
+func TestClaimDualCertificate(t *testing.T) {
+	g := graph.Gnp(120, 0.12, 5)
+	k := core.EffectiveDemands(g, 3)
+	res, err := core.SolveFractional(g, k, core.FractionalOptions{T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.DualObjective(k) - res.BetaSum); d > 1e-8 {
+		t.Errorf("Lemma 4.3 identity residual %v", d)
+	}
+	c := lp.FromGraph(g, k)
+	if v := c.DualViolation(res.Y, res.Z); v > res.Kappa+1e-9 {
+		t.Errorf("Lemma 4.4: violation %v > κ %v", v, res.Kappa)
+	}
+}
+
+// Theorem 4.6: rounding yields a feasible integral solution whose size is
+// within ln(Δ+1)+O(1) of the fractional objective (checked in expectation
+// over seeds with generous slack).
+func TestClaimTheorem46(t *testing.T) {
+	g := graph.Gnp(200, 0.08, 2)
+	k := core.EffectiveDemands(g, 2)
+	frac, err := core.SolveFractional(g, k, core.FractionalOptions{T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		r, err := core.RoundSolution(g, k, frac.X, frac.Delta, core.RoundingOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.CheckKFoldVector(g, r.InSet, k, verify.ClosedPP); err != nil {
+			t.Fatalf("seed %d: infeasible: %v", seed, err)
+		}
+		total += float64(r.Size())
+	}
+	blowup := total / trials / frac.Objective()
+	if bound := core.RoundingBlowupBound(frac.Delta); blowup > bound {
+		t.Errorf("mean blowup %.2f > %.2f", blowup, bound)
+	}
+}
+
+// Lemma 5.1: Part I of Algorithm 3 outputs a dominating set.
+func TestClaimLemma51(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		pts, g, idx := exp.UDGInstance(300, 15, seed)
+		res, err := udg.Solve(pts, g, idx, udg.Options{K: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.CheckKFold(g, res.PartILeader, 1, verify.Standard); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// Theorem 5.7 (shape): Algorithm 3 runs in O(log log n) rounds, outputs a
+// k-fold dominating set whose density per unit disk is O(k).
+func TestClaimTheorem57(t *testing.T) {
+	pts, g, idx := exp.UDGInstance(2000, 20, 3)
+	const k = 3
+	res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckKFold(g, res.Leader, k, verify.ClosedPP); err != nil {
+		t.Fatal(err)
+	}
+	if want := geom.PartIRounds(2000); res.PartIRounds != want {
+		t.Errorf("rounds %d ≠ ⌈log₁.₅log₂n⌉ = %d", res.PartIRounds, want)
+	}
+	counts := udg.LeadersPerDisk(pts, res.Leader)
+	mean := 0.0
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	if mean > 6*k {
+		t.Errorf("mean leaders/disk %.2f not O(k)", mean)
+	}
+}
+
+// Section 3 model: both algorithms use O(log n)-bit messages, measured by
+// the simulator's bit accounting.
+func TestClaimMessageSizes(t *testing.T) {
+	g := graph.GnpAvgDegree(256, 10, 1)
+	res, err := sim.New(g, sim.WithSeed(1)).Run(func(v graph.NodeID) sim.Program {
+		return core.NewProgram(v, core.ProgramConfig{K: 2, T: 2, Delta: g.MaxDegree(), Round: true})
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := res.Metrics.MaxMessageBits; bits > 2*sim.FixedPointBits(256)+sim.BitsForCount(256) {
+		t.Errorf("max message %d bits exceeds the O(log n) budget", bits)
+	}
+}
+
+// Section 1 definition: any k−1 dominator failures leave every node
+// covered.
+func TestClaimFaultTolerance(t *testing.T) {
+	pts := UniformDeployment(400, 5, 6)
+	const k = 4
+	sol, g, err := SolveUDGKMDS(pts, k, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the k-1 = 3 dominators of the node with the fewest dominators:
+	// the worst adversarial choice for a single victim.
+	for victim := 0; victim < g.NumNodes(); victim += 37 {
+		if sol.InSet[victim] {
+			continue
+		}
+		var doms []NodeID
+		for _, w := range g.Neighbors(NodeID(victim)) {
+			if sol.InSet[w] {
+				doms = append(doms, w)
+			}
+		}
+		if len(doms) < k {
+			continue // capped demand (low degree)
+		}
+		unc, _ := SurvivesFailures(g, sol, doms[:k-1])
+		if unc != 0 {
+			t.Fatalf("victim %d uncovered after k-1 kills", victim)
+		}
+	}
+}
+
+// Section 3 remark (Awerbuch): the algorithms run unchanged over an
+// asynchronous network via a synchronizer, with identical results.
+func TestClaimAsynchronousExecution(t *testing.T) {
+	g := graph.Gnp(60, 0.15, 9)
+	mk := func(v graph.NodeID) sim.Program {
+		return core.NewProgram(v, core.ProgramConfig{K: 2, T: 2, Delta: g.MaxDegree(), Round: true})
+	}
+	syn, err := sim.New(g, sim.WithSeed(3)).Run(mk, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asy, err := sim.New(g, sim.WithSeed(3)).RunAsync(mk, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, ao := core.Collect(syn.Programs), core.Collect(asy.Programs)
+	for v := range so.InSet {
+		if so.InSet[v] != ao.InSet[v] || so.X[v] != ao.X[v] {
+			t.Fatalf("node %d: async result diverges", v)
+		}
+	}
+}
+
+// Section 4.1 remark: the algorithm extends to the weighted problem.
+func TestClaimWeightedExtension(t *testing.T) {
+	g := graph.Gnp(100, 0.1, 4)
+	costs := make([]float64, 100)
+	for v := range costs {
+		costs[v] = 1 + float64(v%9)
+	}
+	res, err := core.SolveWeighted(g, core.WeightedOptions{K: 2, T: 3, Seed: 1, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.CheckKFoldVector(g, res.InSet, res.K, verify.ClosedPP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Final remark of Section 4: the global-Δ assumption can be dropped.
+func TestClaimLocalDelta(t *testing.T) {
+	g := graph.PreferentialAttachment(120, 2, 7)
+	sol, err := SolveKMDS(g, 2, WithSeed(5), WithLocalDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, sol, 2, ClosedPP); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command ftbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	ftbench                 # run the whole suite at full scale
+//	ftbench -exp E7         # one experiment
+//	ftbench -scale 0.3      # quick pass
+//	ftbench -csv -o out/    # additionally write CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ftclust/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id     = flag.String("exp", "", "experiment id (E1…E11, A1…A3); empty = all")
+		seed   = flag.Int64("seed", 1, "root seed")
+		trials = flag.Int("trials", 5, "trials per table row")
+		scale  = flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
+		csv    = flag.Bool("csv", false, "also write CSV files")
+		outDir = flag.String("o", ".", "directory for CSV output")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale}
+	var suite []exp.Experiment
+	if *id == "" {
+		suite = exp.All()
+	} else {
+		e, err := exp.Lookup(*id)
+		if err != nil {
+			return err
+		}
+		suite = []exp.Experiment{e}
+	}
+
+	for _, e := range suite {
+		start := time.Now()
+		tb, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := tb.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *csv {
+			path := filepath.Join(*outDir, e.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

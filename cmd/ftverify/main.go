@@ -1,0 +1,107 @@
+// Command ftverify checks a solution file against an instance.
+//
+// Usage:
+//
+//	ftverify -in instance.graph -sol out.sol -k 3 [-conv standard]
+//	ftverify -points field.points -sol out.sol -k 3
+//
+// The solution file lists one node ID per line (the format cmd/kmds
+// writes). Exit status 0 means the solution is a valid k-fold dominating
+// set; 1 means it is not (or an I/O error occurred).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftverify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in     = flag.String("in", "", "graph instance file")
+		points = flag.String("points", "", "deployment file (unit disk graph)")
+		solIn  = flag.String("sol", "", "solution file (one node ID per line)")
+		k      = flag.Int("k", 1, "fault-tolerance parameter")
+		conv   = flag.String("conv", "closed-pp", "convention: standard|closed-pp")
+	)
+	flag.Parse()
+	if *solIn == "" {
+		return fmt.Errorf("need -sol")
+	}
+
+	var g *graph.Graph
+	switch {
+	case *points != "":
+		f, err := os.Open(*points)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pts, err := geom.ReadPoints(f)
+		if err != nil {
+			return err
+		}
+		g, _ = geom.UnitUDG(pts)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.Read(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -in or -points")
+	}
+
+	sf, err := os.Open(*solIn)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	mask := make([]bool, g.NumNodes())
+	sc := bufio.NewScanner(sf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v < 0 || v >= g.NumNodes() {
+			return fmt.Errorf("bad node id %q", line)
+		}
+		mask[v] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	c := verify.ClosedPP
+	if *conv == "standard" {
+		c = verify.Standard
+	} else if *conv != "closed-pp" {
+		return fmt.Errorf("unknown convention %q", *conv)
+	}
+	if err := verify.CheckKFold(g, mask, float64(*k), c); err != nil {
+		return fmt.Errorf("INVALID: %w", err)
+	}
+	fmt.Printf("valid %d-fold dominating set (%s), |S| = %d of %d nodes\n",
+		*k, c, verify.SetSize(mask), g.NumNodes())
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command gengraph generates benchmark instances: random graphs from the
+// supported families, or random sensor deployments (point sets) for the
+// unit-disk-graph algorithm.
+//
+// Usage:
+//
+//	gengraph -family gnp -n 500 -d 10 -seed 1 -o instance.graph
+//	gengraph -deploy -n 1000 -density 20 -seed 1 -o field.points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		family  = flag.String("family", "gnp", "graph family: gnp|regular|grid|tree|powerlaw|ring")
+		n       = flag.Int("n", 200, "number of nodes")
+		d       = flag.Float64("d", 8, "average-degree knob (per family)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		deploy  = flag.Bool("deploy", false, "generate a sensor deployment (points) instead of a graph")
+		density = flag.Float64("density", 20, "deployment density: expected nodes per unit-disk area")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *deploy {
+		side := math.Sqrt(float64(*n) * math.Pi / *density)
+		pts := geom.UniformPoints(*n, side, *seed)
+		return geom.WritePoints(w, pts)
+	}
+	g, err := graph.Generate(graph.Family(*family), *n, *d, *seed)
+	if err != nil {
+		return err
+	}
+	return graph.Write(w, g)
+}

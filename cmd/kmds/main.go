@@ -1,0 +1,179 @@
+// Command kmds computes a k-fold dominating set of an instance file with
+// any of the implemented algorithms and verifies the result.
+//
+// Usage:
+//
+//	kmds -in instance.graph -k 3 -algo kmds -t 3 -seed 1 [-sol out.sol]
+//	kmds -points field.points -k 3 -algo udg [-sol out.sol]
+//
+// Algorithms: kmds (Algorithms 1+2), greedy, jrs, random, mis (layered
+// Luby MIS), udg (Algorithm 3, requires -points), cellgrid (requires
+// -points).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ftclust/internal/baseline"
+	"ftclust/internal/core"
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/render"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kmds:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in     = flag.String("in", "", "graph instance file")
+		points = flag.String("points", "", "deployment (points) file; builds the unit disk graph")
+		k      = flag.Int("k", 1, "fault-tolerance parameter k")
+		algo   = flag.String("algo", "kmds", "algorithm: kmds|greedy|jrs|random|mis|udg|cellgrid")
+		t      = flag.Int("t", 3, "Algorithm 1 trade-off parameter")
+		seed   = flag.Int64("seed", 1, "random seed")
+		solOut = flag.String("sol", "", "write the solution (one node ID per line)")
+		svgOut = flag.String("svg", "", "render deployment + solution as SVG (needs -points)")
+	)
+	flag.Parse()
+	if *k < 1 {
+		return fmt.Errorf("k must be ≥ 1")
+	}
+
+	var (
+		g   *graph.Graph
+		pts []geom.Point
+	)
+	switch {
+	case *points != "":
+		f, err := os.Open(*points)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pts, err = geom.ReadPoints(f)
+		if err != nil {
+			return err
+		}
+		g, _ = geom.UnitUDG(pts)
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = graph.Read(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -in or -points")
+	}
+
+	mask, rounds, err := solve(g, pts, *algo, *k, *t, *seed)
+	if err != nil {
+		return err
+	}
+
+	size := verify.SetSize(mask)
+	fmt.Printf("algorithm : %s\n", *algo)
+	fmt.Printf("nodes     : %d  edges: %d  Δ: %d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+	fmt.Printf("k         : %d\n", *k)
+	fmt.Printf("|S|       : %d (%.1f%% of nodes)\n", size, 100*float64(size)/float64(max(1, g.NumNodes())))
+	if rounds > 0 {
+		fmt.Printf("rounds    : %d\n", rounds)
+	}
+	conv := verify.ClosedPP
+	if *algo == "cellgrid" || *algo == "mis" {
+		conv = verify.Standard
+	}
+	if err := verify.CheckKFold(g, mask, float64(*k), conv); err != nil {
+		fmt.Printf("verified  : FAILED (%v)\n", err)
+	} else {
+		fmt.Printf("verified  : ok (%s convention)\n", conv)
+	}
+
+	if *solOut != "" {
+		f, err := os.Create(*solOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		for _, v := range verify.SetFromMask(mask) {
+			fmt.Fprintln(bw, v)
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if *svgOut != "" {
+		if pts == nil {
+			return fmt.Errorf("-svg needs -points")
+		}
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := render.SVG(f, pts, g, mask, nil, render.Style{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64) ([]bool, int, error) {
+	switch algo {
+	case "kmds":
+		res, err := core.Solve(g, core.Options{K: float64(k), T: t, Seed: seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.InSet, res.Fractional.LoopRounds + 4, nil
+	case "greedy":
+		return baseline.GreedyKMDS(g, float64(k)), 0, nil
+	case "jrs":
+		res := baseline.JRS(g, float64(k), seed)
+		return res.InSet, res.Phases * 4, nil
+	case "random":
+		return baseline.RandomRepair(g, float64(k), 0.15, seed), 3, nil
+	case "mis":
+		res := baseline.LayeredMIS(g, k, seed)
+		return res.InSet, res.Rounds * 2, nil
+	case "udg":
+		if pts == nil {
+			return nil, 0, fmt.Errorf("udg algorithm needs -points")
+		}
+		_, idx := geom.UnitUDG(pts)
+		res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Leader, 2*res.PartIRounds + 3*res.PartIIIters + 1, nil
+	case "cellgrid":
+		if pts == nil {
+			return nil, 0, fmt.Errorf("cellgrid needs -points")
+		}
+		mask, err := baseline.CellGrid(pts, k)
+		return mask, 1, err
+	default:
+		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

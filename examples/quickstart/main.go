@@ -1,0 +1,45 @@
+// Quickstart: build a random network, compute a 3-fold dominating set with
+// both of the paper's algorithms, and verify the results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftclust"
+)
+
+func main() {
+	// --- General graphs: Algorithms 1 + 2 -----------------------------
+	g, err := ftclust.GenerateGraph("gnp", 500, 12, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := ftclust.SolveKMDS(g, 3, ftclust.WithT(3), ftclust.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ftclust.Verify(g, sol, 3, ftclust.ClosedPP); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("general graph : n=%d  |S|=%d  rounds=%d  Σx=%.1f  certified OPT_f ≥ %.1f\n",
+		g.NumNodes(), sol.Size(), sol.Rounds, sol.FractionalObjective, sol.CertifiedLowerBound)
+
+	// --- Unit disk graphs: Algorithm 3 --------------------------------
+	pts := ftclust.UniformDeployment(500, 6, 42)
+	usol, ug, err := ftclust.SolveUDGKMDS(pts, 3, ftclust.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ftclust.Verify(ug, usol, 3, ftclust.ClosedPP); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unit disk     : n=%d  |S|=%d  rounds=%d  (%s)\n",
+		ug.NumNodes(), usol.Size(), usol.Rounds, usol.Algorithm)
+
+	// --- Fault tolerance: any k-1 = 2 head failures keep coverage -----
+	dead := usol.Members[:2]
+	uncovered, minCov := ftclust.SurvivesFailures(ug, usol, dead)
+	fmt.Printf("after killing 2 of k=3 heads: uncovered=%d  min surviving coverage=%d\n",
+		uncovered, minCov)
+}

@@ -1,0 +1,126 @@
+// Sensorgrid: the paper's motivating scenario. A field of sensors elects a
+// k-fold clustering backbone, then heads fail — first in a targeted attack
+// on one sensor's neighborhood (the case the k-fold definition is built
+// for: the victim survives any k−1 kills), then in field-wide random
+// battery failures (where higher k degrades more gracefully).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ftclust"
+)
+
+const (
+	sensors = 1200
+	side    = 10.0 // field side in transmission-range units
+)
+
+func main() {
+	pts := ftclust.UniformDeployment(sensors, side, 11)
+	fmt.Printf("sensor field: %d sensors on a %.0f×%.0f field\n\n", sensors, side, side)
+	fmt.Printf("%-3s %-5s %-10s %-26s %-30s\n",
+		"k", "|S|", "guarantee", "targeted: kill k-1 / k", "random failures: uncovered @ 10/30/50%")
+
+	for _, k := range []int{1, 3, 5} {
+		sol, g, err := ftclust.SolveUDGKMDS(pts, k, ftclust.WithSeed(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ftclust.Verify(g, sol, k, ftclust.ClosedPP); err != nil {
+			log.Fatal(err)
+		}
+
+		// Guarantee: the minimum dominator count over all non-member
+		// sensors with enough neighbors is at least k.
+		minDom := minDominators(g, sol, k)
+
+		// Targeted attack: find a sensor with exactly minDom dominators
+		// and kill k−1 of them, then one more.
+		surviveK1, surviveK := targetedAttack(g, sol, k)
+
+		// Random failures, averaged over 5 seeds.
+		random := ""
+		for _, p := range []float64{0.1, 0.3, 0.5} {
+			mean := 0.0
+			const trials = 5
+			for s := int64(0); s < trials; s++ {
+				r := rand.New(rand.NewSource(100*s + int64(k)))
+				var dead []ftclust.NodeID
+				for _, h := range sol.Members {
+					if r.Float64() < p {
+						dead = append(dead, h)
+					}
+				}
+				unc, _ := ftclust.SurvivesFailures(g, sol, dead)
+				mean += float64(unc)
+			}
+			random += fmt.Sprintf("%7.1f", mean/5)
+		}
+		fmt.Printf("%-3d %-5d ≥%-9d %-26s %s\n",
+			k, sol.Size(), minDom, fmt.Sprintf("covered=%v / covered=%v", surviveK1, surviveK), random)
+	}
+	fmt.Println("\ntargeted column: after k−1 kills the victim is always covered (the")
+	fmt.Println("definition's guarantee); the k-th kill finally uncovers it. random")
+	fmt.Println("column: more redundancy, fewer dark sensors at every failure rate.")
+}
+
+// minDominators returns the smallest dominator count over non-member
+// sensors whose degree allows k dominators.
+func minDominators(g *ftclust.Graph, sol *ftclust.Solution, k int) int {
+	min := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if sol.InSet[v] || g.Degree(ftclust.NodeID(v)) < k {
+			continue
+		}
+		c := 0
+		for _, w := range g.Neighbors(ftclust.NodeID(v)) {
+			if sol.InSet[w] {
+				c++
+			}
+		}
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// targetedAttack picks a minimally-covered victim, kills k−1 of its heads
+// (victim must stay covered), then a k-th (victim goes dark). It returns
+// the two coverage outcomes.
+func targetedAttack(g *ftclust.Graph, sol *ftclust.Solution, k int) (afterK1, afterK bool) {
+	for v := 0; v < g.NumNodes(); v++ {
+		if sol.InSet[v] || g.Degree(ftclust.NodeID(v)) < k {
+			continue
+		}
+		var doms []ftclust.NodeID
+		for _, w := range g.Neighbors(ftclust.NodeID(v)) {
+			if sol.InSet[w] {
+				doms = append(doms, w)
+			}
+		}
+		if len(doms) != k {
+			continue // want a tight victim: exactly k dominators
+		}
+		afterK1 = coveredAfter(g, sol, v, doms[:k-1])
+		afterK = coveredAfter(g, sol, v, doms)
+		return afterK1, afterK
+	}
+	return true, true // no tight victim exists (over-covered field)
+}
+
+func coveredAfter(g *ftclust.Graph, sol *ftclust.Solution, victim int, dead []ftclust.NodeID) bool {
+	dm := map[ftclust.NodeID]bool{}
+	for _, d := range dead {
+		dm[d] = true
+	}
+	for _, w := range g.Neighbors(ftclust.NodeID(victim)) {
+		if sol.InSet[w] && !dm[w] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+// Package ftclust is a library for fault-tolerant clustering in ad hoc and
+// sensor networks, reproducing Kuhn, Moscibroda and Wattenhofer,
+// "Fault-Tolerant Clustering in Ad Hoc and Sensor Networks" (ICDCS 2006).
+//
+// A k-fold dominating set of a graph G = (V, E) is a subset S ⊆ V such
+// that every node outside S has at least k neighbors in S; it is the
+// fault-tolerant generalization of dominating-set clustering: any k-1
+// cluster heads may fail and every sensor still has a live head in range.
+//
+// The package offers the paper's two distributed algorithms behind one
+// façade:
+//
+//   - SolveKMDS runs the general-graph pipeline (Algorithm 1, a
+//     distributed LP approximation with a checkable dual certificate,
+//     followed by Algorithm 2, distributed randomized rounding). It takes
+//     O(t²) communication rounds and guarantees an
+//     O(t·Δ^(2/t)·log Δ)-approximation in expectation.
+//   - SolveUDGKMDS runs the unit-disk-graph algorithm (Algorithm 3):
+//     O(log log n) rounds and an expected O(1)-approximation when nodes
+//     are deployed in the plane and can sense distances.
+//
+// Both use O(log n)-bit messages. The heavy lifting lives in internal
+// packages (internal/core, internal/udg, internal/sim, …); this package
+// re-exports the types needed to use them and keeps the API small.
+package ftclust
+
+import (
+	"fmt"
+
+	"ftclust/internal/cds"
+	"ftclust/internal/core"
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+// Re-exported aliases so callers outside this module can name the types
+// returned by the API without importing internal packages.
+type (
+	// Graph is a simple undirected graph; see NewGraph and GenerateGraph.
+	Graph = graph.Graph
+	// NodeID identifies a node (0 … n-1).
+	NodeID = graph.NodeID
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Point is a node location in the plane for UDG deployments.
+	Point = geom.Point
+	// Convention selects the feasibility definition used by Verify.
+	Convention = verify.Convention
+)
+
+// Feasibility conventions (see the verify package for exact semantics).
+const (
+	// Standard is the Section 1 definition: members of S are exempt.
+	Standard = verify.Standard
+	// ClosedPP is the (PP) convention of Section 4.1: every node needs
+	// k coverage in its closed neighborhood. ClosedPP implies Standard.
+	ClosedPP = verify.ClosedPP
+)
+
+// NewGraph builds a graph with n nodes from an edge list.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// GenerateGraph builds a random graph from a named family: "gnp",
+// "regular", "grid", "tree", "powerlaw" or "ring"; d is the average-degree
+// knob (interpreted per family).
+func GenerateGraph(family string, n int, d float64, seed int64) (*Graph, error) {
+	return graph.Generate(graph.Family(family), n, d, seed)
+}
+
+// UniformDeployment places n sensor nodes uniformly at random in a
+// side × side square.
+func UniformDeployment(n int, side float64, seed int64) []Point {
+	return geom.UniformPoints(n, side, seed)
+}
+
+// UnitDiskGraph builds the unit disk graph of a deployment: nodes are
+// adjacent iff their distance is at most 1.
+func UnitDiskGraph(pts []Point) *Graph {
+	g, _ := geom.UnitUDG(pts)
+	return g
+}
+
+// Solution is the result of a solve call.
+type Solution struct {
+	// InSet marks the chosen dominators.
+	InSet []bool
+	// Members lists the chosen dominators in ascending order.
+	Members []NodeID
+	// Rounds is the number of synchronous communication rounds the
+	// distributed algorithm uses for this instance.
+	Rounds int
+	// FractionalObjective is Σx of Algorithm 1's fractional solution
+	// (general graphs only, 0 otherwise).
+	FractionalObjective float64
+	// CertifiedLowerBound is a proven lower bound on the optimal
+	// fractional solution, extracted from Algorithm 1's dual certificate
+	// via weak duality (general graphs only, 0 otherwise).
+	CertifiedLowerBound float64
+	// Algorithm names the algorithm that produced the solution.
+	Algorithm string
+}
+
+// Size returns |S|.
+func (s *Solution) Size() int { return verify.SetSize(s.InSet) }
+
+// config collects options for both solvers.
+type config struct {
+	t          int
+	seed       int64
+	localDelta bool
+	fanOut     int
+}
+
+// Option customizes a solve call.
+type Option func(*config)
+
+// WithT sets Algorithm 1's trade-off parameter t (default 3): time grows
+// as O(t²) while the approximation factor shrinks as O(t·Δ^(2/t)·log Δ).
+// Ignored by the UDG solver.
+func WithT(t int) Option { return func(c *config) { c.t = t } }
+
+// WithSeed fixes the randomness (default 1); equal seeds give equal
+// results.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithLocalDelta makes Algorithm 1 use 2-hop-local maximum degrees instead
+// of assuming the global maximum degree is known. Ignored by the UDG
+// solver.
+func WithLocalDelta() Option { return func(c *config) { c.localDelta = true } }
+
+// WithFanOut caps the per-leader promotion fan-out of the UDG algorithm's
+// Part II (default k). Ignored by the general-graph solver.
+func WithFanOut(f int) Option { return func(c *config) { c.fanOut = f } }
+
+// SolveKMDS computes a k-fold dominating set of g with the general-graph
+// pipeline (Algorithms 1 and 2). The result satisfies the ClosedPP
+// convention (which implies Standard) with per-node demands capped at
+// closed-neighborhood sizes, so it exists for every graph and k.
+func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ftclust: k must be ≥ 1, got %d", k)
+	}
+	c := config{t: 3, seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	res, err := core.Solve(g, core.Options{
+		K:          float64(k),
+		T:          c.t,
+		Seed:       c.seed,
+		LocalDelta: c.localDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		InSet:               res.InSet,
+		Members:             verify.SetFromMask(res.InSet),
+		Rounds:              res.Fractional.LoopRounds + 4,
+		FractionalObjective: res.Fractional.Objective(),
+		CertifiedLowerBound: res.Fractional.DualObjective(res.K) / res.Fractional.Kappa,
+		Algorithm:           "general-graph (Alg 1+2)",
+	}, nil
+}
+
+// SolveUDGKMDS computes a k-fold dominating set of the unit disk graph
+// induced by pts using Algorithm 3 (O(log log n) rounds, expected O(1)
+// approximation). It returns the solution and the induced graph.
+func SolveUDGKMDS(pts []Point, k int, opts ...Option) (*Solution, *Graph, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("ftclust: k must be ≥ 1, got %d", k)
+	}
+	c := config{seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	g, idx := geom.UnitUDG(pts)
+	res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: c.seed, FanOut: c.fanOut})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Solution{
+		InSet:     res.Leader,
+		Members:   verify.SetFromMask(res.Leader),
+		Rounds:    2*res.PartIRounds + 3*res.PartIIIters + 1,
+		Algorithm: "unit-disk-graph (Alg 3)",
+	}, g, nil
+}
+
+// Verify checks that sol is a k-fold dominating set of g under the given
+// convention; it returns nil on success and a descriptive error naming the
+// first violated node otherwise.
+func Verify(g *Graph, sol *Solution, k int, conv Convention) error {
+	return verify.CheckKFold(g, sol.InSet, float64(k), conv)
+}
+
+// SolveWeightedKMDS computes a k-fold dominating set minimizing total node
+// cost (e.g. inverse battery level) with the weighted extension of
+// Algorithm 1 the paper sketches in Section 4.1. costs[v] must be positive.
+func SolveWeightedKMDS(g *Graph, k int, costs []float64, opts ...Option) (*Solution, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ftclust: k must be ≥ 1, got %d", k)
+	}
+	c := config{t: 3, seed: 1}
+	for _, o := range opts {
+		o(&c)
+	}
+	res, err := core.SolveWeighted(g, core.WeightedOptions{
+		K: float64(k), T: c.t, Seed: c.seed, Costs: costs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		InSet:               res.InSet,
+		Members:             verify.SetFromMask(res.InSet),
+		Rounds:              2*c.t*c.t + 4,
+		FractionalObjective: res.FractionalCost,
+		Algorithm:           "weighted general-graph (Alg 1W+2W)",
+	}, nil
+}
+
+// ConnectBackbone augments a dominating-set solution with bridge nodes so
+// the members form a connected routing backbone inside every connected
+// component of g (the classical CDS post-processing of the clustering
+// literature). It returns a new Solution; the input is not modified.
+func ConnectBackbone(g *Graph, sol *Solution) (*Solution, error) {
+	res, err := cds.Connect(g, sol.InSet)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		InSet:     res.InSet,
+		Members:   verify.SetFromMask(res.InSet),
+		Rounds:    sol.Rounds,
+		Algorithm: sol.Algorithm + " + connect",
+	}, nil
+}
+
+// IsConnectedBackbone reports whether the solution's members form one
+// connected subgraph inside every connected component of g.
+func IsConnectedBackbone(g *Graph, sol *Solution) bool {
+	return cds.IsConnectedBackbone(g, sol.InSet)
+}
+
+// SurvivesFailures reports how coverage degrades when the dominators in
+// dead fail: the number of surviving non-member nodes with zero live
+// dominators, and the minimum surviving coverage.
+func SurvivesFailures(g *Graph, sol *Solution, dead []NodeID) (uncovered, minCoverage int) {
+	dm := make(map[NodeID]bool, len(dead))
+	for _, v := range dead {
+		dm[v] = true
+	}
+	rep := verify.AfterFailures(g, sol.InSet, dm)
+	return rep.UncoveredNodes, rep.MinCoverage
+}

@@ -1,0 +1,127 @@
+package ftclust
+
+// Application-layer API: the network-lifecycle services built around the
+// clustering core — neighborhood discovery (bootstrap), TDMA scheduling,
+// backbone routing, and incremental repair under churn.
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/maintain"
+	"ftclust/internal/radio"
+	"ftclust/internal/routing"
+	"ftclust/internal/tdma"
+)
+
+// DiscoveryResult reports a slotted-ALOHA neighbor-discovery run.
+type DiscoveryResult struct {
+	// Graph is the communication graph assembled from the mutually
+	// discovered neighbor relations.
+	Graph *Graph
+	// Slots is the number of slots until every node knew all neighbors,
+	// or -1 if the budget elapsed first (Graph then contains the partial
+	// knowledge).
+	Slots int
+	// Complete reports whether discovery finished within the budget.
+	Complete bool
+}
+
+// DiscoverNeighbors simulates the slotted-ALOHA initialization phase of a
+// freshly deployed network (no neighbor knowledge, collision channel) on
+// the true unit disk graph of pts and returns the discovered communication
+// graph. With default options every node transmits with probability
+// 1/(Δ+1) per slot.
+func DiscoverNeighbors(pts []Point, seed int64) (*DiscoveryResult, error) {
+	truth := UnitDiskGraph(pts)
+	res, err := radio.Discover(truth, radio.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	// Keep an edge when both endpoints heard each other (bidirectional
+	// links only, matching the Section 3 model).
+	b := graph.NewBuilder(truth.NumNodes())
+	truth.Edges(func(u, v NodeID) {
+		if res.Discovered[u][v] && res.Discovered[v][u] {
+			b.TryAddEdge(u, v)
+		}
+	})
+	return &DiscoveryResult{
+		Graph:    b.Build(),
+		Slots:    res.SlotsToComplete,
+		Complete: res.SlotsToComplete >= 0,
+	}, nil
+}
+
+// TDMASchedule is the two-level frame produced by BuildTDMA.
+type TDMASchedule struct {
+	// HeadSlot[v] is head v's control slot (-1 for non-heads).
+	HeadSlot []int
+	// MemberSlot[v] is node v's intra-cluster data slot (-1 for heads).
+	MemberSlot []int
+	// Head[v] is the head node v is affiliated with.
+	Head []NodeID
+	// FrameLength is the total slots per frame.
+	FrameLength int
+}
+
+// BuildTDMA derives a collision-free two-level TDMA frame from a
+// clustering solution: distance-2-colored control slots for heads,
+// per-cluster data slots for members.
+func BuildTDMA(g *Graph, sol *Solution) (*TDMASchedule, error) {
+	s, err := tdma.Build(g, sol.InSet)
+	if err != nil {
+		return nil, err
+	}
+	if err := tdma.Validate(g, sol.InSet, s); err != nil {
+		return nil, fmt.Errorf("ftclust: internal error: %w", err)
+	}
+	return &TDMASchedule{
+		HeadSlot:    s.HeadSlot,
+		MemberSlot:  s.MemberSlot,
+		Head:        s.Head,
+		FrameLength: s.FrameLength(),
+	}, nil
+}
+
+// RepairAfterFailures restores k-fold domination after the nodes in dead
+// fail, promoting only where coverage is deficient. It returns the
+// repaired solution and the number of newly promoted nodes.
+func RepairAfterFailures(g *Graph, sol *Solution, dead []NodeID, k int) (*Solution, int, error) {
+	dm := make(map[NodeID]bool, len(dead))
+	for _, v := range dead {
+		dm[v] = true
+	}
+	res, err := maintain.Repair(g, sol.InSet, dm, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Solution{
+		InSet:     res.InSet,
+		Members:   setFromMask(res.InSet),
+		Rounds:    res.Iterations,
+		Algorithm: sol.Algorithm + " + repair",
+	}, res.Promoted, nil
+}
+
+// RouteLength returns the hop count from src to dst when all intermediate
+// hops must be members of the (connected) backbone solution; ok is false
+// for disconnected pairs. Build the backbone with ConnectBackbone first.
+func RouteLength(g *Graph, backbone *Solution, src, dst NodeID) (hops int, ok bool, err error) {
+	r, err := routing.New(g, backbone.InSet)
+	if err != nil {
+		return 0, false, err
+	}
+	h, ok := r.PathLength(src, dst)
+	return h, ok, nil
+}
+
+func setFromMask(mask []bool) []NodeID {
+	var out []NodeID
+	for v, in := range mask {
+		if in {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package ftclust
+
+import "testing"
+
+func TestDiscoverNeighbors(t *testing.T) {
+	pts := UniformDeployment(150, 4, 9)
+	disc, err := DiscoverNeighbors(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !disc.Complete {
+		t.Fatal("discovery did not complete")
+	}
+	truth := UnitDiskGraph(pts)
+	if disc.Graph.NumEdges() != truth.NumEdges() {
+		t.Errorf("discovered %d of %d edges", disc.Graph.NumEdges(), truth.NumEdges())
+	}
+	if disc.Slots <= 0 {
+		t.Errorf("Slots = %d", disc.Slots)
+	}
+}
+
+func TestBuildTDMAPublic(t *testing.T) {
+	pts := UniformDeployment(300, 4, 2)
+	sol, g, err := SolveUDGKMDS(pts, 2, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := BuildTDMA(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.FrameLength <= 0 {
+		t.Error("empty frame")
+	}
+	for v := range sched.HeadSlot {
+		if sol.InSet[v] != (sched.HeadSlot[v] >= 0) {
+			t.Fatalf("node %d: head/slot mismatch", v)
+		}
+	}
+	// Non-dominating input must be rejected.
+	empty := &Solution{InSet: make([]bool, g.NumNodes())}
+	if _, err := BuildTDMA(g, empty); err == nil {
+		t.Error("empty head set should be rejected")
+	}
+}
+
+func TestRepairAfterFailuresPublic(t *testing.T) {
+	pts := UniformDeployment(300, 4, 6)
+	sol, g, err := SolveUDGKMDS(pts, 3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := sol.Members[:len(sol.Members)/2]
+	repaired, promoted, err := RepairAfterFailures(g, sol, dead, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted == 0 {
+		t.Error("expected promotions after killing half the heads")
+	}
+	// Dead nodes must be out of the repaired set.
+	for _, v := range dead {
+		if repaired.InSet[v] {
+			t.Fatalf("dead head %d still in repaired set", v)
+		}
+	}
+}
+
+func TestRouteLengthPublic(t *testing.T) {
+	pts := UniformDeployment(250, 4, 3)
+	sol, g, err := SolveUDGKMDS(pts, 1, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone, err := ConnectBackbone(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, ok, err := RouteLength(g, backbone, 0, NodeID(g.NumNodes()-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := g.BFS(0)[g.NumNodes()-1]
+	if direct >= 1 {
+		if !ok {
+			t.Fatal("connected pair unroutable via backbone")
+		}
+		if hops < direct {
+			t.Errorf("backbone route %d shorter than shortest path %d", hops, direct)
+		}
+	}
+	// Routing over a non-connected "backbone" errors.
+	if _, _, err := RouteLength(g, &Solution{InSet: make([]bool, g.NumNodes())}, 0, 1); err == nil {
+		// An empty backbone is vacuously connected; use a deliberately
+		// split one instead.
+		split := make([]bool, g.NumNodes())
+		split[0] = true
+		split[g.NumNodes()-1] = true
+		if _, _, err := RouteLength(g, &Solution{InSet: split}, 0, 1); err == nil {
+			t.Error("split backbone should be rejected")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package ftclust
+
+import "testing"
+
+func TestSolveWeightedKMDS(t *testing.T) {
+	g, err := GenerateGraph("gnp", 100, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, g.NumNodes())
+	for v := range costs {
+		costs[v] = 1 + float64(v%7)
+	}
+	sol, err := SolveWeightedKMDS(g, 2, costs, WithSeed(3), WithT(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, sol, 2, ClosedPP); err != nil {
+		t.Errorf("weighted solution: %v", err)
+	}
+	if _, err := SolveWeightedKMDS(g, 0, costs); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := SolveWeightedKMDS(g, 2, costs[:3]); err == nil {
+		t.Error("short cost vector should fail")
+	}
+}
+
+func TestConnectBackbone(t *testing.T) {
+	pts := UniformDeployment(400, 5, 6)
+	sol, g, err := SolveUDGKMDS(pts, 2, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backbone, err := ConnectBackbone(g, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedBackbone(g, backbone) {
+		t.Error("backbone not connected")
+	}
+	if err := Verify(g, backbone, 2, ClosedPP); err != nil {
+		t.Errorf("backbone lost domination: %v", err)
+	}
+	if backbone.Size() < sol.Size() {
+		t.Error("backbone shrank")
+	}
+	// The input solution must be untouched.
+	if err := Verify(g, sol, 2, ClosedPP); err != nil {
+		t.Errorf("input mutated: %v", err)
+	}
+}
+
+func TestConnectBackboneRejectsGarbage(t *testing.T) {
+	g, _ := GenerateGraph("ring", 10, 2, 1)
+	bogus := &Solution{InSet: make([]bool, 10)}
+	if _, err := ConnectBackbone(g, bogus); err == nil {
+		t.Error("empty set on a ring is not dominating; must be rejected")
+	}
+}

@@ -1,0 +1,161 @@
+package ftclust
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKMDSBasic(t *testing.T) {
+	g, err := GenerateGraph("gnp", 120, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveKMDS(g, 3, WithSeed(4), WithT(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, sol, 3, ClosedPP); err != nil {
+		t.Errorf("ClosedPP: %v", err)
+	}
+	if err := Verify(g, sol, 3, Standard); err != nil {
+		t.Errorf("Standard: %v", err)
+	}
+	if sol.Size() != len(sol.Members) {
+		t.Error("Size/Members mismatch")
+	}
+	if sol.Rounds != 2*3*3+4 {
+		t.Errorf("Rounds = %d", sol.Rounds)
+	}
+	if sol.CertifiedLowerBound <= 0 {
+		t.Error("certificate should be positive")
+	}
+	if sol.FractionalObjective < sol.CertifiedLowerBound {
+		t.Error("Σx below its own certified lower bound")
+	}
+}
+
+func TestSolveUDGKMDSBasic(t *testing.T) {
+	pts := UniformDeployment(400, 5, 3)
+	sol, g, err := SolveUDGKMDS(pts, 2, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 400 {
+		t.Fatalf("graph nodes = %d", g.NumNodes())
+	}
+	if err := Verify(g, sol, 2, ClosedPP); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if sol.Rounds < 2 {
+		t.Errorf("Rounds = %d", sol.Rounds)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g, _ := GenerateGraph("ring", 10, 2, 1)
+	if _, err := SolveKMDS(g, 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, _, err := SolveUDGKMDS(nil, 0); err == nil {
+		t.Error("k=0 must be rejected (UDG)")
+	}
+	if _, err := GenerateGraph("bogus", 10, 2, 1); err == nil {
+		t.Error("unknown family must be rejected")
+	}
+}
+
+func TestNewGraphAndUnitDiskGraph(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	pts := []Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 3, Y: 3}}
+	ug := UnitDiskGraph(pts)
+	if ug.NumEdges() != 1 {
+		t.Errorf("UDG edges = %d, want 1", ug.NumEdges())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g, _ := GenerateGraph("gnp", 80, 8, 2)
+	a, err := SolveKMDS(g, 2, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveKMDS(g, 2, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatal("same seed, different solutions")
+		}
+	}
+}
+
+func TestSurvivesFailures(t *testing.T) {
+	pts := UniformDeployment(300, 4, 8)
+	sol, g, err := SolveUDGKMDS(pts, 3, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Killing any two members leaves everyone covered (k=3).
+	if len(sol.Members) >= 2 {
+		unc, minCov := SurvivesFailures(g, sol, sol.Members[:2])
+		if unc != 0 {
+			t.Errorf("uncovered = %d after 2 of k=3 failures", unc)
+		}
+		if minCov < 0 {
+			t.Errorf("minCoverage = %d", minCov)
+		}
+	}
+	// No failures at all.
+	unc, _ := SurvivesFailures(g, sol, nil)
+	if unc != 0 {
+		t.Errorf("uncovered without failures = %d", unc)
+	}
+}
+
+func TestQuickPublicAPIFeasible(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		k := int(kRaw%3) + 1
+		g, err := GenerateGraph("gnp", n, 6, seed)
+		if err != nil {
+			return false
+		}
+		sol, err := SolveKMDS(g, k, WithSeed(seed), WithT(2))
+		if err != nil {
+			return false
+		}
+		return Verify(g, sol, k, ClosedPP) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalDeltaOptionWorks(t *testing.T) {
+	g, _ := GenerateGraph("powerlaw", 100, 6, 3)
+	sol, err := SolveKMDS(g, 2, WithSeed(2), WithLocalDelta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, sol, 2, ClosedPP); err != nil {
+		t.Errorf("LocalDelta: %v", err)
+	}
+}
+
+func TestFanOutOptionWorks(t *testing.T) {
+	pts := UniformDeployment(200, 3, 4)
+	sol, g, err := SolveUDGKMDS(pts, 4, WithSeed(1), WithFanOut(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, sol, 4, ClosedPP); err != nil {
+		t.Errorf("fan-out 1: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module ftclust
+
+go 1.22

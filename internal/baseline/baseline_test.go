@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/verify"
+)
+
+func TestGreedyKMDSFeasible(t *testing.T) {
+	for _, k := range []float64{1, 2, 4} {
+		for seed := int64(0); seed < 5; seed++ {
+			g := graph.Gnp(80, 0.12, seed)
+			mask := GreedyKMDS(g, k)
+			if err := verify.CheckKFold(g, mask, k, verify.ClosedPP); err != nil {
+				t.Errorf("k=%v seed %d: %v", k, seed, err)
+			}
+		}
+	}
+}
+
+func TestGreedyStarOptimal(t *testing.T) {
+	g := graph.Star(20)
+	mask := GreedyKMDS(g, 1)
+	if n := verify.SetSize(mask); n != 1 {
+		t.Errorf("greedy on star size = %d, want 1", n)
+	}
+}
+
+func TestJRSFeasibleAndCompetitive(t *testing.T) {
+	for _, k := range []float64{1, 3} {
+		for seed := int64(0); seed < 5; seed++ {
+			g := graph.Gnp(100, 0.1, seed)
+			res := JRS(g, k, seed)
+			if err := verify.CheckKFold(g, res.InSet, k, verify.ClosedPP); err != nil {
+				t.Errorf("k=%v seed %d: %v", k, seed, err)
+			}
+			if res.Phases < 1 {
+				t.Errorf("k=%v seed %d: no phases", k, seed)
+			}
+			greedy := verify.SetSize(GreedyKMDS(g, k))
+			if got := verify.SetSize(res.InSet); got > 20*greedy {
+				t.Errorf("k=%v seed %d: JRS size %d vs greedy %d (way off)", k, seed, got, greedy)
+			}
+		}
+	}
+}
+
+func TestRandomRepairFeasible(t *testing.T) {
+	for _, p := range []float64{0, 0.1, 0.5, 1} {
+		g := graph.Gnp(80, 0.15, 2)
+		mask := RandomRepair(g, 2, p, 7)
+		if err := verify.CheckKFold(g, mask, 2, verify.ClosedPP); err != nil {
+			t.Errorf("p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestCellGridFeasibleStandard(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		pts := geom.UniformPoints(500, 5, 3)
+		g, _ := geom.UnitUDG(pts)
+		mask, err := CellGrid(pts, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.CheckKFold(g, mask, float64(k), verify.Standard); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+	if _, err := CellGrid(nil, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestAllNodes(t *testing.T) {
+	mask := AllNodes(5)
+	if verify.SetSize(mask) != 5 {
+		t.Error("AllNodes should select everything")
+	}
+	g := graph.Ring(5)
+	if err := verify.CheckKFold(g, mask, 3, verify.ClosedPP); err != nil {
+		t.Errorf("S=V must always be feasible: %v", err)
+	}
+}
+
+func TestQuickBaselinesAlwaysFeasible(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 3
+		k := float64(kRaw%3) + 1
+		g := graph.Gnp(n, 0.3, seed)
+		if verify.CheckKFold(g, GreedyKMDS(g, k), k, verify.ClosedPP) != nil {
+			return false
+		}
+		if verify.CheckKFold(g, JRS(g, k, seed).InSet, k, verify.ClosedPP) != nil {
+			return false
+		}
+		return verify.CheckKFold(g, RandomRepair(g, k, 0.2, seed), k, verify.ClosedPP) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/verify"
+)
+
+func isIndependent(g *graph.Graph, mask []bool) bool {
+	ok := true
+	g.Edges(func(u, v graph.NodeID) {
+		if mask[u] && mask[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func isMaximal(g *graph.Graph, mask, eligible []bool) bool {
+	for v := 0; v < g.NumNodes(); v++ {
+		if mask[v] || (eligible != nil && !eligible[v]) {
+			continue
+		}
+		blocked := false
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if mask[w] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLubyMISProperties(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Gnp(120, 0.08, seed)
+		mis, rounds := LubyMIS(g, nil, seed)
+		if !isIndependent(g, mis) {
+			t.Fatalf("seed %d: not independent", seed)
+		}
+		if !isMaximal(g, mis, nil) {
+			t.Fatalf("seed %d: not maximal", seed)
+		}
+		if rounds < 1 {
+			t.Errorf("seed %d: rounds = %d", seed, rounds)
+		}
+		// An MIS is a dominating set.
+		if err := verify.CheckKFold(g, mis, 1, verify.Standard); err != nil {
+			t.Errorf("seed %d: MIS not dominating: %v", seed, err)
+		}
+	}
+}
+
+func TestLubyMISRoundsLogarithmic(t *testing.T) {
+	g := graph.Gnp(2000, 0.005, 3)
+	_, rounds := LubyMIS(g, nil, 5)
+	// Luby terminates in O(log n) w.h.p.; 60 is a very generous cap.
+	if rounds > 60 {
+		t.Errorf("rounds = %d, suspiciously high", rounds)
+	}
+}
+
+func TestLayeredMISKFold(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			g := graph.Gnp(150, 0.1, seed)
+			res := LayeredMIS(g, k, seed)
+			if err := verify.CheckKFold(g, res.InSet, float64(k), verify.Standard); err != nil {
+				t.Errorf("k=%d seed %d: %v", k, seed, err)
+			}
+			// Layers are disjoint independent sets.
+			for layer := 1; layer <= k; layer++ {
+				mask := make([]bool, g.NumNodes())
+				for v, l := range res.Layer {
+					if l == layer {
+						mask[v] = true
+					}
+				}
+				if !isIndependent(g, mask) {
+					t.Errorf("k=%d seed %d: layer %d not independent", k, seed, layer)
+				}
+			}
+		}
+	}
+}
+
+func TestLayeredMISExhaustsSmallGraphs(t *testing.T) {
+	// K4 with k=10: layers exhaust all nodes; everyone ends up in a layer.
+	g := graph.Complete(4)
+	res := LayeredMIS(g, 10, 1)
+	for v := 0; v < 4; v++ {
+		if !res.InSet[v] {
+			t.Errorf("node %d not absorbed into any layer", v)
+		}
+	}
+	if err := verify.CheckKFold(g, res.InSet, 10, verify.Standard); err != nil {
+		t.Errorf("exhausted layering: %v", err)
+	}
+}
+
+func TestQuickLayeredMISAlwaysKFold(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%70) + 3
+		k := int(kRaw%4) + 1
+		g := graph.Gnp(n, 0.2, seed)
+		res := LayeredMIS(g, k, seed)
+		return verify.CheckKFold(g, res.InSet, float64(k), verify.Standard) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

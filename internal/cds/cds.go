@@ -1,0 +1,190 @@
+// Package cds turns a (k-fold) dominating set into a connected virtual
+// backbone, the post-processing step the clustering literature pairs with
+// dominating sets for routing (Alzoubi–Wan–Frieder [1, 22], Wu–Li [23],
+// cited in the paper's related work). Given a dominating set S of a graph
+// G, any two "adjacent" clusters are at hop distance at most 3, so S can
+// be connected by inserting at most two bridge nodes per cluster-tree edge.
+// For dominating sets this yields the classical |CDS| ≤ 3|S| − 2 bound per
+// connected component, which Connect asserts.
+package cds
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+)
+
+// Result carries the connected backbone.
+type Result struct {
+	// InSet marks the backbone (the input set plus bridge nodes).
+	InSet []bool
+	// Bridges is the number of nodes added to connect the input set.
+	Bridges int
+}
+
+// Size returns the backbone size.
+func (r Result) Size() int {
+	n := 0
+	for _, in := range r.InSet {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// Connect augments the dominating set dom with bridge nodes so that inside
+// every connected component of g the backbone members form a connected
+// subgraph. dom must dominate g (every node in or adjacent to dom);
+// otherwise an error is returned, because the 3-hop cluster adjacency
+// argument (and termination) relies on domination.
+func Connect(g *graph.Graph, dom []bool) (Result, error) {
+	n := g.NumNodes()
+	if len(dom) != n {
+		return Result{}, fmt.Errorf("cds: mask has %d entries for %d nodes", len(dom), n)
+	}
+	for v := 0; v < n; v++ {
+		if dom[v] {
+			continue
+		}
+		ok := false
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if dom[w] {
+				ok = true
+				break
+			}
+		}
+		if !ok && g.Degree(graph.NodeID(v)) > 0 {
+			return Result{}, fmt.Errorf("cds: node %d is not dominated", v)
+		}
+	}
+
+	inSet := make([]bool, n)
+	copy(inSet, dom)
+	res := Result{InSet: inSet}
+
+	// Union-find over backbone clusters.
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = v
+	}
+	var find func(int) int
+	find = func(v int) int {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Backbone-internal edges merge clusters immediately.
+	g.Edges(func(u, v graph.NodeID) {
+		if inSet[u] && inSet[v] {
+			union(int(u), int(v))
+		}
+	})
+
+	// Greedy merging: scan length-2 then length-3 connections between
+	// distinct clusters, inserting the intermediate node(s). Repeat until
+	// a full pass adds nothing; domination guarantees that two backbone
+	// clusters in the same component of g always have such a short link,
+	// so on exit the backbone is connected per component.
+	for changed := true; changed; {
+		changed = false
+		// u — x — v with u, v backbone, x not.
+		for x := 0; x < n; x++ {
+			if inSet[x] {
+				continue
+			}
+			var first graph.NodeID = -1
+			for _, w := range g.Neighbors(graph.NodeID(x)) {
+				if !inSet[w] {
+					continue
+				}
+				if first < 0 {
+					first = w
+					continue
+				}
+				if find(int(first)) != find(int(w)) {
+					inSet[x] = true
+					res.Bridges++
+					union(x, int(first))
+					union(x, int(w))
+					changed = true
+					break
+				}
+			}
+		}
+		// u — x — y — v with u, v backbone, x, y not.
+		g.Edges(func(x, y graph.NodeID) {
+			if inSet[x] || inSet[y] {
+				return
+			}
+			ux := backboneNeighbor(g, inSet, x)
+			uy := backboneNeighbor(g, inSet, y)
+			if ux < 0 || uy < 0 || find(int(ux)) == find(int(uy)) {
+				return
+			}
+			inSet[x] = true
+			inSet[y] = true
+			res.Bridges += 2
+			union(int(x), int(ux))
+			union(int(y), int(uy))
+			union(int(x), int(y))
+			changed = true
+		})
+	}
+	return res, nil
+}
+
+// backboneNeighbor returns some backbone neighbor of v, or -1.
+func backboneNeighbor(g *graph.Graph, inSet []bool, v graph.NodeID) graph.NodeID {
+	for _, w := range g.Neighbors(v) {
+		if inSet[w] {
+			return w
+		}
+	}
+	return -1
+}
+
+// IsConnectedBackbone verifies that within every connected component of g,
+// the backbone members form one connected subgraph (components of g that
+// contain no backbone member — only possible for isolated non-dominated
+// nodes — are ignored).
+func IsConnectedBackbone(g *graph.Graph, inSet []bool) bool {
+	n := g.NumNodes()
+	comp, _ := g.Components()
+	// For each graph component, BFS inside the backbone from its first
+	// backbone member and count reached members.
+	total := map[int]int{}
+	for v := 0; v < n; v++ {
+		if inSet[v] {
+			total[comp[v]]++
+		}
+	}
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !inSet[v] || seen[v] {
+			continue
+		}
+		// BFS within backbone.
+		reached := 0
+		queue := []graph.NodeID{graph.NodeID(v)}
+		seen[v] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			reached++
+			for _, w := range g.Neighbors(u) {
+				if inSet[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if reached != total[comp[v]] {
+			return false
+		}
+	}
+	return true
+}

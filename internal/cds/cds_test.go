@@ -1,0 +1,146 @@
+package cds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/baseline"
+	"ftclust/internal/core"
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+func TestConnectPath(t *testing.T) {
+	// Path 0-1-2-3-4-5 with dominators {1, 4}: hop distance 3 apart, so
+	// connecting needs the two bridges 2 and 3.
+	g := graph.Path(6)
+	dom := []bool{false, true, false, false, true, false}
+	res, err := Connect(g, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedBackbone(g, res.InSet) {
+		t.Error("backbone not connected")
+	}
+	if res.Bridges != 2 {
+		t.Errorf("bridges = %d, want 2", res.Bridges)
+	}
+	if !res.InSet[1] || !res.InSet[4] {
+		t.Error("original dominators must stay")
+	}
+}
+
+func TestConnectRejectsNonDominating(t *testing.T) {
+	g := graph.Path(5)
+	dom := []bool{true, false, false, false, false}
+	if _, err := Connect(g, dom); err == nil {
+		t.Error("non-dominating input should be rejected")
+	}
+}
+
+func TestConnectAlreadyConnected(t *testing.T) {
+	g := graph.Complete(6)
+	dom := []bool{true, true, false, false, false, false}
+	res, err := Connect(g, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bridges != 0 {
+		t.Errorf("bridges = %d, want 0", res.Bridges)
+	}
+	if res.Size() != 2 {
+		t.Errorf("size = %d, want 2", res.Size())
+	}
+}
+
+func TestConnectDisconnectedGraph(t *testing.T) {
+	// Two separate triangles, one dominator each: backbone must be
+	// connected per component; no cross-component bridge is possible.
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	})
+	dom := []bool{true, false, false, true, false, false}
+	res, err := Connect(g, dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedBackbone(g, res.InSet) {
+		t.Error("per-component connectivity expected")
+	}
+	if res.Bridges != 0 {
+		t.Errorf("bridges = %d, want 0", res.Bridges)
+	}
+}
+
+func TestConnectOnSolverOutputs(t *testing.T) {
+	// End-to-end: UDG k-MDS output → connected backbone, with the classic
+	// |CDS| ≤ 3|S| size check on connected deployments.
+	for seed := int64(0); seed < 5; seed++ {
+		pts := geom.UniformPoints(300, 4, seed)
+		g, idx := geom.UnitUDG(pts)
+		sol, err := udg.Solve(pts, g, idx, udg.Options{K: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Connect(g, sol.Leader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsConnectedBackbone(g, res.InSet) {
+			t.Errorf("seed %d: backbone disconnected", seed)
+		}
+		// Still a 2-fold dominating set (only grew).
+		if err := verify.CheckKFold(g, res.InSet, 2, verify.ClosedPP); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		_, comps := g.Components()
+		if res.Size() > 3*sol.Size()+comps {
+			t.Errorf("seed %d: CDS %d exceeds 3·|S| = %d", seed, res.Size(), 3*sol.Size())
+		}
+	}
+}
+
+func TestConnectOnGeneralGraphSolver(t *testing.T) {
+	g := graph.Gnp(120, 0.08, 3)
+	sol, err := core.Solve(g, core.Options{K: 1, T: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Connect(g, sol.InSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnectedBackbone(g, res.InSet) {
+		t.Error("backbone disconnected")
+	}
+}
+
+func TestQuickConnectAlwaysConnects(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%80) + 5
+		g := graph.Gnp(n, 0.15, seed)
+		dom := baseline.GreedyKMDS(g, 1)
+		res, err := Connect(g, dom)
+		if err != nil {
+			return false
+		}
+		return IsConnectedBackbone(g, res.InSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsConnectedBackboneDetectsGaps(t *testing.T) {
+	g := graph.Path(5)
+	split := []bool{true, false, false, false, true}
+	if IsConnectedBackbone(g, split) {
+		t.Error("split backbone should be detected")
+	}
+	if !IsConnectedBackbone(g, []bool{false, false, false, false, false}) {
+		t.Error("empty backbone is vacuously connected")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "ftclust/internal/sim"
+
+// ProgramOutputs gathers the per-node results of a finished distributed
+// execution into the same vectors the in-memory engine produces.
+type ProgramOutputs struct {
+	X, Y, Z []float64
+	InSet   []bool
+}
+
+// Collect extracts outputs from the programs of a sim.Result. It panics if
+// the programs are not *Program (programmer error).
+func Collect(progs []sim.Program) ProgramOutputs {
+	out := ProgramOutputs{
+		X:     make([]float64, len(progs)),
+		Y:     make([]float64, len(progs)),
+		Z:     make([]float64, len(progs)),
+		InSet: make([]bool, len(progs)),
+	}
+	for v, sp := range progs {
+		p := sp.(*Program)
+		out.X[v] = p.X()
+		out.Y[v] = p.Y()
+		out.Z[v] = p.Z()
+		out.InSet[v] = p.InSet()
+	}
+	return out
+}

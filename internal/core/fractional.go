@@ -1,0 +1,290 @@
+// Package core implements the paper's contribution for general graphs
+// (Section 4): Algorithm 1, the distributed LP approximation computing a
+// fractional k-fold dominating set together with a dual certificate, and
+// Algorithm 2, the distributed randomized rounding scheme converting the
+// fractional solution into an integral k-fold dominating set.
+//
+// Every algorithm exists in two semantically identical forms: a pure
+// in-memory engine (this file and rounding.go) that emulates the global
+// synchronous execution and is convenient for large experiments, and a
+// sim.Program (program.go) that runs on the message-passing simulator with
+// bit-level message accounting. Tests assert the two produce identical
+// results for identical seeds.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftclust/internal/graph"
+)
+
+// FractionalOptions configure Algorithm 1.
+type FractionalOptions struct {
+	// T is the trade-off parameter t ≥ 1: time O(t²), approximation
+	// O(t·Δ^{2/t}·…).
+	T int
+	// LocalDelta, when true, replaces the globally known maximum degree Δ
+	// with each node's maximum degree within two hops (the relaxation the
+	// paper's final remark points to via [16, 11]).
+	LocalDelta bool
+}
+
+// FractionalResult carries the primal solution, the dual certificate, and
+// enough metadata to check every claim of Section 4.1.
+type FractionalResult struct {
+	// X is the fractional primal solution of (PP), per node.
+	X []float64
+	// Y and Z form the dual solution of (DP) built by Algorithm 1; it is
+	// feasible up to the factor Kappa (Lemma 4.4).
+	Y, Z []float64
+	// BetaSum is Σ_i Σ_{j∈N_i} β_{i,j}; Lemma 4.3 states it equals the
+	// dual objective Σ (k_i·y_i − z_i).
+	BetaSum float64
+	// Kappa is t·(Δ+1)^{1/t}, the dual infeasibility factor of Lemma 4.4.
+	Kappa float64
+	// Delta is the maximum degree used (global Δ unless LocalDelta).
+	Delta int
+	// T echoes the trade-off parameter.
+	T int
+	// LoopRounds is the communication-round count of the double loop,
+	// exactly 2t² (each inner iteration costs two rounds).
+	LoopRounds int
+}
+
+// Objective returns Σ x_i.
+func (r FractionalResult) Objective() float64 {
+	s := 0.0
+	for _, v := range r.X {
+		s += v
+	}
+	return s
+}
+
+// DualObjective returns Σ (k_i·y_i − z_i) for the given demands.
+func (r FractionalResult) DualObjective(k []float64) float64 {
+	s := 0.0
+	for i := range r.Y {
+		s += k[i]*r.Y[i] - r.Z[i]
+	}
+	return s
+}
+
+// TheoreticalRatio returns Theorem 4.5's bound t((Δ+1)^{2/t} + (Δ+1)^{1/t})
+// on Σx/OPT_f.
+func TheoreticalRatio(t, delta int) float64 {
+	d := float64(delta + 1)
+	tf := float64(t)
+	return tf * (math.Pow(d, 2/tf) + math.Pow(d, 1/tf))
+}
+
+// LowerBoundRatio returns the Ω(Δ^{1/t}/t) distributed-approximation lower
+// bound of [13] for algorithms running in O(t) rounds (constants omitted).
+func LowerBoundRatio(t, delta int) float64 {
+	return math.Pow(float64(delta), 1/float64(t)) / float64(t)
+}
+
+// SolveFractional runs Algorithm 1 on g with per-node demands k (capped at
+// closed-neighborhood size, mirroring (PP)'s feasibility requirement) and
+// returns the fractional solution with its dual certificate. The execution
+// is an exact, deterministic emulation of the synchronous algorithm; the
+// sim.Program in program.go reproduces it bit for bit.
+func SolveFractional(g *graph.Graph, k []float64, opts FractionalOptions) (FractionalResult, error) {
+	t := opts.T
+	if t < 1 {
+		return FractionalResult{}, fmt.Errorf("core: t must be ≥ 1, got %d", t)
+	}
+	n := g.NumNodes()
+	if len(k) != n {
+		return FractionalResult{}, fmt.Errorf("core: k has %d entries for %d nodes", len(k), n)
+	}
+
+	globalDelta := g.MaxDegree()
+	deltas := make([]int, n) // per-node Δ the node believes in
+	if opts.LocalDelta {
+		local := g.MaxDegreeWithinHops(2)
+		copy(deltas, local)
+	} else {
+		for v := range deltas {
+			deltas[v] = globalDelta
+		}
+	}
+
+	st := newFracState(g, k, deltas, t)
+	for p := t - 1; p >= 0; p-- {
+		for q := t - 1; q >= 0; q-- {
+			st.innerIteration(p, q)
+		}
+	}
+	st.finishDuals()
+
+	return FractionalResult{
+		X:          st.x,
+		Y:          st.y,
+		Z:          st.z,
+		BetaSum:    st.betaSum(),
+		Kappa:      float64(t) * math.Pow(float64(globalDelta+1), 1/float64(t)),
+		Delta:      globalDelta,
+		T:          t,
+		LoopRounds: 2 * t * t,
+	}, nil
+}
+
+// fracState is the global emulation of Algorithm 1's per-node state.
+type fracState struct {
+	g      *graph.Graph
+	n      int
+	t      int
+	k      []float64 // effective demands (capped)
+	x      []float64
+	xPlus  []float64
+	dyn    []int // dynamic degrees δ̃_i (white nodes in closed neighborhood)
+	white  []bool
+	c      []float64
+	y, z   []float64
+	thresh [][]float64 // thresh[v][p] = (Δ_v+1)^{p/t}
+	inc    [][]float64 // inc[v][q]    = 1/(Δ_v+1)^{q/t}
+	// closed[v] is the closed neighborhood of v in ascending ID order;
+	// pos[v] maps a node ID to its slot in closed[v].
+	closed [][]graph.NodeID
+	pos    []map[graph.NodeID]int
+	// alpha[v][s], beta[v][s]: α_{j,v}, β_{j,v} where j = closed[v][s] —
+	// the share of neighbor j's x-increase attributed to covering v.
+	alpha [][]float64
+	beta  [][]float64
+}
+
+func newFracState(g *graph.Graph, k []float64, deltas []int, t int) *fracState {
+	n := g.NumNodes()
+	st := &fracState{
+		g: g, n: n, t: t,
+		k:      make([]float64, n),
+		x:      make([]float64, n),
+		xPlus:  make([]float64, n),
+		dyn:    make([]int, n),
+		white:  make([]bool, n),
+		c:      make([]float64, n),
+		y:      make([]float64, n),
+		z:      make([]float64, n),
+		thresh: make([][]float64, n),
+		inc:    make([][]float64, n),
+		closed: make([][]graph.NodeID, n),
+		pos:    make([]map[graph.NodeID]int, n),
+		alpha:  make([][]float64, n),
+		beta:   make([][]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		st.closed[v] = ClosedNeighborhood(g, graph.NodeID(v))
+		st.pos[v] = make(map[graph.NodeID]int, len(st.closed[v]))
+		for s, w := range st.closed[v] {
+			st.pos[v][w] = s
+		}
+		st.alpha[v] = make([]float64, len(st.closed[v]))
+		st.beta[v] = make([]float64, len(st.closed[v]))
+		st.k[v] = math.Min(k[v], float64(len(st.closed[v])))
+		st.white[v] = true
+		st.dyn[v] = len(st.closed[v])
+		d1 := float64(deltas[v] + 1)
+		st.thresh[v] = make([]float64, t)
+		st.inc[v] = make([]float64, t)
+		for e := 0; e < t; e++ {
+			st.thresh[v][e] = math.Pow(d1, float64(e)/float64(t))
+			st.inc[v][e] = 1 / st.thresh[v][e]
+		}
+	}
+	return st
+}
+
+// innerIteration performs one (p, q) iteration for every node — two
+// communication rounds in the distributed execution.
+func (st *fracState) innerIteration(p, q int) {
+	// Round A: raise x-values (Lines 5–8).
+	for v := 0; v < st.n; v++ {
+		st.xPlus[v] = 0
+		if st.x[v] < 1 && float64(st.dyn[v]) >= st.thresh[v][p] {
+			xp := math.Min(st.inc[v][q], 1-st.x[v])
+			st.xPlus[v] = xp
+			st.x[v] += xp
+		}
+	}
+	// Round B part 1: white nodes account coverage and duals (Lines 10–21).
+	for v := 0; v < st.n; v++ {
+		if !st.white[v] {
+			continue
+		}
+		cPlus := 0.0
+		for _, w := range st.closed[v] {
+			cPlus += st.xPlus[w]
+		}
+		lambda := 1.0
+		if cPlus > 0 {
+			lambda = math.Min(1, (st.k[v]-st.c[v])/cPlus)
+		}
+		st.c[v] += cPlus
+		for s, w := range st.closed[v] {
+			st.beta[v][s] += lambda * st.xPlus[w] / st.thresh[v][p]
+			st.alpha[v][s] += lambda * st.xPlus[w]
+		}
+		if st.c[v] >= st.k[v] {
+			st.white[v] = false
+			st.y[v] = 1 / st.thresh[v][p]
+		}
+	}
+	// Round B part 2: refresh dynamic degrees (Line 24).
+	for v := 0; v < st.n; v++ {
+		d := 0
+		for _, w := range st.closed[v] {
+			if st.white[w] {
+				d++
+			}
+		}
+		st.dyn[v] = d
+	}
+}
+
+// finishDuals computes z_i = Σ_{j∈N_i} (α_{i,j}·y_j − β_{i,j}) (Line 27).
+// α_{i,j} and β_{i,j} are stored at node j (the covered side), so the
+// distributed execution needs one extra exchange round here.
+func (st *fracState) finishDuals() {
+	for v := 0; v < st.n; v++ {
+		sum := 0.0
+		for _, w := range st.closed[v] {
+			s := st.pos[w][graph.NodeID(v)]
+			sum += st.alpha[w][s]*st.y[w] - st.beta[w][s]
+		}
+		st.z[v] = sum
+	}
+}
+
+func (st *fracState) betaSum() float64 {
+	total := 0.0
+	for v := 0; v < st.n; v++ {
+		for _, b := range st.beta[v] {
+			total += b
+		}
+	}
+	return total
+}
+
+// ClosedNeighborhood returns N_v = {v} ∪ neighbors(v) in ascending ID
+// order, the paper's N_i.
+func ClosedNeighborhood(g *graph.Graph, v graph.NodeID) []graph.NodeID {
+	ns := g.Neighbors(v)
+	out := make([]graph.NodeID, 0, len(ns)+1)
+	out = append(out, ns...)
+	out = append(out, v)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EffectiveDemands returns the demand vector k_i = min(k, |N_i|) used
+// throughout (the paper's feasibility requirement).
+func EffectiveDemands(g *graph.Graph, k float64) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = math.Min(k, float64(g.Degree(graph.NodeID(v))+1))
+	}
+	return out
+}

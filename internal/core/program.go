@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/sim"
+)
+
+// This file contains the honest distributed implementation of Algorithms 1
+// and 2 as a sim.Program: per-node state only, all coordination via
+// messages, O(log n)-bit messages throughout. For a fixed seed its results
+// are bit-identical to the in-memory engine (tested), which is what makes
+// the large-scale experiments trustworthy.
+
+// ProgramConfig configures NewProgram.
+type ProgramConfig struct {
+	// K is the fault-tolerance parameter.
+	K float64
+	// T is Algorithm 1's trade-off parameter.
+	T int
+	// Delta is the globally known maximum degree (ignored with LocalDelta).
+	Delta int
+	// LocalDelta derives a 2-hop-local Δ in two prelude rounds instead of
+	// assuming global knowledge (the paper's final remark).
+	LocalDelta bool
+	// Round enables Algorithm 2 after Algorithm 1 finishes.
+	Round bool
+	// SkipRepair disables Algorithm 2's REQ step (ablation).
+	SkipRepair bool
+}
+
+// Program is the per-node state machine; construct with NewProgram.
+type Program struct {
+	cfg ProgramConfig
+	id  graph.NodeID
+
+	phase     phase
+	phaseBase int // round at which the current phase started
+
+	delta  int // Δ this node uses
+	degree int
+	kEff   float64
+
+	// Algorithm 1 state.
+	iter   int // inner-iteration counter 0 … t²-1
+	x      float64
+	xPlus  float64
+	dyn    int
+	white  bool
+	c      float64
+	y, z   float64
+	alpha  map[graph.NodeID]float64 // α_{j,v} for j ∈ N_v
+	beta   map[graph.NodeID]float64 // β_{j,v}
+	thresh []float64
+	incs   []float64
+
+	// Algorithm 2 state.
+	inSet   bool
+	sampled bool
+}
+
+type phase int
+
+const (
+	phasePreludeDegree phase = iota
+	phasePreludeDelta
+	phaseLoopA
+	phaseLoopB
+	phaseDualSend
+	phaseDualRecv
+	phaseReqSend
+	phaseReqRecv
+	phaseDone
+)
+
+// Message types. Real-valued fields follow the fixed-point convention of
+// sim.FixedPointBits.
+
+type xMsg struct {
+	X, XPlus float64
+	Dyn      int
+}
+
+func (xMsg) SizeBits(n int) int { return 2*sim.FixedPointBits(n) + sim.BitsForCount(n) }
+
+type colMsg struct{ White bool }
+
+func (colMsg) SizeBits(int) int { return 2 }
+
+type dualMsg struct{ AlphaY, Beta float64 }
+
+func (dualMsg) SizeBits(n int) int { return 2 * sim.FixedPointBits(n) }
+
+type degMsg struct{ Deg int }
+
+func (degMsg) SizeBits(n int) int { return sim.BitsForCount(n) }
+
+type xPrimeMsg struct{ In bool }
+
+func (xPrimeMsg) SizeBits(int) int { return 2 }
+
+type reqMsg struct{}
+
+func (reqMsg) SizeBits(int) int { return 2 }
+
+// NewProgram returns the node program for v.
+func NewProgram(v graph.NodeID, cfg ProgramConfig) *Program {
+	return &Program{
+		cfg:   cfg,
+		id:    v,
+		white: true,
+		alpha: make(map[graph.NodeID]float64),
+		beta:  make(map[graph.NodeID]float64),
+	}
+}
+
+// X returns the node's fractional value after termination.
+func (p *Program) X() float64 { return p.x }
+
+// Y returns the node's dual y value.
+func (p *Program) Y() float64 { return p.y }
+
+// Z returns the node's dual z value.
+func (p *Program) Z() float64 { return p.z }
+
+// InSet reports membership in the rounded solution.
+func (p *Program) InSet() bool { return p.inSet }
+
+// Delta returns the Δ the node used (interesting under LocalDelta).
+func (p *Program) Delta() int { return p.delta }
+
+// Step implements sim.Program.
+func (p *Program) Step(ctx sim.Context) bool {
+	if ctx.Round() == 0 {
+		p.initialize(ctx)
+	}
+	switch p.phase {
+	case phasePreludeDegree:
+		ctx.Broadcast(degMsg{Deg: ctx.Degree()})
+		p.phase = phasePreludeDelta
+	case phasePreludeDelta:
+		// First prelude exchange done: Δ estimate over 1 hop; broadcast
+		// to extend to 2 hops.
+		d := p.maxDeg(ctx)
+		ctx.Broadcast(degMsg{Deg: d})
+		p.delta = d
+		p.phase = phaseLoopA
+		p.phaseBase = ctx.Round() + 1
+	case phaseLoopA:
+		if p.cfg.LocalDelta && ctx.Round() == p.phaseBase {
+			// Collect the 2-hop Δ from the second prelude exchange and
+			// only now fix the thresholds.
+			p.delta = p.maxDeg(ctx)
+			p.buildSchedule()
+		}
+		p.stepLoopA(ctx)
+		p.phase = phaseLoopB
+	case phaseLoopB:
+		p.stepLoopB(ctx)
+		p.iter++
+		if p.iter < p.cfg.T*p.cfg.T {
+			p.phase = phaseLoopA
+		} else {
+			p.phase = phaseDualSend
+		}
+	case phaseDualSend:
+		p.refreshDyn(ctx) // keep bookkeeping tidy; not used afterwards
+		for _, w := range ctx.Neighbors() {
+			ctx.Send(w, dualMsg{AlphaY: p.alpha[w] * p.y, Beta: p.beta[w]})
+		}
+		p.phase = phaseDualRecv
+	case phaseDualRecv:
+		p.finishDual(ctx)
+		if !p.cfg.Round {
+			p.phase = phaseDone
+			return true
+		}
+		p.sampleRound(ctx)
+		p.phase = phaseReqSend
+	case phaseReqSend:
+		if !p.cfg.SkipRepair {
+			p.sendReqs(ctx)
+		}
+		p.phase = phaseReqRecv
+	case phaseReqRecv:
+		if len(ctx.Inbox()) > 0 {
+			p.inSet = true
+		}
+		p.phase = phaseDone
+		return true
+	case phaseDone:
+		return true
+	}
+	return false
+}
+
+func (p *Program) initialize(ctx sim.Context) {
+	p.degree = ctx.Degree()
+	p.dyn = p.degree + 1
+	p.kEff = math.Min(p.cfg.K, float64(p.degree+1))
+	if p.cfg.LocalDelta {
+		p.phase = phasePreludeDegree
+		p.delta = p.degree
+		return
+	}
+	p.phase = phaseLoopA
+	p.phaseBase = 0
+	p.delta = p.cfg.Delta
+	p.buildSchedule()
+}
+
+func (p *Program) buildSchedule() {
+	t := p.cfg.T
+	d1 := float64(p.delta + 1)
+	p.thresh = make([]float64, t)
+	p.incs = make([]float64, t)
+	for e := 0; e < t; e++ {
+		p.thresh[e] = math.Pow(d1, float64(e)/float64(t))
+		p.incs[e] = 1 / p.thresh[e]
+	}
+}
+
+func (p *Program) maxDeg(ctx sim.Context) int {
+	d := p.delta
+	for _, env := range ctx.Inbox() {
+		if m := env.Msg.(degMsg); m.Deg > d {
+			d = m.Deg
+		}
+	}
+	return d
+}
+
+// pq maps the inner-iteration counter to the paper's loop indices.
+func (p *Program) pq() (int, int) {
+	t := p.cfg.T
+	return t - 1 - p.iter/t, t - 1 - p.iter%t
+}
+
+func (p *Program) stepLoopA(ctx sim.Context) {
+	// Refresh the dynamic degree from the previous iteration's colMsgs
+	// (absent in the very first iteration).
+	if p.iter > 0 {
+		p.refreshDyn(ctx)
+	}
+	pp, qq := p.pq()
+	p.xPlus = 0
+	if p.x < 1 && float64(p.dyn) >= p.thresh[pp] {
+		p.xPlus = math.Min(p.incs[qq], 1-p.x)
+		p.x += p.xPlus
+	}
+	ctx.Broadcast(xMsg{X: p.x, XPlus: p.xPlus, Dyn: p.dyn})
+}
+
+func (p *Program) stepLoopB(ctx sim.Context) {
+	pp, _ := p.pq()
+	if p.white {
+		// Sum x⁺ over the closed neighborhood in ascending ID order so the
+		// floating-point result matches the engine exactly.
+		entries := p.closedEntries(ctx, func(env sim.Envelope) (graph.NodeID, float64) {
+			return env.From, env.Msg.(xMsg).XPlus
+		}, p.xPlus)
+		cPlus := 0.0
+		for _, e := range entries {
+			cPlus += e.val
+		}
+		lambda := 1.0
+		if cPlus > 0 {
+			lambda = math.Min(1, (p.kEff-p.c)/cPlus)
+		}
+		p.c += cPlus
+		for _, e := range entries {
+			p.beta[e.id] += lambda * e.val / p.thresh[pp]
+			p.alpha[e.id] += lambda * e.val
+		}
+		if p.c >= p.kEff {
+			p.white = false
+			p.y = 1 / p.thresh[pp]
+		}
+	}
+	ctx.Broadcast(colMsg{White: p.white})
+}
+
+func (p *Program) refreshDyn(ctx sim.Context) {
+	d := 0
+	if p.white {
+		d++
+	}
+	for _, env := range ctx.Inbox() {
+		if m, ok := env.Msg.(colMsg); ok && m.White {
+			d++
+		}
+	}
+	p.dyn = d
+}
+
+type idVal struct {
+	id  graph.NodeID
+	val float64
+}
+
+// closedEntries merges the inbox values with the node's own value into a
+// closed-neighborhood list sorted by ID.
+func (p *Program) closedEntries(ctx sim.Context, get func(sim.Envelope) (graph.NodeID, float64), own float64) []idVal {
+	entries := make([]idVal, 0, len(ctx.Inbox())+1)
+	for _, env := range ctx.Inbox() {
+		id, v := get(env)
+		entries = append(entries, idVal{id, v})
+	}
+	entries = append(entries, idVal{p.id, own})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	return entries
+}
+
+func (p *Program) finishDual(ctx sim.Context) {
+	entries := p.closedEntries(ctx, func(env sim.Envelope) (graph.NodeID, float64) {
+		m := env.Msg.(dualMsg)
+		return env.From, m.AlphaY - m.Beta
+	}, p.alpha[p.id]*p.y-p.beta[p.id])
+	sum := 0.0
+	for _, e := range entries {
+		sum += e.val
+	}
+	p.z = sum
+}
+
+func (p *Program) sampleRound(ctx sim.Context) {
+	prob := math.Min(1, p.x*math.Log(float64(p.delta+1)))
+	if ctx.Rand().Float64() < prob {
+		p.inSet = true
+		p.sampled = true
+	}
+	ctx.Broadcast(xPrimeMsg{In: p.inSet})
+}
+
+func (p *Program) sendReqs(ctx sim.Context) {
+	// Coverage over the closed neighborhood against the sampled set.
+	cov := 0.0
+	if p.inSet {
+		cov++
+	}
+	out := make(map[graph.NodeID]bool, len(ctx.Inbox()))
+	for _, env := range ctx.Inbox() {
+		if env.Msg.(xPrimeMsg).In {
+			cov++
+		} else {
+			out[env.From] = true
+		}
+	}
+	deficit := int(math.Ceil(p.kEff - cov - 1e-12))
+	if deficit <= 0 {
+		return
+	}
+	candidates := make([]graph.NodeID, 0, len(out)+1)
+	for _, w := range ctx.Neighbors() {
+		if out[w] {
+			candidates = append(candidates, w)
+		}
+	}
+	if !p.inSet {
+		candidates = append(candidates, p.id)
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	}
+	perm := ctx.Rand().Perm(len(candidates))
+	for i := 0; i < deficit && i < len(candidates); i++ {
+		chosen := candidates[perm[i]]
+		if chosen == p.id {
+			p.inSet = true
+		} else {
+			ctx.Send(chosen, reqMsg{})
+		}
+	}
+}

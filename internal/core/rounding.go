@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// RoundingOptions configure Algorithm 2.
+type RoundingOptions struct {
+	// Seed drives the per-node random streams (stream v+1 for node v,
+	// matching the simulator's convention so engine and sim.Program
+	// executions coincide).
+	Seed int64
+	// SkipRepair disables the REQ step (Lines 4–7). Used by the ablation
+	// experiment that demonstrates the repair step is what guarantees
+	// feasibility.
+	SkipRepair bool
+}
+
+// RoundingResult is the outcome of Algorithm 2.
+type RoundingResult struct {
+	// InSet marks the nodes of the integral solution x'.
+	InSet []bool
+	// Sampled counts nodes selected by the randomized test (Line 2).
+	Sampled int
+	// Repaired counts additional nodes recruited via REQ (Lines 5–7).
+	Repaired int
+}
+
+// Size returns |S|.
+func (r RoundingResult) Size() int {
+	n := 0
+	for _, in := range r.InSet {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// RoundingBlowupBound returns Theorem 4.6's multiplicative factor
+// ln(Δ+1) + O(1) (the additive constant folded as +2, covering E[Y]).
+func RoundingBlowupBound(delta int) float64 {
+	return math.Log(float64(delta+1)) + 2
+}
+
+// RoundSolution runs Algorithm 2: it samples each node with probability
+// min{1, x_i·ln(Δ+1)} and then repairs residual deficits by recruiting
+// uncovered nodes' neighbors (REQ messages). k demands are capped at
+// closed-neighborhood sizes; with the repair step enabled the result is
+// always a feasible k-fold cover in the (PP) sense.
+func RoundSolution(g *graph.Graph, k []float64, x []float64, delta int, opts RoundingOptions) (RoundingResult, error) {
+	n := g.NumNodes()
+	if len(x) != n || len(k) != n {
+		return RoundingResult{}, fmt.Errorf("core: x/k length mismatch with graph (%d nodes)", n)
+	}
+	lnD := math.Log(float64(delta + 1))
+
+	inSet := make([]bool, n)
+	sampled := 0
+	rnds := make([]*rand.Rand, n)
+	for v := 0; v < n; v++ {
+		rnds[v] = rng.NewStream(opts.Seed, uint64(v)+1)
+		p := math.Min(1, x[v]*lnD)
+		if rnds[v].Float64() < p {
+			inSet[v] = true
+			sampled++
+		}
+	}
+	if opts.SkipRepair {
+		return RoundingResult{InSet: inSet, Sampled: sampled}, nil
+	}
+
+	// REQ step: deficits are computed against the sampled set only (the
+	// algorithm is one-shot; concurrent REQs may overlap, which only helps).
+	recruit := make([]bool, n)
+	for v := 0; v < n; v++ {
+		closed := ClosedNeighborhood(g, graph.NodeID(v))
+		kv := math.Min(k[v], float64(len(closed)))
+		cov := 0.0
+		for _, w := range closed {
+			if inSet[w] {
+				cov++
+			}
+		}
+		deficit := int(math.Ceil(kv - cov - 1e-12))
+		if deficit <= 0 {
+			continue
+		}
+		var candidates []graph.NodeID
+		for _, w := range closed {
+			if !inSet[w] {
+				candidates = append(candidates, w)
+			}
+		}
+		// |N_v| ≥ k_v guarantees enough candidates.
+		perm := rnds[v].Perm(len(candidates))
+		for i := 0; i < deficit && i < len(candidates); i++ {
+			recruit[candidates[perm[i]]] = true
+		}
+	}
+	repaired := 0
+	for v := 0; v < n; v++ {
+		if recruit[v] && !inSet[v] {
+			inSet[v] = true
+			repaired++
+		}
+	}
+	return RoundingResult{InSet: inSet, Sampled: sampled, Repaired: repaired}, nil
+}

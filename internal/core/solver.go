@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/verify"
+)
+
+// Options configure the end-to-end k-MDS solver (Algorithm 1 followed by
+// Algorithm 2).
+type Options struct {
+	// K is the fault-tolerance parameter k ≥ 1 (per-node demands are
+	// capped at closed-neighborhood sizes).
+	K float64
+	// T is Algorithm 1's trade-off parameter; values around log₂ Δ give
+	// the paper's O(log Δ)-approximation remark.
+	T int
+	// Seed drives Algorithm 2's randomness.
+	Seed int64
+	// LocalDelta switches Algorithm 1 to 2-hop-local maximum degrees.
+	LocalDelta bool
+	// SkipRepair disables Algorithm 2's REQ step (ablation only; the
+	// result may then be infeasible and Solve will report it).
+	SkipRepair bool
+}
+
+// Result is the full outcome of the combined solver.
+type Result struct {
+	// InSet is the integral k-fold dominating set (PP convention).
+	InSet []bool
+	// Fractional carries Algorithm 1's solution and dual certificate.
+	Fractional FractionalResult
+	// Rounding carries Algorithm 2's statistics.
+	Rounding RoundingResult
+	// K echoes the effective per-node demands.
+	K []float64
+	// Feasible reports whether InSet satisfies the (PP) convention
+	// (always true when the repair step is enabled).
+	Feasible bool
+}
+
+// Size returns |S|.
+func (r Result) Size() int { return verify.SetSize(r.InSet) }
+
+// FractionalObjective returns Σ x_i.
+func (r Result) FractionalObjective() float64 { return r.Fractional.Objective() }
+
+// Solve runs the paper's general-graph pipeline on g: Algorithm 1 computes
+// a fractional solution in 2t² rounds, Algorithm 2 rounds it in O(1)
+// rounds. The combined approximation guarantee against the fractional
+// optimum is t((Δ+1)^{2/t}+(Δ+1)^{1/t})·(ln(Δ+1)+O(1)) in expectation
+// (Theorems 4.5 and 4.6).
+func Solve(g *graph.Graph, opts Options) (Result, error) {
+	if opts.K < 1 {
+		return Result{}, fmt.Errorf("core: k must be ≥ 1, got %v", opts.K)
+	}
+	if opts.T < 1 {
+		return Result{}, fmt.Errorf("core: t must be ≥ 1, got %d", opts.T)
+	}
+	k := EffectiveDemands(g, opts.K)
+	frac, err := SolveFractional(g, k, FractionalOptions{T: opts.T, LocalDelta: opts.LocalDelta})
+	if err != nil {
+		return Result{}, err
+	}
+	rounded, err := RoundSolution(g, k, frac.X, frac.Delta, RoundingOptions{
+		Seed:       opts.Seed,
+		SkipRepair: opts.SkipRepair,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		InSet:      rounded.InSet,
+		Fractional: frac,
+		Rounding:   rounded,
+		K:          k,
+	}
+	res.Feasible = verify.CheckKFoldVector(g, rounded.InSet, k, verify.ClosedPP) == nil
+	if !opts.SkipRepair && !res.Feasible {
+		// The repair step guarantees feasibility; reaching this line
+		// would be an implementation bug, not bad luck.
+		return res, fmt.Errorf("core: internal error: repaired solution infeasible")
+	}
+	return res, nil
+}

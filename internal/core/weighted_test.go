@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/lp"
+	"ftclust/internal/verify"
+)
+
+func ladderCosts(n int, seed int64) []float64 {
+	costs := make([]float64, n)
+	s := int(uint64(seed) % 97)
+	for v := range costs {
+		costs[v] = 1 + float64((v*7+s)%10)
+	}
+	return costs
+}
+
+func TestWeightedFeasible(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Gnp(70, 0.15, seed)
+		costs := ladderCosts(70, seed)
+		res, err := SolveWeighted(g, WeightedOptions{K: 2, T: 3, Seed: seed, Costs: costs})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.CheckKFoldVector(g, res.InSet, res.K, verify.ClosedPP); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if res.Cost <= 0 || res.FractionalCost <= 0 {
+			t.Errorf("seed %d: degenerate costs %v/%v", seed, res.Cost, res.FractionalCost)
+		}
+	}
+}
+
+func TestWeightedPrefersCheapNodes(t *testing.T) {
+	// Star where the center is cheap: the weighted solver must not pay for
+	// expensive leaves when k=1.
+	g := graph.Star(20)
+	costs := make([]float64, 20)
+	costs[0] = 1
+	for v := 1; v < 20; v++ {
+		costs[v] = 100
+	}
+	res, err := SolveWeighted(g, WeightedOptions{K: 1, T: 4, Seed: 3, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InSet[0] {
+		t.Error("cheap center not selected")
+	}
+	// Compare against the weighted greedy: same order of magnitude.
+	c := lp.FromGraph(g, res.K)
+	w, err := c.Weighted(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, greedyCost := w.GreedyWeighted()
+	if res.Cost > 30*greedyCost+100 {
+		t.Errorf("weighted cost %v far above greedy %v", res.Cost, greedyCost)
+	}
+}
+
+func TestWeightedBeatsUnweightedOnSkewedCosts(t *testing.T) {
+	// With strongly skewed costs, the cost-aware variant should be cheaper
+	// than the cost-blind pipeline on average.
+	var wTotal, uTotal float64
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.Gnp(80, 0.12, seed)
+		costs := make([]float64, 80)
+		for v := range costs {
+			if v%5 == 0 {
+				costs[v] = 1
+			} else {
+				costs[v] = 50
+			}
+		}
+		wres, err := SolveWeighted(g, WeightedOptions{K: 1, T: 4, Seed: seed, Costs: costs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ures, err := Solve(g, Options{K: 1, T: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uCost := 0.0
+		for v, in := range ures.InSet {
+			if in {
+				uCost += costs[v]
+			}
+		}
+		wTotal += wres.Cost
+		uTotal += uCost
+	}
+	if wTotal >= uTotal {
+		t.Errorf("weighted total %v not cheaper than unweighted %v on skewed costs", wTotal, uTotal)
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	g := graph.Ring(6)
+	good := []float64{1, 1, 1, 1, 1, 1}
+	if _, err := SolveWeighted(g, WeightedOptions{K: 0, T: 2, Costs: good}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := SolveWeighted(g, WeightedOptions{K: 1, T: 0, Costs: good}); err == nil {
+		t.Error("t=0 should fail")
+	}
+	if _, err := SolveWeighted(g, WeightedOptions{K: 1, T: 2, Costs: good[:3]}); err == nil {
+		t.Error("cost length mismatch should fail")
+	}
+	if _, err := SolveWeighted(g, WeightedOptions{K: 1, T: 2,
+		Costs: []float64{1, 1, -1, 1, 1, 1}}); err == nil {
+		t.Error("negative cost should fail")
+	}
+}
+
+func TestWeightedMatchesUnitCostBehaviour(t *testing.T) {
+	// With all costs equal the effectiveness sweep reduces to the
+	// unit-cost thresholds, so the fractional solutions agree.
+	g := graph.Gnp(50, 0.2, 4)
+	k := EffectiveDemands(g, 2)
+	unit, err := SolveFractional(g, k, FractionalOptions{T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, 50)
+	for i := range costs {
+		costs[i] = 2.5
+	}
+	res, err := SolveWeighted(g, WeightedOptions{K: 2, T: 3, Seed: 1, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range unit.X {
+		if math.Abs(unit.X[v]-res.X[v]) > 1e-12 {
+			t.Fatalf("node %d: unit x=%v weighted x=%v", v, unit.X[v], res.X[v])
+		}
+	}
+}
+
+func TestQuickWeightedAlwaysFeasible(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 5
+		k := float64(kRaw%3) + 1
+		g := graph.Gnp(n, 0.25, seed)
+		res, err := SolveWeighted(g, WeightedOptions{
+			K: k, T: 2, Seed: seed, Costs: ladderCosts(n, seed),
+		})
+		if err != nil {
+			return false
+		}
+		return verify.CheckKFoldVector(g, res.InSet, res.K, verify.ClosedPP) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"ftclust/internal/cds"
+	"ftclust/internal/core"
+	"ftclust/internal/graph"
+	"ftclust/internal/maintain"
+	"ftclust/internal/radio"
+	"ftclust/internal/rng"
+	"ftclust/internal/routing"
+	"ftclust/internal/sim"
+	"ftclust/internal/stats"
+	"ftclust/internal/trace"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+// RoutingStretch is E16: the price of backbone routing — hops via the
+// connected k-fold backbone versus unrestricted shortest paths.
+func RoutingStretch(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E16 — backbone routing stretch",
+		"n", "k", "|backbone|", "mean stretch", "p95 stretch", "max stretch")
+	tb.Note = "stretch = backbone hops / shortest hops over random connected pairs; CDS routing is O(1)-stretch in UDGs."
+	for _, n := range []int{cfg.scaled(400), cfg.scaled(1600)} {
+		for _, k := range []int{1, 3} {
+			var means, p95s, maxs, sizes []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				pts, g, idx := udgInstance(n, 20, cfg.trialSeed(trial))
+				sol, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: cfg.trialSeed(trial + 31)})
+				if err != nil {
+					return nil, err
+				}
+				conn, err := cds.Connect(g, sol.Leader)
+				if err != nil {
+					return nil, err
+				}
+				r, err := routing.New(g, conn.InSet)
+				if err != nil {
+					return nil, err
+				}
+				rnd := rng.NewStream(cfg.trialSeed(trial), 55)
+				var pairs [][2]graph.NodeID
+				for i := 0; i < 120; i++ {
+					pairs = append(pairs, [2]graph.NodeID{
+						graph.NodeID(rnd.Intn(n)), graph.NodeID(rnd.Intn(n)),
+					})
+				}
+				st := r.StretchSample(pairs)
+				if len(st) == 0 {
+					continue
+				}
+				means = append(means, stats.Mean(st))
+				p95s = append(p95s, stats.Quantile(st, 0.95))
+				maxs = append(maxs, stats.Max(st))
+				sizes = append(sizes, float64(conn.Size()))
+			}
+			tb.AddRow(n, k, stats.Mean(sizes), stats.Mean(means),
+				stats.Mean(p95s), stats.Max(maxs))
+		}
+	}
+	return tb, nil
+}
+
+// NeighborDiscovery is E17: the slotted-ALOHA initialization stage
+// (reference [12]) that supplies the neighbor knowledge the Section 3
+// model assumes.
+func NeighborDiscovery(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E17 — slotted-ALOHA neighbor discovery (initialization, [12])",
+		"n", "Δ", "p", "slots", "slots/(Δ·logn)", "collision rate")
+	tb.Note = "with p = 1/(Δ+1) discovery completes in Θ(Δ·log n) slots; aggressive p collapses."
+	for _, n := range []int{cfg.scaled(200), cfg.scaled(800)} {
+		g := graph.GnpAvgDegree(n, 12, cfg.Seed+int64(n))
+		delta := g.MaxDegree()
+		for _, p := range []float64{0, 0.5} {
+			var slots, collRate []float64
+			complete := true
+			for trial := 0; trial < cfg.trials(); trial++ {
+				res, err := radio.Discover(g, radio.Options{P: p, Seed: cfg.trialSeed(trial)})
+				if err != nil {
+					return nil, err
+				}
+				if res.SlotsToComplete < 0 {
+					complete = false
+					slots = append(slots, float64(64*(delta+2)*bits(n)))
+				} else {
+					slots = append(slots, float64(res.SlotsToComplete))
+				}
+				if res.Transmissions > 0 {
+					collRate = append(collRate, float64(res.Collisions)/float64(res.Transmissions))
+				}
+			}
+			label := p
+			if p == 0 {
+				label = 1 / float64(delta+1)
+			}
+			norm := stats.Mean(slots) / (float64(delta) * float64(bits(n)))
+			row := stats.Mean(slots)
+			_ = complete
+			tb.AddRow(n, delta, label, row, norm, stats.Mean(collRate))
+		}
+	}
+	return tb, nil
+}
+
+// CrashRobustness is E18: what happens when nodes crash DURING the
+// distributed execution of Algorithms 1+2 (the protocol itself gives no
+// such guarantee — the k-fold output tolerates failures after, not
+// during), and how cheaply the maintenance layer repairs the damage.
+func CrashRobustness(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E18 — crashes during the protocol + incremental repair",
+		"n", "k", "crash %", "deficient survivors", "repair promotions", "repair iters")
+	tb.Note = "deficiency among survivors is expected (no during-protocol guarantee); maintain.Repair restores it locally."
+	n := cfg.scaled(300)
+	const k = 2
+	for _, crashFrac := range []float64{0, 0.05, 0.2} {
+		var deficient, promotions, iters []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			seed := cfg.trialSeed(trial)
+			g := graph.GnpAvgDegree(n, 10, seed)
+			rnd := rng.NewStream(seed, 77)
+			// With T = 2 the pipeline runs 12 rounds; crashes anywhere in
+			// [1, 13] include the critical window between the x' broadcast
+			// and the REQ repair, where a sampled dominator can die after
+			// being counted.
+			crash := map[graph.NodeID]int{}
+			for v := 0; v < n; v++ {
+				if rnd.Float64() < crashFrac {
+					crash[graph.NodeID(v)] = 1 + rnd.Intn(13)
+				}
+			}
+			nw := sim.New(g, sim.WithSeed(seed), sim.WithCrashes(crash))
+			res, err := nw.Run(func(v graph.NodeID) sim.Program {
+				return core.NewProgram(v, core.ProgramConfig{K: k, T: 2, Delta: g.MaxDegree(), Round: true})
+			}, 500)
+			if err != nil {
+				return nil, err
+			}
+			out := core.Collect(res.Programs)
+			dead := map[graph.NodeID]bool{}
+			for v := range crash {
+				dead[v] = true
+			}
+			dmg := maintain.Assess(g, out.InSet, dead, k)
+			deficient = append(deficient, float64(dmg.DeficientNodes))
+			rep, err := maintain.Repair(g, out.InSet, dead, k)
+			if err != nil {
+				return nil, err
+			}
+			if after := maintain.Assess(g, rep.InSet, dead, k); after.DeficientNodes != 0 {
+				return nil, errDeficient(after.DeficientNodes)
+			}
+			promotions = append(promotions, float64(rep.Promoted))
+			iters = append(iters, float64(rep.Iterations))
+			if crashFrac == 0 {
+				kv := core.EffectiveDemands(g, k)
+				if err := verify.CheckKFoldVector(g, out.InSet, kv, verify.ClosedPP); err != nil {
+					return nil, err
+				}
+			}
+		}
+		tb.AddRow(n, k, 100*crashFrac, stats.Mean(deficient),
+			stats.Mean(promotions), stats.Mean(iters))
+	}
+	return tb, nil
+}
+
+type errDeficient int
+
+func (e errDeficient) Error() string {
+	return "exp: repair left deficient nodes"
+}
+
+func bits(n int) int {
+	b := 1
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+// Package exp contains one driver per experiment of EXPERIMENTS.md. The
+// paper (ICDCS 2006) is purely analytical — it has no measurement tables
+// and a single figure — so the experiment suite regenerates each
+// quantitative *claim* (Theorems 4.5, 4.6, 5.7; Lemmas 4.3, 4.4, 5.1, 5.3,
+// 5.5, 5.6; the model's O(log n)-bit messages; and the fault-tolerance
+// motivation of Section 1) as a measured table. cmd/ftbench prints the full
+// tables; bench_test.go runs scaled-down versions under testing.B.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/lp"
+	"ftclust/internal/rng"
+	"ftclust/internal/trace"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed is the root seed; every trial derives from it.
+	Seed int64
+	// Trials is the number of repetitions per row (averaged).
+	Trials int
+	// Scale in (0, 1] shrinks instance sizes for quick runs (benches use
+	// ~0.3, cmd/ftbench uses 1.0).
+	Scale float64
+}
+
+// DefaultConfig returns the full-size configuration.
+func DefaultConfig() Config { return Config{Seed: 1, Trials: 5, Scale: 1} }
+
+func (c Config) scaled(n int) int {
+	s := c.Scale
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+func (c Config) trialSeed(i int) int64 {
+	return rng.Derive(c.Seed, uint64(i)+101)
+}
+
+func (c Config) trials() int {
+	if c.Trials < 1 {
+		return 1
+	}
+	return c.Trials
+}
+
+// Experiment pairs an identifier with its driver, so cmd/ftbench can
+// enumerate the suite.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*trace.Table, error)
+}
+
+// All returns the experiment suite in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Theorem 4.5 — fractional time/approximation trade-off", FractionalTradeoff},
+		{"E2", "Theorem 4.6 — randomized-rounding blowup", RoundingBlowup},
+		{"E3", "combined algorithm vs baselines (general graphs)", EndToEnd},
+		{"E4", "Lemmas 4.3/4.4 — dual certificate", DualCertificate},
+		{"E5", "Lemma 5.1 — Part I produces a dominating set", PartICorrectness},
+		{"E6", "Lemma 5.5 — O(1) leaders per half-disk after Part I", LeadersPerDiskExp},
+		{"E7", "Theorem 5.7 — UDG end-to-end: O(k)/disk, O(1)-approx, log log n rounds", UDGEndToEnd},
+		{"E8", "Lemma 5.3 / Figure 1 — hexagonal covering geometry", Figure1Geometry},
+		{"E9", "model — O(log n)-bit messages", MessageSize},
+		{"E10", "Section 1 motivation — fault tolerance of k-fold clustering", FaultTolerance},
+		{"E11", "lower-bound context [13] — measured trade-off vs Ω(Δ^{1/t}/t)", LowerBoundGap},
+		{"E12", "extension — weighted k-MDS (Section 4.1 remark)", WeightedKMDS},
+		{"E13", "extension — clustering decay under mobility", MobilityDecay},
+		{"E14", "extension — connected-backbone overhead [1, 22, 23]", CDSOverhead},
+		{"E15", "extension — α-synchronizer overhead (Awerbuch [2])", SynchronizerOverhead},
+		{"E16", "application — backbone routing stretch [1, 23]", RoutingStretch},
+		{"E17", "application — slotted-ALOHA neighbor discovery [12]", NeighborDiscovery},
+		{"E18", "robustness — crashes during the protocol + repair", CrashRobustness},
+		{"A1", "ablation — Algorithm 2 without the REQ repair step", AblRoundingNoRepair},
+		{"A2", "ablation — Part II promotion fan-out", AblPartTwoFanout},
+		{"A3", "ablation — global Δ vs 2-hop-local Δ in Algorithm 1", AblLocalDelta},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// optFractional computes OPT_f by simplex for moderate n, falling back to
+// the combinatorial lower bound Σk/(Δ+1) paired with the greedy upper
+// bound when the LP would be too slow. ok reports whether the value is the
+// exact LP optimum.
+func optFractional(g *graph.Graph, k []float64, maxLPNodes int) (opt float64, exact bool) {
+	c := lp.FromGraph(g, k)
+	if g.NumNodes() <= maxLPNodes {
+		if _, v, err := c.SolveFractional(); err == nil {
+			return v, true
+		}
+	}
+	return math.Max(c.LowerBoundDegree(), c.LowerBoundDemand()), false
+}
+
+// UDGInstance builds a random uniform deployment with the given expected
+// density (nodes per unit-disk area ≈ density). Shared by the experiment
+// drivers and cmd/ftsim.
+func UDGInstance(n int, density float64, seed int64) ([]geom.Point, *graph.Graph, *geom.Index) {
+	// side² · density = n · π  ⇒  side = sqrt(n·π/density).
+	side := math.Sqrt(float64(n) * math.Pi / density)
+	pts := geom.UniformPoints(n, side, seed)
+	g, idx := geom.UnitUDG(pts)
+	return pts, g, idx
+}
+
+// udgInstance is the package-internal shorthand.
+func udgInstance(n int, density float64, seed int64) ([]geom.Point, *graph.Graph, *geom.Index) {
+	return UDGInstance(n, density, seed)
+}

@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast.
+func tinyConfig() Config { return Config{Seed: 3, Trials: 2, Scale: 0.12} }
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(tinyConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tb.NumRows() == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := tb.WriteText(&buf); err != nil {
+				t.Fatalf("%s: render: %v", e.ID, err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Errorf("%s: table title should carry the experiment id", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("E1"); err != nil {
+		t.Errorf("E1 should exist: %v", err)
+	}
+	if _, err := Lookup("E99"); err == nil {
+		t.Error("E99 should not exist")
+	}
+}
+
+func TestE1RatiosWithinBound(t *testing.T) {
+	tb, err := FractionalTradeoff(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 10 is ratio/bound; must be ≤ 1 everywhere.
+	for i := 0; i < tb.NumRows(); i++ {
+		cell := tb.Row(i)[10]
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("row %d: bad ratio/bound %q", i, cell)
+		}
+		if v > 1.0+1e-9 {
+			t.Errorf("row %d: ratio exceeds Theorem 4.5 bound (ratio/bound = %v)", i, v)
+		}
+	}
+}
+
+func TestE5NoViolations(t *testing.T) {
+	tb, err := PartICorrectness(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if tb.Row(i)[3] != "0" {
+			t.Errorf("row %d: Part I violations = %s, want 0", i, tb.Row(i)[3])
+		}
+	}
+}
+
+func TestE10AdversarialSafety(t *testing.T) {
+	tb, err := FaultTolerance(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if got := tb.Row(i)[5]; got != "true" {
+			t.Errorf("row %d: adversarial safety = %s", i, got)
+		}
+	}
+}
+
+func TestE2BlowupWithinTheorem(t *testing.T) {
+	tb, err := RoundingBlowup(Config{Seed: 5, Trials: 3, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		blowup, err1 := strconv.ParseFloat(tb.Row(i)[6], 64)
+		bound, err2 := strconv.ParseFloat(tb.Row(i)[7], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %d: parse: %v %v", i, err1, err2)
+		}
+		// Theorem 4.6 bounds the expectation; allow sampling slack.
+		if blowup > 1.5*bound+1 {
+			t.Errorf("row %d: blowup %.2f far above bound %.2f", i, blowup, bound)
+		}
+	}
+}
+
+func TestE14BackbonesConnected(t *testing.T) {
+	tb, err := CDSOverhead(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if tb.Row(i)[6] != "true" {
+			t.Errorf("row %d: backbone not connected", i)
+		}
+	}
+}
+
+func TestE15ResultsEqual(t *testing.T) {
+	tb, err := SynchronizerOverhead(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		if tb.Row(i)[5] != "true" {
+			t.Errorf("row %d: async results diverge from sync", i)
+		}
+	}
+}
+
+func TestE16StretchSane(t *testing.T) {
+	tb, err := RoutingStretch(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tb.NumRows(); i++ {
+		v, err := strconv.ParseFloat(tb.Row(i)[3], 64)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if v < 1 || v > 5 {
+			t.Errorf("row %d: mean stretch %v implausible", i, v)
+		}
+	}
+}
+
+func TestE12WeightedNoWorseThanBlind(t *testing.T) {
+	tb, err := WeightedKMDS(Config{Seed: 2, Trials: 3, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic can lose on individual tiny instances; assert the
+	// aggregate advantage across the sweep.
+	var weightedSum, blindSum float64
+	for i := 0; i < tb.NumRows(); i++ {
+		weighted, err1 := strconv.ParseFloat(tb.Row(i)[4], 64)
+		blind, err2 := strconv.ParseFloat(tb.Row(i)[5], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %d: parse", i)
+		}
+		weightedSum += weighted
+		blindSum += blind
+	}
+	if weightedSum > blindSum*1.05 {
+		t.Errorf("weighted total %.1f worse than cost-blind total %.1f", weightedSum, blindSum)
+	}
+}
+
+func TestFaultComparisonRow(t *testing.T) {
+	tb, err := FaultComparisonRow(150, 3, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tb.NumRows())
+	}
+}

@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"math"
+
+	"ftclust/internal/cds"
+	"ftclust/internal/core"
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/lp"
+	"ftclust/internal/mobility"
+	"ftclust/internal/sim"
+	"ftclust/internal/stats"
+	"ftclust/internal/trace"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+// WeightedKMDS is E12: the weighted extension the paper sketches in
+// Section 4.1, measured against the weighted LP optimum and the weighted
+// greedy [21].
+func WeightedKMDS(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E12 — weighted k-MDS (paper's Section 4.1 extension)",
+		"n", "k", "cost-skew", "OPT_f(w)", "weighted-alg", "cost-blind-alg", "weighted-greedy", "ratio-vs-OPT")
+	tb.Note = "costs skewed x1:xS; the cost-aware variant must beat the cost-blind pipeline."
+	n := cfg.scaled(200)
+	for _, k := range []float64{1, 2} {
+		for _, skew := range []float64{1, 10, 100} {
+			var optW, algW, blindW, greedyW []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				seed := cfg.trialSeed(trial)
+				g := graph.GnpAvgDegree(n, 9, seed)
+				costs := make([]float64, n)
+				for v := range costs {
+					if v%4 == 0 {
+						costs[v] = 1
+					} else {
+						costs[v] = skew
+					}
+				}
+				kv := core.EffectiveDemands(g, k)
+				w, err := lp.FromGraph(g, kv).Weighted(costs)
+				if err != nil {
+					return nil, err
+				}
+				if n <= 300 {
+					if _, opt, err := w.SolveFractionalWeighted(); err == nil {
+						optW = append(optW, opt)
+					}
+				}
+				res, err := core.SolveWeighted(g, core.WeightedOptions{K: k, T: 4, Seed: seed, Costs: costs})
+				if err != nil {
+					return nil, err
+				}
+				algW = append(algW, res.Cost)
+				blind, err := core.Solve(g, core.Options{K: k, T: 4, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				blindW = append(blindW, w.CostOfSet(blind.InSet))
+				_, gw := w.GreedyWeighted()
+				greedyW = append(greedyW, gw)
+			}
+			ratio := math.NaN()
+			if len(optW) > 0 {
+				ratio = stats.Mean(algW) / stats.Mean(optW)
+			}
+			tb.AddRow(n, k, skew, stats.Mean(optW), stats.Mean(algW),
+				stats.Mean(blindW), stats.Mean(greedyW), ratio)
+		}
+	}
+	return tb, nil
+}
+
+// MobilityDecay is E13: how fast a k-fold clustering decays under random
+// waypoint mobility, and what periodic re-clustering restores — the
+// motivation for the O(log log n) running time.
+func MobilityDecay(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E13 — clustering decay under mobility (random waypoint)",
+		"k", "speed", "steps-since-clustering", "under-covered %")
+	tb.Note = "under-covered % = nodes with < min(k, δ+1) live-in-range heads of the stale clustering."
+	n := cfg.scaled(600)
+	for _, k := range []int{1, 3} {
+		for _, speed := range []float64{0.05, 0.2} {
+			m := mobility.NewRandomWaypoint(n, 6, speed, cfg.Seed)
+			pts := m.Points()
+			g, idx := geom.UnitUDG(pts)
+			sol, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: cfg.Seed + int64(k)})
+			if err != nil {
+				return nil, err
+			}
+			for _, steps := range []int{0, 2, 5, 10} {
+				mm := mobility.NewRandomWaypoint(n, 6, speed, cfg.Seed)
+				mm.StepN(steps)
+				cur, _ := geom.UnitUDG(mm.Points())
+				under := 0
+				for v := 0; v < n; v++ {
+					id := graph.NodeID(v)
+					need := minInt(k, cur.Degree(id)+1)
+					got := 0
+					if sol.Leader[v] {
+						got++
+					}
+					for _, w := range cur.Neighbors(id) {
+						if sol.Leader[w] {
+							got++
+						}
+					}
+					if got < need {
+						under++
+					}
+				}
+				tb.AddRow(k, speed, steps, 100*float64(under)/float64(n))
+			}
+		}
+	}
+	return tb, nil
+}
+
+// CDSOverhead is E14: the cost of connecting the k-fold dominating set
+// into a routing backbone (related-work post-processing [1, 22, 23]).
+func CDSOverhead(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E14 — connected-backbone overhead",
+		"n", "k", "|S|", "|CDS|", "bridges", "CDS/|S|", "connected")
+	tb.Note = "the classical bound gives |CDS| ≤ 3|S| per component; measured overheads are far smaller."
+	for _, n := range []int{cfg.scaled(500), cfg.scaled(2000)} {
+		for _, k := range []int{1, 3} {
+			var sizes, csizes, bridges, ratio []float64
+			allConnected := true
+			for trial := 0; trial < cfg.trials(); trial++ {
+				pts, g, idx := udgInstance(n, 20, cfg.trialSeed(trial))
+				sol, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: cfg.trialSeed(trial + 50)})
+				if err != nil {
+					return nil, err
+				}
+				res, err := cds.Connect(g, sol.Leader)
+				if err != nil {
+					return nil, err
+				}
+				if !cds.IsConnectedBackbone(g, res.InSet) {
+					allConnected = false
+				}
+				if err := verify.CheckKFold(g, res.InSet, float64(k), verify.ClosedPP); err != nil {
+					return nil, err
+				}
+				sizes = append(sizes, float64(sol.Size()))
+				csizes = append(csizes, float64(res.Size()))
+				bridges = append(bridges, float64(res.Bridges))
+				ratio = append(ratio, float64(res.Size())/float64(sol.Size()))
+			}
+			tb.AddRow(n, k, stats.Mean(sizes), stats.Mean(csizes),
+				stats.Mean(bridges), stats.Mean(ratio), allConnected)
+		}
+	}
+	return tb, nil
+}
+
+// SynchronizerOverhead is E15: the cost of running the algorithms
+// asynchronously through the α-synchronizer (the paper's Section 3 remark
+// via Awerbuch [2]): identical results, same round structure, extra
+// marker messages.
+func SynchronizerOverhead(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E15 — α-synchronizer overhead (Section 3 / Awerbuch [2])",
+		"n", "rounds", "sync msgs", "async msgs", "msg overhead ×", "results equal")
+	tb.Note = "the async execution must produce identical outputs; overhead is the marker traffic."
+	for _, n := range []int{cfg.scaled(80), cfg.scaled(160)} {
+		g := graph.GnpAvgDegree(n, 8, cfg.Seed)
+		mk := func(v graph.NodeID) sim.Program {
+			return core.NewProgram(v, core.ProgramConfig{K: 2, T: 2, Delta: g.MaxDegree(), Round: true})
+		}
+		syn, err := sim.New(g, sim.WithSeed(cfg.Seed)).Run(mk, 500)
+		if err != nil {
+			return nil, err
+		}
+		asy, err := sim.New(g, sim.WithSeed(cfg.Seed)).RunAsync(mk, 500)
+		if err != nil {
+			return nil, err
+		}
+		so, ao := core.Collect(syn.Programs), core.Collect(asy.Programs)
+		equal := true
+		for v := range so.X {
+			if so.X[v] != ao.X[v] || so.InSet[v] != ao.InSet[v] {
+				equal = false
+			}
+		}
+		// Async counts only program messages; the synchronizer's marker
+		// traffic equals rounds × 2m.
+		markers := int64(asy.Metrics.Rounds) * 2 * int64(g.NumEdges())
+		asyncTotal := asy.Metrics.Messages + markers
+		overhead := float64(asyncTotal) / float64(maxInt64(1, syn.Metrics.Messages))
+		tb.AddRow(n, syn.Metrics.Rounds, syn.Metrics.Messages, asyncTotal, overhead, equal)
+	}
+	return tb, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

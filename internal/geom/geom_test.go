@@ -1,0 +1,217 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/graph"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Point{0, 0}, Point{3, 4}
+	if d := p.Dist(q); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := p.Dist2(q); d != 25 {
+		t.Errorf("Dist2 = %v, want 25", d)
+	}
+	if got := p.Add(q); got != q {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestUniformPointsInBounds(t *testing.T) {
+	pts := UniformPoints(500, 7, 1)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 7 || p.Y < 0 || p.Y > 7 {
+			t.Fatalf("point %v out of bounds", p)
+		}
+	}
+	again := UniformPoints(500, 7, 1)
+	if pts[42] != again[42] {
+		t.Error("same seed should reproduce points")
+	}
+}
+
+func TestClusteredAndGridPoints(t *testing.T) {
+	pts := ClusteredPoints(300, 10, 4, 0.5, 2)
+	if len(pts) != 300 {
+		t.Fatalf("clustered len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("clustered point %v out of square", p)
+		}
+	}
+	gp := GridPoints(100, 10, 0.2, 3)
+	if len(gp) != 100 {
+		t.Fatalf("grid len = %d", len(gp))
+	}
+}
+
+func TestIndexWithinMatchesBruteForce(t *testing.T) {
+	pts := UniformPoints(400, 5, 9)
+	idx := NewIndex(pts, 1)
+	for _, r := range []float64{0.1, 0.5, 1.0} {
+		for qi := 0; qi < 20; qi++ {
+			p := pts[qi*17%len(pts)]
+			got := map[int]bool{}
+			idx.Within(p, r, -1, func(j int) { got[j] = true })
+			for j, q := range pts {
+				want := p.Dist(q) <= r
+				if want != got[j] {
+					t.Fatalf("r=%v query %v point %d: got %v, want %v", r, p, j, got[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexExclude(t *testing.T) {
+	pts := []Point{{0, 0}, {0.5, 0}, {2, 2}}
+	idx := NewIndex(pts, 1)
+	var hits []int
+	idx.Within(pts[0], 1, 0, func(j int) { hits = append(hits, j) })
+	if len(hits) != 1 || hits[0] != 1 {
+		t.Errorf("hits = %v, want [1]", hits)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := NewIndex(nil, 1)
+	called := false
+	idx.Within(Point{}, 10, -1, func(int) { called = true })
+	if called {
+		t.Error("empty index must yield no hits")
+	}
+}
+
+func TestUDGMatchesDefinition(t *testing.T) {
+	pts := UniformPoints(150, 4, 5)
+	g, _ := UnitUDG(pts)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			want := pts[i].Dist(pts[j]) <= 1
+			if got := g.HasEdge(graph.NodeID(i), graph.NodeID(j)); got != want {
+				t.Fatalf("edge (%d,%d): got %v, want %v (dist %v)",
+					i, j, got, want, pts[i].Dist(pts[j]))
+			}
+		}
+	}
+}
+
+func TestQuickUDGSymmetricAndSimple(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		pts := UniformPoints(n, 3, seed)
+		g, _ := UnitUDG(pts)
+		if g.NumNodes() != n {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.HasEdge(graph.NodeID(v), graph.NodeID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexLatticeCoversPlanePatch(t *testing.T) {
+	// Disks of radius r on the hexagonal covering lattice must cover any
+	// disk of radius R when all centers within R + r are present.
+	for _, r := range []float64{0.05, 0.13, 0.25} {
+		centers := CoverDisk(Point{0.3, -0.2}, 0.5, r)
+		if !Covers(centers, r, Point{0.3, -0.2}, 0.5, 40) {
+			t.Errorf("r=%v: hexagonal covering fails to cover target disk", r)
+		}
+	}
+}
+
+func TestAlphaWithinLemma53Bound(t *testing.T) {
+	// Lemma 5.3: α(i) < η/(4θ_i²) for θ_i ≤ ... the bound's derivation uses
+	// disks inside C' of radius 1/2 + θ/2; check across the radii Part I uses.
+	n := 1 << 16
+	R := PartIRounds(n)
+	for i := 1; i <= R; i++ {
+		theta := Theta(i, R)
+		got := Alpha(theta)
+		if float64(got) >= AlphaBoundExact(theta) {
+			t.Errorf("round %d: α = %d not < exact bound %.1f (θ=%v)",
+				i, got, AlphaBoundExact(theta), theta)
+		}
+		// The paper's simplified constant holds in its validity regime.
+		if theta <= 0.2 && float64(got) >= AlphaBound(theta) {
+			t.Errorf("round %d: α = %d not < paper bound %.1f (θ=%v)",
+				i, got, AlphaBound(theta), theta)
+		}
+		if got == 0 {
+			t.Errorf("round %d: α = 0", i)
+		}
+	}
+}
+
+func TestFigure1NineteenDisks(t *testing.T) {
+	// Figure 1: D_i of radius 3θ/2 = 3r fully or partially covers 19 disks
+	// C_i of radius r = θ/2.
+	r := 0.1
+	if got := IntersectingDisks(r, 3*r); got != 19 {
+		t.Errorf("IntersectingDisks = %d, want 19", got)
+	}
+}
+
+func TestThetaSchedule(t *testing.T) {
+	R := 6
+	if th := Theta(R, R); th != 0.5 {
+		t.Errorf("θ_R = %v, want 0.5", th)
+	}
+	for i := 1; i < R; i++ {
+		if got, want := Theta(i+1, R), 2*Theta(i, R); math.Abs(got-want) > 1e-15 {
+			t.Errorf("θ_%d = %v, want double of θ_%d = %v", i+1, got, i, want)
+		}
+	}
+}
+
+func TestPartIRounds(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{2, 1},
+		{4, 2},       // log₂ 4 = 2, log₁.₅ 2 ≈ 1.71 → 2
+		{16, 4},      // log2=4, log1.5(4)=3.419 → 4
+		{256, 6},     // log2=8, log1.5(8)=5.13 → 6
+		{1 << 16, 7}, // log2=16, log1.5(16)=6.84 → 7
+	}
+	for _, tt := range tests {
+		if got := PartIRounds(tt.n); got != tt.want {
+			t.Errorf("PartIRounds(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	// Monotone non-decreasing in n.
+	prev := 0
+	for n := 2; n < 100000; n *= 2 {
+		r := PartIRounds(n)
+		if r < prev {
+			t.Errorf("PartIRounds not monotone at n=%d: %d < %d", n, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestCoversRejectsGaps(t *testing.T) {
+	// A single small disk cannot cover the unit-radius target.
+	if Covers([]Point{{0, 0}}, 0.1, Point{0, 0}, 0.5, 10) {
+		t.Error("single tiny disk should not cover")
+	}
+}

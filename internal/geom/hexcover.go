@@ -1,0 +1,129 @@
+package geom
+
+import "math"
+
+// This file implements the imaginary disk coverings of Section 5.2
+// (Figure 1): the plane is covered with disks C_i of radius θ_i/2 whose
+// centers form a hexagonal lattice, and D_i is the concentric disk of
+// radius 3·θ_i/2. Lemma 5.3 bounds the number α(i) of lattice disks needed
+// to cover a disk C of radius 1/2 by η/(4θ_i²) with η = 16π/(3√3).
+
+// Eta is the constant η = 16π/(3√3) of Lemma 5.3.
+var Eta = 16 * math.Pi / (3 * math.Sqrt(3))
+
+// HexLattice enumerates the centers of radius-r covering disks arranged in
+// the optimal hexagonal covering lattice (each disk circumscribes a regular
+// hexagon of circumradius r), translated so one center lies at origin,
+// keeping exactly the centers within distance maxDist of origin.
+func HexLattice(origin Point, r, maxDist float64) []Point {
+	// Pointy-top hexagon tiling: column step √3·r, row step 1.5·r,
+	// odd rows offset by √3·r/2.
+	colStep := math.Sqrt(3) * r
+	rowStep := 1.5 * r
+	var out []Point
+	rowMax := int(math.Ceil(maxDist/rowStep)) + 1
+	colMax := int(math.Ceil(maxDist/colStep)) + 1
+	for row := -rowMax; row <= rowMax; row++ {
+		offset := 0.0
+		if row%2 != 0 {
+			offset = colStep / 2
+		}
+		for col := -colMax; col <= colMax; col++ {
+			p := Point{
+				origin.X + float64(col)*colStep + offset,
+				origin.Y + float64(row)*rowStep,
+			}
+			if p.Dist(origin) <= maxDist {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// CoverDisk returns hexagonal-lattice centers of radius-r disks sufficient
+// to cover the disk of radius R around center, using the counting of
+// Lemma 5.3's proof: all lattice disks whose center lies within R + r of
+// the target center (any disk that could contribute coverage).
+func CoverDisk(center Point, R, r float64) []Point {
+	return HexLattice(center, r, R+r)
+}
+
+// Alpha returns the measured α(i): the number of radius-(θ/2) lattice disks
+// within the Lemma 5.3 counting region for a target disk of radius 1/2.
+func Alpha(theta float64) int {
+	return len(CoverDisk(Point{}, 0.5, theta/2))
+}
+
+// AlphaBound returns Lemma 5.3's stated bound η/(4θ²). Note that the
+// paper's own derivation only yields this constant when (1/2+θ)² ≤ 1/2,
+// i.e. θ ≲ 0.207; it is the correct asymptotic form as θ → 0. For the
+// bound that follows from the derivation at every θ, see AlphaBoundExact.
+func AlphaBound(theta float64) float64 {
+	return Eta / (4 * theta * theta)
+}
+
+// AlphaBoundExact returns the bound Lemma 5.3's proof actually establishes
+// before dropping the (1/2+θ)² factor: α ≤ (1/2+θ)²·8π/(3√3·θ²).
+func AlphaBoundExact(theta float64) float64 {
+	h := 0.5 + theta
+	return h * h * 8 * math.Pi / (3 * math.Sqrt(3) * theta * theta)
+}
+
+// Covers reports whether the disks of radius r at the given centers cover
+// every probe point of a dense polar sampling of the disk (center, R).
+// samples controls the sampling density per ring.
+func Covers(centers []Point, r float64, center Point, R float64, samples int) bool {
+	probe := func(p Point) bool {
+		for _, c := range centers {
+			if c.Dist2(p) <= r*r*(1+1e-12) {
+				return true
+			}
+		}
+		return false
+	}
+	if !probe(center) {
+		return false
+	}
+	rings := samples
+	for ri := 1; ri <= rings; ri++ {
+		rad := R * float64(ri) / float64(rings)
+		steps := 6 * ri
+		for s := 0; s < steps; s++ {
+			ang := 2 * math.Pi * float64(s) / float64(steps)
+			if !probe(Point{center.X + rad*math.Cos(ang), center.Y + rad*math.Sin(ang)}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IntersectingDisks counts lattice disks C_i (radius r, hexagonal lattice
+// anchored at origin with one center at origin) that are fully or partially
+// covered by the concentric disk D of radius dR — the "19 smaller disks"
+// statement of Figure 1 when dR = 3r·... (dR = 3·θ/2 with θ = 2r).
+func IntersectingDisks(r, dR float64) int {
+	// A lattice disk intersects D iff its center is within dR + r.
+	return len(HexLattice(Point{}, r, dR+r-1e-12))
+}
+
+// Theta returns θ_i, the transmission radius of round i (1-based) when the
+// final round R has θ_R = 1/2 and radii double per round: θ_i = 2^(i-R-1).
+func Theta(i, totalRounds int) float64 {
+	return 0.5 * math.Pow(2, float64(i-totalRounds))
+}
+
+// PartIRounds returns R = max(1, ⌈log_ξ log₂ n⌉) with ξ = 3/2, the number
+// of rounds of Part I of Algorithm 3.
+func PartIRounds(n int) int {
+	if n < 4 {
+		return 1
+	}
+	loglog := math.Log(math.Log2(float64(n))) / math.Log(1.5)
+	r := int(math.Ceil(loglog - 1e-9))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}

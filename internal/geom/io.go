@@ -1,0 +1,88 @@
+package geom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Deployment text format, mirroring the graph codec:
+//
+//	# comments
+//	points <n>
+//	p <x> <y>      (n lines)
+
+// WritePoints encodes a deployment.
+func WritePoints(w io.Writer, pts []Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "points %d\n", len(pts)); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(bw, "p %.17g %.17g\n", p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints decodes a deployment.
+func ReadPoints(r io.Reader) ([]Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var pts []Point
+	want := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "points":
+			if want >= 0 {
+				return nil, fmt.Errorf("geom: line %d: duplicate header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("geom: line %d: header needs 'points n'", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("geom: line %d: bad count %q", line, fields[1])
+			}
+			want = n
+		case "p":
+			if want < 0 {
+				return nil, fmt.Errorf("geom: line %d: point before header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("geom: line %d: point needs 'p x y'", line)
+			}
+			x, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("geom: line %d: bad x %q", line, fields[1])
+			}
+			y, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("geom: line %d: bad y %q", line, fields[2])
+			}
+			pts = append(pts, Point{X: x, Y: y})
+		default:
+			return nil, fmt.Errorf("geom: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if want < 0 {
+		return nil, fmt.Errorf("geom: missing header")
+	}
+	if len(pts) != want {
+		return nil, fmt.Errorf("geom: header says %d points, found %d", want, len(pts))
+	}
+	return pts, nil
+}

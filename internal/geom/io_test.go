@@ -1,0 +1,70 @@
+package geom
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPointsRoundTrip(t *testing.T) {
+	cases := [][]Point{
+		nil,
+		{{X: 0, Y: 0}},
+		UniformPoints(200, 7, 3),
+		{{X: -1.5, Y: 2.25}, {X: 1e-9, Y: 1e9}},
+	}
+	for i, pts := range cases {
+		var buf bytes.Buffer
+		if err := WritePoints(&buf, pts); err != nil {
+			t.Fatalf("case %d: write: %v", i, err)
+		}
+		back, err := ReadPoints(&buf)
+		if err != nil {
+			t.Fatalf("case %d: read: %v", i, err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("case %d: length %d vs %d", i, len(back), len(pts))
+		}
+		for j := range pts {
+			if back[j] != pts[j] {
+				t.Errorf("case %d point %d: %v vs %v", i, j, back[j], pts[j])
+			}
+		}
+	}
+}
+
+func TestReadPointsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no header", "p 1 2\n"},
+		{"double header", "points 0\npoints 0\n"},
+		{"bad count", "points -1\n"},
+		{"count mismatch", "points 2\np 1 2\n"},
+		{"bad x", "points 1\np nope 2\n"},
+		{"bad y", "points 1\np 1 nope\n"},
+		{"short record", "points 1\np 1\n"},
+		{"unknown record", "points 0\nq 1 2\n"},
+		{"short header", "points\n"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadPoints(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadPoints(%q) should fail", tt.in)
+			}
+		})
+	}
+}
+
+func TestReadPointsSkipsComments(t *testing.T) {
+	in := "# deployment\npoints 1\n\n# node zero\np 0.5 0.25\n"
+	pts, err := ReadPoints(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0] != (Point{X: 0.5, Y: 0.25}) {
+		t.Errorf("pts = %v", pts)
+	}
+}

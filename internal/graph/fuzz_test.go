@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the graph codec never panics and that anything it
+// accepts re-encodes to a parseable, equivalent graph.
+func FuzzRead(f *testing.F) {
+	f.Add("graph 3 2\ne 0 1\ne 1 2\n")
+	f.Add("graph 0 0\n")
+	f.Add("# comment\ngraph 2 1\ne 0 1\n")
+	f.Add("graph 5 0\n\n\n")
+	f.Add("e 0 1\ngraph 2 1\n")
+	f.Add("graph 999999999 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		g, err := Read(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		// Reject absurd accepted sizes to keep the round-trip cheap.
+		if g.NumNodes() > 1<<14 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed shape: %v vs %v", back, g)
+		}
+	})
+}

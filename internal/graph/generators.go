@@ -1,0 +1,279 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftclust/internal/rng"
+)
+
+// Gnp returns an Erdős–Rényi random graph G(n, p): each of the n(n-1)/2
+// potential edges is present independently with probability p.
+func Gnp(n int, p float64, seed int64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.TryAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GnpAvgDegree returns G(n, p) with p chosen so the expected average degree
+// is d, i.e. p = d/(n-1).
+func GnpAvgDegree(n int, d float64, seed int64) *Graph {
+	if n <= 1 {
+		return NewBuilder(n).Build()
+	}
+	p := d / float64(n-1)
+	if p > 1 {
+		p = 1
+	}
+	return Gnp(n, p, seed)
+}
+
+// RandomRegularish returns a graph where every node has degree close to d,
+// built by the pairing model with rejection of loops and duplicates. The
+// result is not exactly regular (rejected pairs are dropped) but has maximum
+// degree exactly d and minimum degree ≥ d-2 with high probability. It serves
+// as a low-variance-degree workload for the general-graph experiments.
+func RandomRegularish(n, d int, seed int64) *Graph {
+	if d >= n {
+		d = n - 1
+	}
+	r := rng.New(seed)
+	stubs := make([]NodeID, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, NodeID(v))
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := NewBuilder(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		b.TryAddEdge(stubs[i], stubs[i+1])
+	}
+	return b.Build()
+}
+
+// Grid returns the rows × cols grid graph (4-neighborhood). Node (r, c) has
+// ID r*cols + c.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.TryAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.TryAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle C_n (for n >= 3); for n < 3 it returns a path.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.TryAddEdge(NodeID(v), NodeID(v+1))
+	}
+	if n >= 3 {
+		b.TryAddEdge(NodeID(n-1), 0)
+	}
+	return b.Build()
+}
+
+// Path returns the path P_n.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n-1; v++ {
+		b.TryAddEdge(NodeID(v), NodeID(v+1))
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.TryAddEdge(0, NodeID(v))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.TryAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes, decoded
+// from a random Prüfer sequence.
+func RandomTree(n int, seed int64) *Graph {
+	if n <= 1 {
+		return NewBuilder(n).Build()
+	}
+	if n == 2 {
+		return MustFromEdges(2, []Edge{{0, 1}})
+	}
+	r := rng.New(seed)
+	pruefer := make([]int, n-2)
+	for i := range pruefer {
+		pruefer[i] = r.Intn(n)
+	}
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range pruefer {
+		deg[v]++
+	}
+	b := NewBuilder(n)
+	// Standard Prüfer decoding with a pointer sweep over candidate leaves.
+	ptr, leaf := 0, -1
+	for ptr < n && deg[ptr] != 1 {
+		ptr++
+	}
+	leaf = ptr
+	for _, v := range pruefer {
+		b.TryAddEdge(NodeID(leaf), NodeID(v))
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for ptr < n && deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	b.TryAddEdge(NodeID(leaf), NodeID(n-1))
+	return b.Build()
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: nodes arrive
+// one at a time and connect m edges to existing nodes chosen proportionally
+// to their current degree (plus one, so isolated seeds can be chosen).
+// It produces the heavy-tailed degree distributions that stress the
+// Δ-dependent bounds of the general-graph algorithm.
+func PreferentialAttachment(n, m int, seed int64) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	// targets holds one entry per degree unit (plus one per node), so a
+	// uniform pick over it is a degree-proportional pick.
+	targets := make([]NodeID, 0, 2*n*m)
+	for v := 0; v < n; v++ {
+		targets = append(targets, NodeID(v))
+		if v == 0 {
+			continue
+		}
+		want := m
+		if v < m {
+			want = v
+		}
+		added := 0
+		for attempt := 0; added < want && attempt < 20*want; attempt++ {
+			u := targets[r.Intn(len(targets))]
+			if u != NodeID(v) && b.TryAddEdge(NodeID(v), u) {
+				targets = append(targets, u, NodeID(v))
+				added++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of length spine where each spine node has legs
+// pendant leaves. Caterpillars are worst-case-ish instances for dominating
+// set heuristics (leaves force their spine nodes).
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + spine*legs
+	b := NewBuilder(n)
+	for v := 0; v < spine-1; v++ {
+		b.TryAddEdge(NodeID(v), NodeID(v+1))
+	}
+	next := spine
+	for v := 0; v < spine; v++ {
+		for l := 0; l < legs; l++ {
+			b.TryAddEdge(NodeID(v), NodeID(next))
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// CliqueChain returns c cliques of size s connected in a chain by single
+// bridge edges. Useful as a clustered workload with known small optima.
+func CliqueChain(c, s int, _ *rand.Rand) *Graph {
+	b := NewBuilder(c * s)
+	for ci := 0; ci < c; ci++ {
+		base := ci * s
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				b.TryAddEdge(NodeID(base+u), NodeID(base+v))
+			}
+		}
+		if ci+1 < c {
+			b.TryAddEdge(NodeID(base+s-1), NodeID(base+s))
+		}
+	}
+	return b.Build()
+}
+
+// Family identifies a generator family for experiment sweeps.
+type Family string
+
+// Graph families used throughout the experiment suite.
+const (
+	FamilyGnp      Family = "gnp"
+	FamilyRegular  Family = "regular"
+	FamilyGrid     Family = "grid"
+	FamilyTree     Family = "tree"
+	FamilyPowerLaw Family = "powerlaw"
+	FamilyRing     Family = "ring"
+)
+
+// Generate builds a member of family with roughly n nodes and average-degree
+// knob d (interpreted per family). It is the single entry point experiment
+// drivers use.
+func Generate(f Family, n int, d float64, seed int64) (*Graph, error) {
+	switch f {
+	case FamilyGnp:
+		return GnpAvgDegree(n, d, seed), nil
+	case FamilyRegular:
+		return RandomRegularish(n, int(d+0.5), seed), nil
+	case FamilyGrid:
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid(side, side), nil
+	case FamilyTree:
+		return RandomTree(n, seed), nil
+	case FamilyPowerLaw:
+		m := int(d/2 + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		return PreferentialAttachment(n, m, seed), nil
+	case FamilyRing:
+		return Ring(n), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown family %q", f)
+	}
+}

@@ -1,0 +1,255 @@
+// Package graph provides the undirected-graph substrate used by every
+// algorithm in this repository: a compact adjacency representation,
+// construction helpers, generators for the graph families the experiments
+// sweep over, elementary traversals, and a deterministic text codec.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected, which
+// matches the communication model of the paper: an edge (u, v) is a
+// bidirectional communication channel.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Nodes of a Graph with n nodes are always
+// 0 … n-1, so a NodeID doubles as an index into per-node slices.
+type NodeID int
+
+// Graph is an immutable simple undirected graph in a CSR-like layout:
+// the neighbors of node v are adj[off[v]:off[v+1]], sorted ascending.
+// The zero value is the empty graph.
+type Graph struct {
+	n   int
+	m   int // number of undirected edges
+	off []int32
+	adj []NodeID
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree δ(v) of node v (not counting v itself).
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.off[v+1] - g.off[v])
+}
+
+// Neighbors returns the open neighborhood of v, sorted ascending.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[g.off[v]:g.off[v+1]]
+}
+
+// HasEdge reports whether (u, v) is an edge. Runs in O(log δ(u)).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// MaxDegree returns Δ, the maximum degree over all nodes, and 0 for the
+// empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns the minimum degree over all nodes, and 0 for the empty
+// graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for v := 1; v < g.n; v++ {
+		if d := g.Degree(NodeID(v)); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AvgDegree returns the average degree 2m/n, and 0 for the empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// Edges calls fn for every undirected edge exactly once, with u < v,
+// in ascending (u, v) order.
+func (g *Graph) Edges(fn func(u, v NodeID)) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < v {
+				fn(NodeID(u), v)
+			}
+		}
+	}
+}
+
+// EdgeList returns all undirected edges with U < V in ascending order.
+func (g *Graph) EdgeList() []Edge {
+	es := make([]Edge, 0, g.m)
+	g.Edges(func(u, v NodeID) { es = append(es, Edge{u, v}) })
+	return es
+}
+
+// Edge is an undirected edge; canonical form has U < V.
+type Edge struct {
+	U, V NodeID
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Duplicate edges and self-loops are rejected at Build time with an error
+// from AddEdge. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	n     int
+	edges map[Edge]struct{}
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (0 … n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Builder{n: n, edges: make(map[Edge]struct{})}
+}
+
+// AddEdge records the undirected edge (u, v). It returns an error for
+// self-loops, out-of-range endpoints, or duplicates.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	e := Edge{u, v}
+	if _, dup := b.edges[e]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	b.edges[e] = struct{}{}
+	return nil
+}
+
+// TryAddEdge records (u, v) if it is a valid new edge and reports whether it
+// was added. Generators use it to skip duplicates without error plumbing.
+func (b *Builder) TryAddEdge(u, v NodeID) bool {
+	return b.AddEdge(u, v) == nil
+}
+
+// HasEdge reports whether (u, v) has been added.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := b.edges[Edge{u, v}]
+	return ok
+}
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build produces the immutable Graph. The Builder remains usable and
+// subsequent Builds reflect later additions.
+func (b *Builder) Build() *Graph {
+	deg := make([]int32, b.n)
+	for e := range b.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	off := make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj := make([]NodeID, off[b.n])
+	fill := make([]int32, b.n)
+	for e := range b.edges {
+		adj[off[e.U]+fill[e.U]] = e.V
+		fill[e.U]++
+		adj[off[e.V]+fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	for v := 0; v < b.n; v++ {
+		ns := adj[off[v]:off[v+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	return &Graph{n: b.n, m: len(b.edges), off: off, adj: adj}
+}
+
+// FromEdges builds a graph with n nodes from an edge list. It returns an
+// error on any invalid or duplicate edge.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustFromEdges is FromEdges that panics on error; intended for tests and
+// package-internal literals.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ClosedNeighborhoodSize returns |N_v| = δ(v) + 1, the closed-neighborhood
+// size the paper denotes |N_i|.
+func (g *Graph) ClosedNeighborhoodSize(v NodeID) int {
+	return g.Degree(v) + 1
+}
+
+// Subgraph returns the induced subgraph on keep (which must not contain
+// duplicates) and the mapping from new IDs to original IDs.
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
+	newID := make(map[NodeID]NodeID, len(keep))
+	orig := make([]NodeID, len(keep))
+	for i, v := range keep {
+		newID[v] = NodeID(i)
+		orig[i] = v
+	}
+	b := NewBuilder(len(keep))
+	for i, v := range keep {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := newID[w]; ok && NodeID(i) < j {
+				b.TryAddEdge(NodeID(i), j)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// RemoveNodes returns a copy of g with the given nodes (and incident edges)
+// deleted, plus the new-to-old ID mapping. Used by failure experiments.
+func (g *Graph) RemoveNodes(dead map[NodeID]bool) (*Graph, []NodeID) {
+	keep := make([]NodeID, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if !dead[NodeID(v)] {
+			keep = append(keep, NodeID(v))
+		}
+	}
+	return g.Subgraph(keep)
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MaxDecodedNodes caps the node count Read accepts, so a hostile or
+// corrupt header cannot make the decoder allocate unbounded memory.
+const MaxDecodedNodes = 1 << 26
+
+// The text format is deliberately simple and diff-friendly:
+//
+//	# optional comments
+//	graph <n> <m>
+//	e <u> <v>          (m lines, u < v)
+//
+// It round-trips exactly (edges are emitted in canonical ascending order).
+
+// Write encodes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %d %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	var err error
+	g.Edges(func(u, v NodeID) {
+		if err == nil {
+			_, err = fmt.Fprintf(bw, "e %d %d\n", u, v)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read decodes a graph from the text format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var b *Builder
+	wantEdges, gotEdges := 0, 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "graph":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: header needs 'graph n m'", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
+			}
+			if n > MaxDecodedNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds decoder limit %d",
+					line, n, MaxDecodedNodes)
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad edge count %q", line, fields[2])
+			}
+			b = NewBuilder(n)
+			wantEdges = m
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs 'e u v'", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[1])
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad endpoint %q", line, fields[2])
+			}
+			if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			gotEdges++
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if gotEdges != wantEdges {
+		return nil, fmt.Errorf("graph: header says %d edges, found %d", wantEdges, gotEdges)
+	}
+	return b.Build(), nil
+}
+
+// String renders a small graph for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Graph(n=%d, m=%d)", g.n, g.m)
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package graph
+
+import "sort"
+
+// BFS runs a breadth-first search from src and returns the distance (in
+// hops) to every node, with -1 for unreachable nodes.
+func (g *Graph) BFS(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Components returns the connected-component label of every node (labels are
+// 0-based, assigned in order of lowest contained node ID) and the number of
+// components.
+func (g *Graph) Components() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]NodeID, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if comp[w] < 0 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// IsConnected reports whether the graph is connected (the empty graph and
+// singletons count as connected).
+func (g *Graph) IsConnected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// Diameter returns the largest eccentricity over all nodes, computing a BFS
+// per node (O(nm)); it returns -1 for disconnected graphs. Intended for the
+// moderate instance sizes used in tests and experiments.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		dist := g.BFS(NodeID(v))
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// KHopNeighborhood returns all nodes within at most k hops of v, including
+// v itself, in ascending ID order. The slice is freshly allocated.
+func (g *Graph) KHopNeighborhood(v NodeID, k int) []NodeID {
+	dist := make(map[NodeID]int, 16)
+	dist[v] = 0
+	queue := []NodeID{v}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == k {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			if _, seen := dist[w]; !seen {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(dist))
+	for u := range dist {
+		out = append(out, u)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// MaxDegreeWithinHops returns, for every node v, the maximum degree among
+// nodes within k hops of v (including v). This implements the "local Δ"
+// the paper's final remark alludes to: algorithms can substitute a k-hop
+// local estimate for the global maximum degree.
+func (g *Graph) MaxDegreeWithinHops(k int) []int {
+	cur := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		cur[v] = g.Degree(NodeID(v))
+	}
+	for i := 0; i < k; i++ {
+		next := make([]int, g.n)
+		copy(next, cur)
+		for v := 0; v < g.n; v++ {
+			for _, w := range g.Neighbors(NodeID(v)) {
+				if cur[w] > next[v] {
+					next[v] = cur[w]
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func sortNodeIDs(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,191 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveExact computes the exact integral optimum of the covering instance
+// by branch and bound with LP-relaxation bounds: at each node a variable is
+// fixed to 1 or 0, the residual LP is solved, and branches whose rounded-up
+// bound cannot beat the incumbent are pruned. The greedy solution seeds the
+// incumbent. Intended for small instances (tens of variables); it is the
+// ground truth the experiment suite cross-checks OPT_f and the
+// approximation ratios against.
+func (c Covering) SolveExact(maxNodes int) ([]bool, int, error) {
+	if err := c.checkFeasibleShape(); err != nil {
+		return nil, 0, err
+	}
+	bestMask, bestSize := c.Greedy()
+	if err := c.CheckIntegralCover(bestMask); err != nil {
+		return nil, 0, fmt.Errorf("lp: instance infeasible: %w", err)
+	}
+
+	s := &bnbState{
+		c:        c,
+		bestMask: append([]bool(nil), bestMask...),
+		bestSize: bestSize,
+		fixed:    make([]int8, c.NumVars), // -1 free, 0 fixed-out, 1 fixed-in
+		budget:   maxNodes,
+	}
+	for j := range s.fixed {
+		s.fixed[j] = -1
+	}
+	if err := s.search(0); err != nil {
+		return nil, 0, err
+	}
+	return s.bestMask, s.bestSize, nil
+}
+
+func (c Covering) checkFeasibleShape() error {
+	for i, row := range c.Rows {
+		if c.Demand[i] > float64(len(row))+1e-9 {
+			return fmt.Errorf("lp: row %d demand %v exceeds row size %d", i, c.Demand[i], len(row))
+		}
+	}
+	return nil
+}
+
+type bnbState struct {
+	c        Covering
+	bestMask []bool
+	bestSize int
+	fixed    []int8
+	budget   int
+}
+
+var errBudget = fmt.Errorf("lp: branch-and-bound node budget exhausted")
+
+func (s *bnbState) search(onesSoFar int) error {
+	if s.budget <= 0 {
+		return errBudget
+	}
+	s.budget--
+
+	sub, ok := s.residual()
+	if !ok {
+		return nil // infeasible branch
+	}
+	if sub.NumVars == 0 || len(sub.Rows) == 0 {
+		// All demands met (rows empty): candidate solution of size onesSoFar
+		// — but only valid if no residual demand remains.
+		if len(sub.Rows) == 0 && onesSoFar < s.bestSize {
+			s.record(onesSoFar)
+		}
+		return nil
+	}
+	x, obj, err := sub.SolveFractional()
+	if err != nil {
+		return nil // residual LP infeasible ⇒ prune
+	}
+	bound := onesSoFar + int(math.Ceil(obj-1e-6))
+	if bound >= s.bestSize {
+		return nil
+	}
+	// Integral LP solution closes the node immediately.
+	if frac := mostFractional(x); frac < 0 {
+		size := onesSoFar
+		for j, v := range x {
+			if v > 0.5 {
+				s.fixed[sub.origVar[j]] = 1
+				size++
+			}
+		}
+		if size < s.bestSize {
+			s.record(size)
+		}
+		for j, v := range x {
+			if v > 0.5 {
+				s.fixed[sub.origVar[j]] = -1
+			}
+		}
+		return nil
+	} else {
+		branch := sub.origVar[frac]
+		// Try including first: finds improving incumbents sooner.
+		s.fixed[branch] = 1
+		if err := s.search(onesSoFar + 1); err != nil {
+			s.fixed[branch] = -1
+			return err
+		}
+		s.fixed[branch] = 0
+		if err := s.search(onesSoFar); err != nil {
+			s.fixed[branch] = -1
+			return err
+		}
+		s.fixed[branch] = -1
+	}
+	return nil
+}
+
+func (s *bnbState) record(size int) {
+	s.bestSize = size
+	for j := range s.bestMask {
+		s.bestMask[j] = s.fixed[j] == 1
+	}
+}
+
+// residualCovering is a covering sub-instance plus the mapping back to
+// original variable indices.
+type residualCovering struct {
+	Covering
+	origVar []int
+}
+
+// residual builds the sub-instance induced by the current fixing: fixed-in
+// variables reduce demands, fixed-out variables vanish, satisfied rows are
+// dropped. ok is false when some row cannot be satisfied anymore.
+func (s *bnbState) residual() (residualCovering, bool) {
+	newIdx := make([]int, s.c.NumVars)
+	var orig []int
+	nv := 0
+	for j := range newIdx {
+		if s.fixed[j] == -1 {
+			newIdx[j] = nv
+			orig = append(orig, j)
+			nv++
+		} else {
+			newIdx[j] = -1
+		}
+	}
+	var rows [][]int
+	var dem []float64
+	for i, row := range s.c.Rows {
+		d := s.c.Demand[i]
+		var free []int
+		for _, j := range row {
+			switch s.fixed[j] {
+			case 1:
+				d--
+			case -1:
+				free = append(free, newIdx[j])
+			}
+		}
+		if d <= 1e-9 {
+			continue
+		}
+		if d > float64(len(free))+1e-9 {
+			return residualCovering{}, false
+		}
+		rows = append(rows, free)
+		dem = append(dem, d)
+	}
+	return residualCovering{
+		Covering: Covering{NumVars: nv, Rows: rows, Demand: dem},
+		origVar:  orig,
+	}, true
+}
+
+// mostFractional returns the index of the variable farthest from integer,
+// or -1 if all entries are integral within tolerance.
+func mostFractional(x []float64) int {
+	best, bestDist := -1, 1e-6
+	for j, v := range x {
+		d := math.Min(v, 1-v)
+		if d > bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,285 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/graph"
+)
+
+func TestFromGraphShapes(t *testing.T) {
+	g := graph.Star(5)
+	c := FromGraph(g, UniformK(5, 2))
+	if c.NumVars != 5 || len(c.Rows) != 5 {
+		t.Fatalf("vars=%d rows=%d", c.NumVars, len(c.Rows))
+	}
+	// Center's row has all 5 nodes; leaves have 2.
+	if len(c.Rows[0]) != 5 {
+		t.Errorf("center row size = %d, want 5", len(c.Rows[0]))
+	}
+	for v := 1; v < 5; v++ {
+		if len(c.Rows[v]) != 2 {
+			t.Errorf("leaf %d row size = %d, want 2", v, len(c.Rows[v]))
+		}
+	}
+	// Demands capped at closed-neighborhood size.
+	c2 := FromGraph(graph.Path(2), UniformK(2, 5))
+	for i, d := range c2.Demand {
+		if d != 2 {
+			t.Errorf("capped demand[%d] = %v, want 2", i, d)
+		}
+	}
+}
+
+func TestCheckPrimal(t *testing.T) {
+	g := graph.Path(3)
+	c := FromGraph(g, UniformK(3, 1))
+	if err := c.CheckPrimal([]float64{0, 1, 0}, 1e-9); err != nil {
+		t.Errorf("center-only should be feasible: %v", err)
+	}
+	if err := c.CheckPrimal([]float64{1, 0, 0}, 1e-9); err == nil {
+		t.Error("endpoint-only should be infeasible (node 2 uncovered)")
+	}
+	if err := c.CheckPrimal([]float64{0, 1.5, 0}, 1e-9); err == nil {
+		t.Error("x > 1 should be rejected")
+	}
+	if err := c.CheckPrimal([]float64{0, 1}, 1e-9); err == nil {
+		t.Error("wrong length should be rejected")
+	}
+}
+
+func TestDualMachinery(t *testing.T) {
+	g := graph.Path(3)
+	c := FromGraph(g, UniformK(3, 1))
+	y := []float64{0.5, 0, 0.5}
+	z := []float64{0, 0, 0}
+	// Variable 1 (middle) appears in all three rows: lhs = 1.
+	if v := c.DualViolation(y, z); math.Abs(v-1) > 1e-12 {
+		t.Errorf("DualViolation = %v, want 1", v)
+	}
+	if got := c.DualObjective(y, z); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DualObjective = %v, want 1", got)
+	}
+	if err := c.CheckDualNonNegative(y, z, 0); err != nil {
+		t.Errorf("non-negative check: %v", err)
+	}
+	if err := c.CheckDualNonNegative([]float64{-1, 0, 0}, z, 1e-9); err == nil {
+		t.Error("negative y should be rejected")
+	}
+}
+
+func TestGreedyCoversAndIsReasonable(t *testing.T) {
+	g := graph.Star(10)
+	c := FromGraph(g, UniformK(10, 1))
+	mask, size := c.Greedy()
+	if err := c.CheckIntegralCover(mask); err != nil {
+		t.Fatalf("greedy output not a cover: %v", err)
+	}
+	if size != 1 || !mask[0] {
+		t.Errorf("greedy on star should pick only the center; size=%d", size)
+	}
+	// k=2 on a star: every leaf needs 2 of {leaf, center}: all nodes chosen.
+	c2 := FromGraph(g, UniformK(10, 2))
+	mask2, size2 := c2.Greedy()
+	if err := c2.CheckIntegralCover(mask2); err != nil {
+		t.Fatalf("greedy k=2 not a cover: %v", err)
+	}
+	if size2 != 10 {
+		t.Errorf("greedy k=2 on star size = %d, want 10", size2)
+	}
+}
+
+func TestSimplexKnownOptima(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		k    float64
+		want float64
+	}{
+		// Star, k=1: x_center = 1 covers everyone.
+		{"star k=1", graph.Star(8), 1, 1},
+		// Star, k=2: leaf rows force x_leaf + x_center ≥ 2 with caps at 1
+		// ⇒ x_center = 1 and every leaf = 1 ⇒ 8.
+		{"star k=2", graph.Star(8), 2, 8},
+		// Complete graph, k=3: every row is all of V, demand 3.
+		{"K6 k=3", graph.Complete(6), 3, 3},
+		// C4, k=1: rows are triples; optimum is 4/3 (x ≡ 1/3).
+		{"C4 k=1", graph.Ring(4), 1, 4.0 / 3.0},
+		// C6, k=1: x ≡ 1/3 ⇒ 2.
+		{"C6 k=1", graph.Ring(6), 1, 2},
+		// Single node, k=1: itself.
+		{"K1", graph.Complete(1), 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := FromGraph(tt.g, UniformK(tt.g.NumNodes(), tt.k))
+			x, obj, err := c.SolveFractional()
+			if err != nil {
+				t.Fatalf("SolveFractional: %v", err)
+			}
+			if math.Abs(obj-tt.want) > 1e-6 {
+				t.Errorf("OPT_f = %v, want %v", obj, tt.want)
+			}
+			if err := c.CheckPrimal(x, 1e-6); err != nil {
+				t.Errorf("optimal x infeasible: %v", err)
+			}
+			if math.Abs(c.Objective(x)-obj) > 1e-6 {
+				t.Errorf("objective mismatch: %v vs %v", c.Objective(x), obj)
+			}
+		})
+	}
+}
+
+func TestSimplexRejectsInfeasible(t *testing.T) {
+	c := Covering{NumVars: 2, Rows: [][]int{{0, 1}}, Demand: []float64{3}}
+	if _, _, err := c.SolveFractional(); err == nil {
+		t.Error("demand 3 over 2 unit-capped vars must be infeasible")
+	}
+}
+
+func TestSimplexLowerBoundsHold(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.Gnp(40, 0.15, seed)
+		k := UniformK(40, 2)
+		c := FromGraph(g, k)
+		_, obj, err := c.SolveFractional()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if lb := c.LowerBoundDegree(); obj < lb-1e-6 {
+			t.Errorf("seed %d: OPT_f %v below degree bound %v", seed, obj, lb)
+		}
+		if lb := c.LowerBoundDemand(); obj < lb-1e-6 {
+			t.Errorf("seed %d: OPT_f %v below demand bound %v", seed, obj, lb)
+		}
+	}
+}
+
+func TestExactMatchesBruteForceTiny(t *testing.T) {
+	// Exhaustive check on tiny random instances.
+	for seed := int64(0); seed < 12; seed++ {
+		g := graph.Gnp(8, 0.4, seed)
+		c := FromGraph(g, UniformK(8, 2))
+		mask, size, err := c.SolveExact(100000)
+		if err != nil {
+			t.Fatalf("seed %d: SolveExact: %v", seed, err)
+		}
+		if err := c.CheckIntegralCover(mask); err != nil {
+			t.Fatalf("seed %d: exact output not a cover: %v", seed, err)
+		}
+		want := bruteForceOpt(c)
+		if size != want {
+			t.Errorf("seed %d: exact = %d, brute force = %d", seed, size, want)
+		}
+	}
+}
+
+func bruteForceOpt(c Covering) int {
+	n := c.NumVars
+	best := n + 1
+	mask := make([]bool, n)
+	for bits := 0; bits < 1<<n; bits++ {
+		size := 0
+		for j := 0; j < n; j++ {
+			mask[j] = bits&(1<<j) != 0
+			if mask[j] {
+				size++
+			}
+		}
+		if size >= best {
+			continue
+		}
+		if c.CheckIntegralCover(mask) == nil {
+			best = size
+		}
+	}
+	return best
+}
+
+func TestExactAtLeastFractional(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Gnp(14, 0.3, seed)
+		c := FromGraph(g, UniformK(14, 1))
+		_, fObj, err := c.SolveFractional()
+		if err != nil {
+			t.Fatalf("fractional: %v", err)
+		}
+		_, iOpt, err := c.SolveExact(200000)
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		if float64(iOpt) < fObj-1e-6 {
+			t.Errorf("seed %d: integral %d below fractional %v", seed, iOpt, fObj)
+		}
+		// Integrality gap for dominating set is O(log n); sanity-bound it.
+		if float64(iOpt) > 5*fObj+1 {
+			t.Errorf("seed %d: unreasonable gap: %d vs %v", seed, iOpt, fObj)
+		}
+	}
+}
+
+func TestQuickSimplexFeasibleAndBounded(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		k := float64(kRaw%3) + 1
+		g := graph.Gnp(n, 0.35, seed)
+		c := FromGraph(g, UniformK(n, k))
+		x, obj, err := c.SolveFractional()
+		if err != nil {
+			return false
+		}
+		if c.CheckPrimal(x, 1e-6) != nil {
+			return false
+		}
+		// Greedy is integral and feasible, so OPT_f ≤ greedy size.
+		_, gs := c.Greedy()
+		return obj <= float64(gs)+1e-6 && obj >= c.LowerBoundDegree()-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerNodeDemands(t *testing.T) {
+	g := graph.Path(5)
+	k := []float64{1, 2, 1, 2, 1}
+	c := FromGraph(g, k)
+	x, obj, err := c.SolveFractional()
+	if err != nil {
+		t.Fatalf("SolveFractional: %v", err)
+	}
+	if err := c.CheckPrimal(x, 1e-6); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+	mask, size, err := c.SolveExact(100000)
+	if err != nil {
+		t.Fatalf("SolveExact: %v", err)
+	}
+	if err := c.CheckIntegralCover(mask); err != nil {
+		t.Errorf("exact not a cover: %v", err)
+	}
+	if float64(size) < obj-1e-9 {
+		t.Errorf("integral %d below fractional %v", size, obj)
+	}
+}
+
+func TestSolveExactBudget(t *testing.T) {
+	g := graph.Gnp(20, 0.2, 1)
+	c := FromGraph(g, UniformK(20, 2))
+	if _, _, err := c.SolveExact(0); err == nil {
+		t.Error("budget 0 should be exhausted")
+	}
+}
+
+func TestLowerBoundsOnStar(t *testing.T) {
+	g := graph.Star(9)
+	c := FromGraph(g, UniformK(9, 1))
+	// Center appears in all 9 rows: degree bound = 9/9 = 1.
+	if lb := c.LowerBoundDegree(); math.Abs(lb-1) > 1e-12 {
+		t.Errorf("LowerBoundDegree = %v, want 1", lb)
+	}
+	if lb := c.LowerBoundDemand(); lb != 1 {
+		t.Errorf("LowerBoundDemand = %v, want 1", lb)
+	}
+}

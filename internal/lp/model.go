@@ -1,0 +1,240 @@
+// Package lp provides the linear-programming substrate for the paper's
+// Section 4: the covering LP (PP) and its dual (DP), feasibility and
+// duality checkers, a dense two-phase simplex solver used to compute the
+// fractional optimum OPT_f that approximation ratios are measured against,
+// an exact branch-and-bound integer solver for small instances, the
+// classical greedy multicover algorithm, and combinatorial lower bounds.
+//
+// The primal (PP) is
+//
+//	min Σ x_j   s.t.  ∀i: Σ_{j∈N_i} x_j ≥ k_i,  0 ≤ x_j ≤ 1,
+//
+// and the dual (DP) is
+//
+//	max Σ (k_i·y_i − z_i)   s.t.  ∀j: Σ_{i: j∈N_i} y_i − z_j ≤ 1,  y, z ≥ 0.
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"ftclust/internal/graph"
+)
+
+// Covering is an instance of the covering LP: constraint i requires the
+// variables listed in Rows[i] to sum to at least Demand[i]; every variable
+// lies in [0, 1]. For k-MDS instances built from a graph, Rows[i] is the
+// closed neighborhood N_i and constraint i and variable i both correspond
+// to node i, but the type supports arbitrary set-multicover systems.
+type Covering struct {
+	// NumVars is the number of variables.
+	NumVars int
+	// Rows[i] lists the variable indices appearing in constraint i.
+	Rows [][]int
+	// Demand[i] is the right-hand side k_i of constraint i.
+	Demand []float64
+}
+
+// FromGraph builds the k-MDS covering LP of the paper: one variable and one
+// constraint per node, Rows[i] = closed neighborhood of node i, Demand[i] =
+// k[i] (capped at |N_i| so the instance is always feasible, mirroring the
+// paper's feasibility requirement k_i ≤ δ(v_i)+1).
+func FromGraph(g *graph.Graph, k []float64) Covering {
+	n := g.NumNodes()
+	rows := make([][]int, n)
+	dem := make([]float64, n)
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(graph.NodeID(v))
+		row := make([]int, 0, len(ns)+1)
+		row = append(row, v)
+		for _, w := range ns {
+			row = append(row, int(w))
+		}
+		rows[v] = row
+		dem[v] = math.Min(k[v], float64(len(row)))
+	}
+	return Covering{NumVars: n, Rows: rows, Demand: dem}
+}
+
+// UniformK returns the demand vector k_i = k for n nodes.
+func UniformK(n int, k float64) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = k
+	}
+	return d
+}
+
+// Objective returns Σ x_j.
+func (c Covering) Objective(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// CheckPrimal verifies that x is feasible for (PP) within tol.
+func (c Covering) CheckPrimal(x []float64, tol float64) error {
+	if len(x) != c.NumVars {
+		return fmt.Errorf("lp: x has %d entries, want %d", len(x), c.NumVars)
+	}
+	for j, v := range x {
+		if v < -tol || v > 1+tol {
+			return fmt.Errorf("lp: x[%d] = %v outside [0,1]", j, v)
+		}
+	}
+	for i, row := range c.Rows {
+		s := 0.0
+		for _, j := range row {
+			s += x[j]
+		}
+		if s < c.Demand[i]-tol {
+			return fmt.Errorf("lp: constraint %d: coverage %v < demand %v", i, s, c.Demand[i])
+		}
+	}
+	return nil
+}
+
+// DualObjective returns Σ (k_i·y_i − z_i).
+func (c Covering) DualObjective(y, z []float64) float64 {
+	s := 0.0
+	for i := range y {
+		s += c.Demand[i]*y[i] - z[i]
+	}
+	return s
+}
+
+// DualViolation returns the largest left-hand side Σ_{i: j∈N_i} y_i − z_j
+// over all variables j. A feasible dual solution has violation ≤ 1;
+// Lemma 4.4 proves Algorithm 1's dual is feasible up to κ = t(Δ+1)^{1/t},
+// i.e. violation ≤ κ.
+func (c Covering) DualViolation(y, z []float64) float64 {
+	lhs := make([]float64, c.NumVars)
+	for i, row := range c.Rows {
+		for _, j := range row {
+			lhs[j] += y[i]
+		}
+	}
+	worst := math.Inf(-1)
+	for j := range lhs {
+		if v := lhs[j] - z[j]; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// CheckDualNonNegative verifies y, z ≥ 0 within tol.
+func (c Covering) CheckDualNonNegative(y, z []float64, tol float64) error {
+	for i, v := range y {
+		if v < -tol {
+			return fmt.Errorf("lp: y[%d] = %v negative", i, v)
+		}
+	}
+	for i, v := range z {
+		if v < -tol {
+			return fmt.Errorf("lp: z[%d] = %v negative", i, v)
+		}
+	}
+	return nil
+}
+
+// CheckIntegralCover verifies that the 0/1 vector selecting set S satisfies
+// every constraint: Σ_{j∈Rows[i]} [j ∈ S] ≥ Demand[i].
+func (c Covering) CheckIntegralCover(inS []bool) error {
+	for i, row := range c.Rows {
+		got := 0.0
+		for _, j := range row {
+			if inS[j] {
+				got++
+			}
+		}
+		if got < c.Demand[i] {
+			return fmt.Errorf("lp: constraint %d: %v of %v covered", i, got, c.Demand[i])
+		}
+	}
+	return nil
+}
+
+// LowerBoundDegree returns the combinatorial bound OPT_f ≥ ΣDemand / F where
+// F is the largest number of constraints any single variable appears in
+// (Δ+1 for graph instances) — each unit of x pays into at most F constraints.
+func (c Covering) LowerBoundDegree() float64 {
+	freq := make([]int, c.NumVars)
+	for _, row := range c.Rows {
+		for _, j := range row {
+			freq[j]++
+		}
+	}
+	maxF := 1
+	for _, f := range freq {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	total := 0.0
+	for _, d := range c.Demand {
+		total += d
+	}
+	return total / float64(maxF)
+}
+
+// LowerBoundDemand returns max_i Demand[i]: any integral solution must pick
+// at least k_i variables inside constraint i (variables are capped at 1).
+func (c Covering) LowerBoundDemand() float64 {
+	best := 0.0
+	for _, d := range c.Demand {
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Greedy runs the classical greedy multicover algorithm (the adaptation of
+// Chvátal's set-cover greedy analyzed in [20, 21]): repeatedly add the
+// variable that reduces the largest amount of residual demand. It returns
+// the chosen set as a bool mask and its size; the result is an
+// H(Δ+1)-approximation of the integral optimum.
+func (c Covering) Greedy() ([]bool, int) {
+	residual := make([]float64, len(c.Demand))
+	copy(residual, c.Demand)
+	// varRows[j] lists the constraints variable j appears in.
+	varRows := make([][]int, c.NumVars)
+	for i, row := range c.Rows {
+		for _, j := range row {
+			varRows[j] = append(varRows[j], i)
+		}
+	}
+	chosen := make([]bool, c.NumVars)
+	size := 0
+	for {
+		bestJ, bestGain := -1, 0.0
+		for j := 0; j < c.NumVars; j++ {
+			if chosen[j] {
+				continue
+			}
+			gain := 0.0
+			for _, i := range varRows[j] {
+				if residual[i] > 0 {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestJ = gain, j
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		chosen[bestJ] = true
+		size++
+		for _, i := range varRows[bestJ] {
+			if residual[i] > 0 {
+				residual[i]--
+			}
+		}
+	}
+	return chosen, size
+}

@@ -1,0 +1,277 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveFractional computes the optimum OPT_f of the covering LP with a
+// dense two-phase primal simplex. It is intended for the moderate instance
+// sizes of the experiment suite (hundreds of variables); approximation
+// ratios throughout the repository are measured against its objective.
+//
+// The standard form has one surplus variable per covering row, one slack
+// per upper-bound row x_j ≤ 1, and one artificial per covering row:
+//
+//	Σ_{j∈Rows[i]} x_j − s_i + a_i = k_i     (covering rows)
+//	x_j + u_j = 1                           (upper-bound rows)
+//
+// Phase 1 minimizes Σ a_i; phase 2 minimizes Σ x_j. The pivot rule is
+// Dantzig's with an automatic switch to Bland's rule under degeneracy, so
+// the solver cannot cycle.
+func (c Covering) SolveFractional() ([]float64, float64, error) {
+	return solveCoveringLP(c, nil)
+}
+
+// solveCoveringLP is the generic engine behind SolveFractional and the
+// weighted variant; costs == nil means unit costs.
+func solveCoveringLP(c Covering, costs []float64) ([]float64, float64, error) {
+	nv, nc := c.NumVars, len(c.Rows)
+	for i, d := range c.Demand {
+		if d < 0 {
+			return nil, 0, fmt.Errorf("lp: negative demand %v in row %d", d, i)
+		}
+		if d > float64(len(c.Rows[i]))+1e-9 {
+			return nil, 0, fmt.Errorf("lp: row %d demands %v but has only %d variables",
+				i, d, len(c.Rows[i]))
+		}
+	}
+
+	m := nc + nv // rows
+	xs, ss, us, as := 0, nv, nv+nc, nv+nc+nv
+	ncols := nv + nc + nv + nc
+
+	t := newTableau(m, ncols)
+	for i, row := range c.Rows {
+		for _, j := range row {
+			t.a[i][xs+j] = 1
+		}
+		t.a[i][ss+i] = -1
+		t.a[i][as+i] = 1
+		t.rhs[i] = c.Demand[i]
+		t.basis[i] = as + i
+	}
+	for j := 0; j < nv; j++ {
+		r := nc + j
+		t.a[r][xs+j] = 1
+		t.a[r][us+j] = 1
+		t.rhs[r] = 1
+		t.basis[r] = us + j
+	}
+
+	// Phase 1: minimize Σ a_i. Reduced costs start as c − c_Bᵀ·T with
+	// c = 1 on artificials, whose rows are exactly the covering rows.
+	for col := as; col < ncols; col++ {
+		t.cost[col] = 1
+	}
+	for i := 0; i < nc; i++ {
+		t.subtractRowFromCost(i)
+	}
+	if err := t.iterate(ncols); err != nil {
+		return nil, 0, fmt.Errorf("lp: phase 1: %w", err)
+	}
+	if t.objective() > 1e-7 {
+		return nil, 0, fmt.Errorf("lp: infeasible (phase-1 objective %v)", t.objective())
+	}
+	t.driveOutArtificials(as)
+
+	// Phase 2: minimize Σ c_j·x_j, artificials barred from entering.
+	for col := range t.cost {
+		t.cost[col] = 0
+	}
+	t.costRHS = 0
+	for j := 0; j < nv; j++ {
+		if costs == nil {
+			t.cost[xs+j] = 1
+		} else {
+			t.cost[xs+j] = costs[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b >= xs && b < nv {
+			t.subtractBasicRowFromCost(i, t.cost[b])
+		}
+	}
+	if err := t.iterate(as); err != nil {
+		return nil, 0, fmt.Errorf("lp: phase 2: %w", err)
+	}
+
+	x := make([]float64, nv)
+	for i := 0; i < m; i++ {
+		if b := t.basis[i]; b < nv {
+			x[b] = t.rhs[i]
+		}
+	}
+	// Clean tiny numerical noise.
+	for j := range x {
+		if x[j] < 0 {
+			x[j] = 0
+		}
+		if x[j] > 1 {
+			x[j] = 1
+		}
+	}
+	return x, t.objective(), nil
+}
+
+const simplexEps = 1e-9
+
+type tableau struct {
+	a       [][]float64
+	rhs     []float64
+	cost    []float64
+	costRHS float64 // negative of current objective value
+	basis   []int
+	dead    []bool // redundant rows disabled by driveOutArtificials
+}
+
+func newTableau(m, ncols int) *tableau {
+	t := &tableau{
+		a:     make([][]float64, m),
+		rhs:   make([]float64, m),
+		cost:  make([]float64, ncols),
+		basis: make([]int, m),
+		dead:  make([]bool, m),
+	}
+	for i := range t.a {
+		t.a[i] = make([]float64, ncols)
+	}
+	return t
+}
+
+func (t *tableau) objective() float64 { return -t.costRHS }
+
+// subtractRowFromCost performs cost ← cost − row_i (used when row i's basic
+// variable has objective coefficient 1).
+func (t *tableau) subtractRowFromCost(i int) {
+	t.subtractBasicRowFromCost(i, 1)
+}
+
+// subtractBasicRowFromCost performs cost ← cost − w·row_i, eliminating a
+// basic variable with objective coefficient w from the cost row.
+func (t *tableau) subtractBasicRowFromCost(i int, w float64) {
+	if w == 0 {
+		return
+	}
+	for col, v := range t.a[i] {
+		if v != 0 {
+			t.cost[col] -= w * v
+		}
+	}
+	t.costRHS -= w * t.rhs[i]
+}
+
+// iterate pivots until no reduced cost is negative among columns < maxCol.
+func (t *tableau) iterate(maxCol int) error {
+	maxIter := 200 * (len(t.a) + maxCol)
+	degenerate := 0
+	for iter := 0; iter < maxIter; iter++ {
+		bland := degenerate > 30
+		e := t.chooseEntering(maxCol, bland)
+		if e < 0 {
+			return nil // optimal
+		}
+		l := t.chooseLeaving(e)
+		if l < 0 {
+			return fmt.Errorf("unbounded (entering column %d)", e)
+		}
+		if t.rhs[l] < simplexEps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(l, e)
+	}
+	return fmt.Errorf("iteration limit exceeded")
+}
+
+func (t *tableau) chooseEntering(maxCol int, bland bool) int {
+	if bland {
+		for col := 0; col < maxCol; col++ {
+			if t.cost[col] < -simplexEps {
+				return col
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -simplexEps
+	for col := 0; col < maxCol; col++ {
+		if t.cost[col] < bestVal {
+			bestVal = t.cost[col]
+			best = col
+		}
+	}
+	return best
+}
+
+func (t *tableau) chooseLeaving(e int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := range t.a {
+		if t.dead[i] || t.a[i][e] <= simplexEps {
+			continue
+		}
+		ratio := t.rhs[i] / t.a[i][e]
+		// Tie-break on the smaller basis index (Bland-compatible).
+		if ratio < bestRatio-simplexEps ||
+			(ratio < bestRatio+simplexEps && (best < 0 || t.basis[i] < t.basis[best])) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(l, e int) {
+	piv := t.a[l][e]
+	inv := 1 / piv
+	rowL := t.a[l]
+	for col := range rowL {
+		rowL[col] *= inv
+	}
+	t.rhs[l] *= inv
+	for i := range t.a {
+		if i == l || t.dead[i] {
+			continue
+		}
+		f := t.a[i][e]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for col := range row {
+			row[col] -= f * rowL[col]
+		}
+		t.rhs[i] -= f * t.rhs[l]
+	}
+	if f := t.cost[e]; f != 0 {
+		for col := range t.cost {
+			t.cost[col] -= f * rowL[col]
+		}
+		t.costRHS -= f * t.rhs[l]
+	}
+	t.basis[l] = e
+}
+
+// driveOutArtificials removes artificial variables (columns ≥ asStart) from
+// the basis after a successful phase 1. A basic artificial at level zero is
+// pivoted out on any eligible structural column; if its row has no nonzero
+// structural entry the row is redundant and is disabled.
+func (t *tableau) driveOutArtificials(asStart int) {
+	for i := range t.a {
+		if t.dead[i] || t.basis[i] < asStart {
+			continue
+		}
+		pivoted := false
+		for col := 0; col < asStart; col++ {
+			if math.Abs(t.a[i][col]) > 1e-7 {
+				t.pivot(i, col)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			t.dead[i] = true
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/graph"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	c := FromGraph(graph.Ring(4), UniformK(4, 1))
+	if _, err := c.Weighted([]float64{1, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := c.Weighted([]float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative cost should fail")
+	}
+	if _, err := c.Weighted([]float64{1, math.NaN(), 1, 1}); err == nil {
+		t.Error("NaN cost should fail")
+	}
+	if _, err := c.Weighted([]float64{1, math.Inf(1), 1, 1}); err == nil {
+		t.Error("Inf cost should fail")
+	}
+	if _, err := c.Weighted([]float64{1, 2, 3, 4}); err != nil {
+		t.Errorf("valid costs rejected: %v", err)
+	}
+}
+
+func TestWeightedLPKnownOptimum(t *testing.T) {
+	// Star with cheap center: weighted optimum for k=1 selects x_center = 1.
+	g := graph.Star(6)
+	c := FromGraph(g, UniformK(6, 1))
+	costs := []float64{1, 10, 10, 10, 10, 10}
+	w, err := c.Weighted(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, obj, err := w.SolveFractionalWeighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-1) > 1e-6 {
+		t.Errorf("weighted OPT = %v, want 1", obj)
+	}
+	if math.Abs(x[0]-1) > 1e-6 {
+		t.Errorf("x_center = %v, want 1", x[0])
+	}
+	if math.Abs(w.WeightedObjective(x)-obj) > 1e-9 {
+		t.Error("objective accessor disagrees with solver")
+	}
+}
+
+func TestWeightedGreedyCoversAndRespectsCosts(t *testing.T) {
+	g := graph.Star(10)
+	c := FromGraph(g, UniformK(10, 1))
+	costs := make([]float64, 10)
+	costs[0] = 2 // center is mildly expensive but covers everyone
+	for v := 1; v < 10; v++ {
+		costs[v] = 1
+	}
+	w, err := c.Weighted(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, total := w.GreedyWeighted()
+	if err := c.CheckIntegralCover(mask); err != nil {
+		t.Fatalf("greedy not a cover: %v", err)
+	}
+	// Center covers 10 constraints at effectiveness 5; best pick.
+	if !mask[0] || total != 2 {
+		t.Errorf("greedy mask[0]=%v total=%v, want center only (cost 2)", mask[0], total)
+	}
+	if got := w.CostOfSet(mask); got != total {
+		t.Errorf("CostOfSet = %v, total = %v", got, total)
+	}
+}
+
+func TestQuickWeightedLPBelowGreedy(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%18) + 3
+		k := float64(kRaw%2) + 1
+		g := graph.Gnp(n, 0.4, seed)
+		c := FromGraph(g, UniformK(n, k))
+		costs := make([]float64, n)
+		for v := range costs {
+			costs[v] = 1 + float64(v%5)
+		}
+		w, err := c.Weighted(costs)
+		if err != nil {
+			return false
+		}
+		_, opt, err := w.SolveFractionalWeighted()
+		if err != nil {
+			return false
+		}
+		mask, total := w.GreedyWeighted()
+		if c.CheckIntegralCover(mask) != nil {
+			return false
+		}
+		return opt <= total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

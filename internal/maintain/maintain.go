@@ -1,0 +1,181 @@
+// Package maintain keeps a k-fold clustering alive under churn without
+// re-running the full algorithm: when cluster heads fail (or nodes move),
+// the repair routine restores k-coverage with purely local promotions —
+// the same promotion machinery as Part II of Algorithm 3, applied to the
+// residual deficit only. This is the incremental counterpart the paper's
+// motivation calls for: a k-fold dominating set tolerates up to k−1 local
+// failures outright, and repair replenishes the budget afterwards.
+package maintain
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+)
+
+// RepairResult reports what a repair did.
+type RepairResult struct {
+	// InSet is the repaired dominator mask (dead nodes never included).
+	InSet []bool
+	// Promoted counts the nodes newly added.
+	Promoted int
+	// Iterations is the number of local promotion rounds used.
+	Iterations int
+}
+
+// Repair restores k-fold domination after failures. leader is the current
+// dominator mask; dead marks failed nodes (they neither serve nor demand
+// coverage). Every surviving node v gets min(k, live-degree+1) live
+// dominators in its closed neighborhood. The repair touches only
+// neighborhoods with a deficit: intact regions keep their heads, so the
+// incremental cost is proportional to the damage, which experiment E16
+// measures against full re-clustering.
+func Repair(g *graph.Graph, leader []bool, dead map[graph.NodeID]bool, k int) (RepairResult, error) {
+	n := g.NumNodes()
+	if len(leader) != n {
+		return RepairResult{}, fmt.Errorf("maintain: mask has %d entries for %d nodes", len(leader), n)
+	}
+	if k < 1 {
+		return RepairResult{}, fmt.Errorf("maintain: k must be ≥ 1, got %d", k)
+	}
+	inSet := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inSet[v] = leader[v] && !dead[graph.NodeID(v)]
+	}
+	res := RepairResult{InSet: inSet}
+
+	// Live closed-neighborhood demand per node.
+	demand := make([]int, n)
+	for v := 0; v < n; v++ {
+		if dead[graph.NodeID(v)] {
+			continue
+		}
+		liveDeg := 0
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if !dead[w] {
+				liveDeg++
+			}
+		}
+		demand[v] = minInt(k, liveDeg+1)
+	}
+
+	for iter := 0; ; iter++ {
+		// Coverage over live nodes.
+		deficitNodes := 0
+		cov := make([]int, n)
+		for v := 0; v < n; v++ {
+			if dead[graph.NodeID(v)] {
+				continue
+			}
+			if inSet[v] {
+				cov[v]++
+			}
+			for _, w := range g.Neighbors(graph.NodeID(v)) {
+				if !dead[w] && inSet[w] {
+					cov[v]++
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !dead[graph.NodeID(v)] && cov[v] < demand[v] {
+				deficitNodes++
+			}
+		}
+		if deficitNodes == 0 {
+			res.Iterations = iter
+			return res, nil
+		}
+		// Each deficient node promotes its lowest-ID live non-member
+		// closed neighbors to close its own gap (one local round).
+		promote := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if dead[graph.NodeID(v)] || cov[v] >= demand[v] {
+				continue
+			}
+			need := demand[v] - cov[v]
+			forClosedLive(g, v, dead, func(u int) {
+				if need > 0 && !inSet[u] && !promote[u] {
+					promote[u] = true
+					need--
+				}
+			})
+		}
+		for v := 0; v < n; v++ {
+			if promote[v] {
+				inSet[v] = true
+				res.Promoted++
+			}
+		}
+	}
+}
+
+// Damage summarizes the deficit caused by failures, before repair.
+type Damage struct {
+	// DeficientNodes counts live nodes below their k-coverage.
+	DeficientNodes int
+	// LostHeads counts failed dominators.
+	LostHeads int
+}
+
+// Assess measures the coverage damage of a failure set.
+func Assess(g *graph.Graph, leader []bool, dead map[graph.NodeID]bool, k int) Damage {
+	var d Damage
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		if leader[v] && dead[graph.NodeID(v)] {
+			d.LostHeads++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if dead[graph.NodeID(v)] {
+			continue
+		}
+		liveDeg, cov := 0, 0
+		if leader[v] && !dead[graph.NodeID(v)] {
+			cov++
+		}
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if dead[w] {
+				continue
+			}
+			liveDeg++
+			if leader[w] {
+				cov++
+			}
+		}
+		if cov < minInt(k, liveDeg+1) {
+			d.DeficientNodes++
+		}
+	}
+	return d
+}
+
+// forClosedLive visits the live members of v's closed neighborhood in
+// ascending ID order.
+func forClosedLive(g *graph.Graph, v int, dead map[graph.NodeID]bool, fn func(u int)) {
+	visitedSelf := false
+	self := func() {
+		if !dead[graph.NodeID(v)] {
+			fn(v)
+		}
+	}
+	for _, w := range g.Neighbors(graph.NodeID(v)) {
+		if !visitedSelf && int(w) > v {
+			self()
+			visitedSelf = true
+		}
+		if !dead[w] {
+			fn(int(w))
+		}
+	}
+	if !visitedSelf {
+		self()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

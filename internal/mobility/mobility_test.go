@@ -1,0 +1,63 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepBoundsAndSpeed(t *testing.T) {
+	m := NewRandomWaypoint(200, 5, 0.3, 1)
+	prev := m.Points()
+	for step := 0; step < 50; step++ {
+		m.Step()
+		cur := m.Points()
+		for i := range cur {
+			if cur[i].X < -1e-9 || cur[i].X > 5+1e-9 || cur[i].Y < -1e-9 || cur[i].Y > 5+1e-9 {
+				t.Fatalf("step %d: node %d left the square: %v", step, i, cur[i])
+			}
+			if d := prev[i].Dist(cur[i]); d > 0.3+1e-9 {
+				t.Fatalf("step %d: node %d moved %v > speed", step, i, d)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestPointsIsACopy(t *testing.T) {
+	m := NewRandomWaypoint(5, 3, 0.1, 2)
+	p := m.Points()
+	p[0].X = 999
+	if m.Points()[0].X == 999 {
+		t.Error("Points must return a copy")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewRandomWaypoint(50, 4, 0.2, 7)
+	b := NewRandomWaypoint(50, 4, 0.2, 7)
+	a.StepN(30)
+	b.StepN(30)
+	pa, pb := a.Points(), b.Points()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed should give identical trajectories")
+		}
+	}
+}
+
+func TestNodesActuallyMove(t *testing.T) {
+	m := NewRandomWaypoint(100, 6, 0.25, 3)
+	start := m.Points()
+	m.StepN(40)
+	end := m.Points()
+	moved := 0.0
+	for i := range start {
+		moved += start[i].Dist(end[i])
+	}
+	if moved/float64(len(start)) < 0.5 {
+		t.Errorf("mean displacement %v too small; model is frozen", moved/float64(len(start)))
+	}
+	if m.N() != 100 || math.Abs(m.MaxDisplacement()-0.25) > 1e-12 {
+		t.Error("accessors broken")
+	}
+}

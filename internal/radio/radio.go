@@ -1,0 +1,140 @@
+// Package radio models the slotted-ALOHA neighborhood discovery that
+// precedes clustering in a freshly deployed network (the initialization
+// problem of the paper's reference [12]): the message-passing model of
+// Section 3 assumes nodes know their neighbors, and this package supplies
+// that knowledge from first principles. In every slot each undiscovered
+// node transmits its ID with probability p; a transmission is received by
+// a neighbor only if no other neighbor of that receiver transmits in the
+// same slot (collision model, no carrier sensing).
+package radio
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// Options configure a discovery run.
+type Options struct {
+	// P is the per-slot transmission probability; 0 selects 1/(Δ+1), the
+	// theory-optimal choice for ALOHA-style contention.
+	P float64
+	// MaxSlots bounds the simulation (default 200·(Δ+1)·ln n style bound;
+	// explicit values are clamped at ≥ 1).
+	MaxSlots int
+	// Seed drives all transmission coins.
+	Seed int64
+}
+
+// Result reports discovery progress.
+type Result struct {
+	// Discovered[v] is the set of neighbors v has heard at least once.
+	Discovered []map[graph.NodeID]bool
+	// SlotsToComplete is the first slot after which every node knows all
+	// its neighbors, or -1 if MaxSlots elapsed first.
+	SlotsToComplete int
+	// Transmissions counts all transmissions, Collisions the receptions
+	// lost to collisions.
+	Transmissions int64
+	Collisions    int64
+}
+
+// CompleteFraction returns the fraction of (directed) neighbor relations
+// discovered.
+func (r Result) CompleteFraction(g *graph.Graph) float64 {
+	want, got := 0, 0
+	for v := 0; v < g.NumNodes(); v++ {
+		want += g.Degree(graph.NodeID(v))
+		got += len(r.Discovered[v])
+	}
+	if want == 0 {
+		return 1
+	}
+	return float64(got) / float64(want)
+}
+
+// Discover runs slotted-ALOHA neighbor discovery on g until every node has
+// heard every neighbor or MaxSlots elapses. Nodes keep transmitting until
+// the global completion slot (they cannot know when their neighbors are
+// done), which matches the conservative protocol of [12].
+func Discover(g *graph.Graph, opts Options) (Result, error) {
+	n := g.NumNodes()
+	delta := g.MaxDegree()
+	p := opts.P
+	if p == 0 {
+		p = 1 / float64(delta+1)
+	}
+	if p < 0 || p > 1 {
+		return Result{}, fmt.Errorf("radio: transmission probability %v outside [0,1]", p)
+	}
+	maxSlots := opts.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 64 * (delta + 2) * bitsLen(n)
+	}
+
+	res := Result{
+		Discovered:      make([]map[graph.NodeID]bool, n),
+		SlotsToComplete: -1,
+	}
+	missing := 0
+	for v := 0; v < n; v++ {
+		res.Discovered[v] = make(map[graph.NodeID]bool, g.Degree(graph.NodeID(v)))
+		missing += g.Degree(graph.NodeID(v))
+	}
+	if missing == 0 {
+		res.SlotsToComplete = 0
+		return res, nil
+	}
+
+	rnds := make([]interface{ Float64() float64 }, n)
+	for v := 0; v < n; v++ {
+		rnds[v] = rng.NewStream(opts.Seed, uint64(v)+1)
+	}
+	tx := make([]bool, n)
+	for slot := 1; slot <= maxSlots; slot++ {
+		for v := 0; v < n; v++ {
+			tx[v] = rnds[v].Float64() < p
+			if tx[v] {
+				res.Transmissions++
+			}
+		}
+		for v := 0; v < n; v++ {
+			// Receiver v hears a slot iff exactly one neighbor transmits
+			// (v's own transmission does not block reception here: nodes
+			// are half-duplex, so a transmitting node hears nothing).
+			if tx[v] {
+				continue
+			}
+			var sender graph.NodeID = -1
+			count := 0
+			for _, w := range g.Neighbors(graph.NodeID(v)) {
+				if tx[w] {
+					count++
+					sender = w
+				}
+			}
+			if count == 1 {
+				if !res.Discovered[v][sender] {
+					res.Discovered[v][sender] = true
+					missing--
+				}
+			} else if count > 1 {
+				res.Collisions += int64(count)
+			}
+		}
+		if missing == 0 {
+			res.SlotsToComplete = slot
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func bitsLen(n int) int {
+	b := 1
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package radio
+
+import (
+	"testing"
+
+	"ftclust/internal/graph"
+)
+
+func TestDiscoverCompletesOnSmallGraphs(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Ring(10),
+		graph.Complete(8),
+		graph.Star(12),
+		graph.Gnp(50, 0.15, 3),
+	} {
+		res, err := Discover(g, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SlotsToComplete < 0 {
+			t.Errorf("discovery did not complete (fraction %.3f)", res.CompleteFraction(g))
+			continue
+		}
+		if f := res.CompleteFraction(g); f != 1 {
+			t.Errorf("complete fraction = %v after completion", f)
+		}
+		// Discovered sets must be exactly the neighbor sets.
+		for v := 0; v < g.NumNodes(); v++ {
+			if len(res.Discovered[v]) != g.Degree(graph.NodeID(v)) {
+				t.Errorf("node %d discovered %d of %d neighbors",
+					v, len(res.Discovered[v]), g.Degree(graph.NodeID(v)))
+			}
+			for w := range res.Discovered[v] {
+				if !g.HasEdge(graph.NodeID(v), w) {
+					t.Errorf("node %d discovered non-neighbor %d", v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDiscoverIsolatedNodesTrivial(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	res, err := Discover(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlotsToComplete != 0 {
+		t.Errorf("edgeless graph should complete instantly, got %d", res.SlotsToComplete)
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := Discover(g, Options{P: 1.5}); err == nil {
+		t.Error("p > 1 should be rejected")
+	}
+}
+
+func TestDiscoverBudgetExhaustion(t *testing.T) {
+	g := graph.Complete(20)
+	res, err := Discover(g, Options{Seed: 2, MaxSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlotsToComplete != -1 {
+		t.Error("one slot cannot complete K20 discovery")
+	}
+	if f := res.CompleteFraction(g); f >= 1 {
+		t.Errorf("fraction %v should be < 1", f)
+	}
+}
+
+func TestCollisionsHappenAtHighP(t *testing.T) {
+	g := graph.Complete(30)
+	res, err := Discover(g, Options{Seed: 3, P: 0.9, MaxSlots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Error("p=0.9 on K30 must collide")
+	}
+	if res.SlotsToComplete != -1 {
+		t.Error("p=0.9 on K30 should not complete in 50 slots")
+	}
+}
+
+func TestOptimalPBeatsAggressiveP(t *testing.T) {
+	g := graph.Gnp(80, 0.2, 5)
+	opt, err := Discover(g, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Discover(g, Options{Seed: 7, P: 0.8, MaxSlots: opt.SlotsToComplete * 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.SlotsToComplete < 0 {
+		t.Fatal("optimal-p discovery did not complete")
+	}
+	if agg.SlotsToComplete >= 0 && agg.SlotsToComplete < opt.SlotsToComplete {
+		t.Errorf("p=0.8 (%d slots) beat p=1/(Δ+1) (%d slots); contention model broken",
+			agg.SlotsToComplete, opt.SlotsToComplete)
+	}
+}

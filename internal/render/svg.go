@@ -1,0 +1,124 @@
+// Package render draws sensor deployments and clustering solutions as SVG,
+// the visual artifact sensor-network papers (and their readers) expect:
+// nodes, radio edges, cluster heads, and optionally the bridge nodes of a
+// connected backbone.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+)
+
+// Style configures the drawing.
+type Style struct {
+	// Scale is pixels per distance unit (default 60).
+	Scale float64
+	// DrawEdges draws the UDG communication edges (default true when the
+	// graph has at most MaxEdges edges).
+	DrawEdges bool
+	// MaxEdges suppresses edge drawing above this count (default 4000).
+	MaxEdges int
+}
+
+func (s Style) withDefaults() Style {
+	if s.Scale <= 0 {
+		s.Scale = 60
+	}
+	if s.MaxEdges == 0 {
+		s.MaxEdges = 4000
+	}
+	return s
+}
+
+// SVG writes the deployment as an SVG document. leaders marks cluster
+// heads (drawn large, filled); bridges, if non-nil, marks backbone bridge
+// nodes (drawn as squares).
+func SVG(w io.Writer, pts []geom.Point, g *graph.Graph, leaders, bridges []bool, style Style) error {
+	st := style.withDefaults()
+	if len(pts) == 0 {
+		_, err := io.WriteString(w, `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`)
+		return err
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts {
+		minX, maxX = min2(minX, p.X), max2(maxX, p.X)
+		minY, maxY = min2(minY, p.Y), max2(maxY, p.Y)
+	}
+	const pad = 0.6
+	tx := func(x float64) float64 { return (x - minX + pad) * st.Scale }
+	ty := func(y float64) float64 { return (y - minY + pad) * st.Scale }
+	width := (maxX - minX + 2*pad) * st.Scale
+	height := (maxY - minY + 2*pad) * st.Scale
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	drawEdges := st.DrawEdges || g.NumEdges() <= st.MaxEdges
+	if drawEdges && g.NumEdges() <= st.MaxEdges {
+		sb.WriteString(`<g stroke="#d0d0d0" stroke-width="0.6">` + "\n")
+		g.Edges(func(u, v graph.NodeID) {
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+				tx(pts[u].X), ty(pts[u].Y), tx(pts[v].X), ty(pts[v].Y))
+		})
+		sb.WriteString("</g>\n")
+	}
+
+	// Plain nodes.
+	sb.WriteString(`<g fill="#4a90d9">` + "\n")
+	for i, p := range pts {
+		if (leaders != nil && leaders[i]) || (bridges != nil && bridges[i]) {
+			continue
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.2"/>`+"\n", tx(p.X), ty(p.Y))
+	}
+	sb.WriteString("</g>\n")
+
+	// Bridge nodes (backbone connectors).
+	if bridges != nil {
+		sb.WriteString(`<g fill="#f5a623" stroke="#8a5d00" stroke-width="0.8">` + "\n")
+		for i, p := range pts {
+			if !bridges[i] || (leaders != nil && leaders[i]) {
+				continue
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="7" height="7"/>`+"\n",
+				tx(p.X)-3.5, ty(p.Y)-3.5)
+		}
+		sb.WriteString("</g>\n")
+	}
+
+	// Cluster heads.
+	if leaders != nil {
+		sb.WriteString(`<g fill="#d0021b" stroke="#7a0010" stroke-width="1">` + "\n")
+		for i, p := range pts {
+			if !leaders[i] {
+				continue
+			}
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="4.5"/>`+"\n", tx(p.X), ty(p.Y))
+		}
+		sb.WriteString("</g>\n")
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftclust/internal/geom"
+)
+
+func TestSVGBasics(t *testing.T) {
+	pts := geom.UniformPoints(50, 3, 1)
+	g, _ := geom.UnitUDG(pts)
+	leaders := make([]bool, 50)
+	leaders[0], leaders[7] = true, true
+	bridges := make([]bool, 50)
+	bridges[3] = true
+
+	var buf bytes.Buffer
+	if err := SVG(&buf, pts, g, leaders, bridges, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "circle", "rect", "#d0021b", "#f5a623"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG output", want)
+		}
+	}
+	if strings.Count(out, `r="4.5"`) != 2 {
+		t.Errorf("expected 2 leader circles, got %d", strings.Count(out, `r="4.5"`))
+	}
+}
+
+func TestSVGEmptyAndEdgeSuppression(t *testing.T) {
+	var buf bytes.Buffer
+	g, _ := geom.UnitUDG(nil)
+	if err := SVG(&buf, nil, g, nil, nil, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("empty SVG malformed")
+	}
+
+	// Dense deployment with suppressed edges.
+	pts := geom.UniformPoints(400, 2, 2)
+	gg, _ := geom.UnitUDG(pts)
+	buf.Reset()
+	if err := SVG(&buf, pts, gg, nil, nil, Style{MaxEdges: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<line") {
+		t.Error("edges should be suppressed above MaxEdges")
+	}
+}

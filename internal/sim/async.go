@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// RunAsync executes the programs over an event-driven asynchronous network
+// using an α-synchronizer (Awerbuch, JACM 1985): alongside its program
+// messages, every node sends a round-completion marker to each neighbor
+// every round, and a node starts round r+1 only after receiving the round-r
+// markers of all neighbors. Message delays are random per delivery
+// (uniform in [0.5, 1.5) time units, seeded), so arrival orders differ
+// wildly from the synchronous schedule; the synchronizer nevertheless makes
+// the execution indistinguishable from a synchronous one, which
+// TestAsyncMatchesSync verifies. Node programs must have monotone
+// termination (once Step returns true it keeps returning true) and must be
+// quiescent after termination (a terminated program's observable output
+// state no longer changes), because an asynchronous node can execute a few
+// bookkeeping rounds beyond the synchronous stopping round before global
+// termination is detected. All algorithms in this repository satisfy both.
+//
+// The asynchronous engine models reliable channels (synchronizers assume
+// them), so it rejects networks configured with crashes or message drops.
+func (nw *Network) RunAsync(newNode func(v graph.NodeID) Program, maxRounds int) (Result, error) {
+	if nw.crashAt != nil || nw.dropProb > 0 {
+		return Result{}, fmt.Errorf("sim: async engine requires reliable, failure-free channels")
+	}
+	n := nw.g.NumNodes()
+	progs := make([]Program, n)
+	rnds := make([]*rand.Rand, n)
+	for v := 0; v < n; v++ {
+		progs[v] = newNode(graph.NodeID(v))
+		rnds[v] = rng.NewStream(nw.seed, uint64(v)+1)
+	}
+	if n == 0 {
+		return Result{Programs: progs}, nil
+	}
+
+	st := &asyncState{
+		nw:       nw,
+		progs:    progs,
+		rnds:     rnds,
+		delayRnd: rng.NewStream(nw.seed, uint64(n)+7),
+		inboxes:  make([]map[int][]Envelope, n),
+		markers:  make([]map[int]int, n),
+		next:     make([]int, n),
+		doneAt:   make([]int, n),
+		maxR:     maxRounds,
+		stop:     -1,
+	}
+	for v := 0; v < n; v++ {
+		st.inboxes[v] = make(map[int][]Envelope)
+		st.markers[v] = make(map[int]int)
+		st.doneAt[v] = -1
+	}
+
+	// Round 0 needs no prerequisites.
+	for v := 0; v < n; v++ {
+		st.tryExec(graph.NodeID(v), 0)
+	}
+	for st.q.Len() > 0 {
+		ev := heap.Pop(&st.q).(event)
+		v := ev.to
+		if ev.marker {
+			st.markers[v][ev.round]++
+		} else {
+			st.inboxes[v][ev.round] = append(st.inboxes[v][ev.round], ev.env)
+		}
+		st.tryExec(v, ev.time)
+		if st.stop >= 0 && st.allExecuted(st.stop) {
+			break
+		}
+	}
+	if st.stop < 0 {
+		return Result{Programs: progs, Metrics: st.met}, ErrNoProgress
+	}
+	st.met.Rounds = st.stop + 1
+	return Result{Programs: progs, Metrics: st.met}, nil
+}
+
+type asyncState struct {
+	nw       *Network
+	progs    []Program
+	rnds     []*rand.Rand
+	delayRnd *rand.Rand
+	q        eventQueue
+	seq      int64
+	inboxes  []map[int][]Envelope // per node: sender-round → envelopes
+	markers  []map[int]int        // per node: sender-round → markers seen
+	next     []int                // per node: next round to execute
+	doneAt   []int                // per node: earliest round Step returned true, -1 if none
+	maxR     int
+	stop     int // the synchronous stop round once determined, else -1
+	met      Metrics
+}
+
+// ready reports whether node v can execute its next round: round 0 always,
+// round r > 0 once every neighbor's round-(r-1) marker has arrived.
+func (st *asyncState) ready(v graph.NodeID) bool {
+	r := st.next[v]
+	if r >= st.maxR {
+		return false
+	}
+	if r == 0 {
+		return true
+	}
+	return st.markers[v][r-1] == st.nw.g.Degree(v)
+}
+
+func (st *asyncState) tryExec(v graph.NodeID, now float64) {
+	for st.ready(v) {
+		r := st.next[v]
+		inbox := st.inboxes[v][r-1]
+		sort.Slice(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+		delete(st.inboxes[v], r-1)
+		delete(st.markers[v], r-1)
+
+		var outs []delivery
+		ctx := &nodeCtx{nw: st.nw, id: v, round: r, inbox: inbox, out: &outs, rnd: st.rnds[v]}
+		if st.progs[v].Step(ctx) && st.doneAt[v] < 0 {
+			st.doneAt[v] = r
+		}
+		st.next[v] = r + 1
+
+		// Schedule program messages and the synchronizer markers.
+		// Channels are FIFO: everything node v sends to neighbor w in
+		// round r shares one delay, and the marker is enqueued after the
+		// program messages, so a marker can never overtake the payload
+		// whose delivery it vouches for (the α-synchronizer's safety
+		// property).
+		delay := make(map[graph.NodeID]float64, st.nw.g.Degree(v))
+		for _, w := range st.nw.g.Neighbors(v) {
+			delay[w] = 0.5 + st.delayRnd.Float64()
+		}
+		for _, d := range outs {
+			bits := d.msg.SizeBits(st.nw.g.NumNodes())
+			st.met.TotalBits += int64(bits)
+			if bits > st.met.MaxMessageBits {
+				st.met.MaxMessageBits = bits
+			}
+			st.met.Messages++
+			st.push(event{
+				time: now + delay[d.to],
+				to:   d.to, round: r, env: Envelope{From: d.from, Msg: d.msg},
+			})
+		}
+		for _, w := range st.nw.g.Neighbors(v) {
+			st.push(event{
+				time: now + delay[w],
+				to:   w, round: r, marker: true,
+			})
+		}
+
+		// Determine the synchronous stop round: the first round r* at
+		// which every node has terminated.
+		if st.stop < 0 {
+			cand := -1
+			for u := range st.doneAt {
+				if st.doneAt[u] < 0 {
+					cand = -1
+					break
+				}
+				if st.doneAt[u] > cand {
+					cand = st.doneAt[u]
+				}
+			}
+			st.stop = cand
+		}
+	}
+}
+
+// allExecuted reports whether every node has executed rounds 0…r.
+func (st *asyncState) allExecuted(r int) bool {
+	for v := range st.next {
+		if st.next[v] <= r {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *asyncState) push(ev event) {
+	ev.seq = st.seq
+	st.seq++
+	heap.Push(&st.q, ev)
+}
+
+// event is a scheduled delivery.
+type event struct {
+	time   float64
+	seq    int64
+	to     graph.NodeID
+	round  int // the sender's round for the payload
+	marker bool
+	env    Envelope
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "math"
+
+// Bit-size helpers shared by algorithm message types. The paper's model
+// allows O(log n) bits per message, i.e. a constant number of node
+// identifiers (or comparable quantities) per message.
+
+// BitsForCount returns the bits needed to encode an integer in [0, max].
+func BitsForCount(max int) int {
+	if max <= 0 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(max + 1))))
+}
+
+// IDBits returns the bits for one node identifier in an n-node network.
+func IDBits(n int) int { return BitsForCount(n - 1) }
+
+// RandIDBits returns the bits for a random identifier drawn from [1, n⁴]
+// as Algorithm 3 does: 4·⌈log₂ n⌉ + O(1).
+func RandIDBits(n int) int { return 4*IDBits(n) + 2 }
+
+// FixedPointBits is the encoding convention for the real-valued fields of
+// Algorithm 1 (x_i, x_i⁺). All quantities manipulated by the algorithm are
+// sums of at most t² terms of the form (Δ+1)^(-q/t); a fixed-point encoding
+// with ⌈log₂ n⌉ integer/selector bits plus a constant number of fraction
+// bits preserves every comparison the algorithm performs, so each field
+// costs O(log n) bits as the paper claims.
+func FixedPointBits(n int) int { return IDBits(n) + 16 }
+
+// Marker is the α-synchronizer's null message ("round complete").
+type Marker struct{ RoundDone int }
+
+// SizeBits implements Message. A marker carries only a round index; rounds
+// are O(t²) or O(log log n), far below log n, so one log n budget suffices.
+func (Marker) SizeBits(n int) int { return BitsForCount(64) }
+
+// Flag is a minimal one-bit message (e.g. Algorithm 2's REQ, Algorithm 3's
+// elect-message M).
+type Flag struct{ Kind uint8 }
+
+// SizeBits implements Message.
+func (Flag) SizeBits(int) int { return 8 }

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"ftclust/internal/graph"
+)
+
+// stepAll executes one round of Step calls across a worker pool. Programs
+// only touch their own state, their private RNG, and their private outbox
+// slot, so the round is embarrassingly parallel; determinism is preserved
+// because the merge order in run() is by node ID, not completion order.
+func (nw *Network) stepAll(progs []Program, rnds []*rand.Rand,
+	inboxes [][]Envelope, done []bool, outs [][]delivery, round int) {
+	n := len(progs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Crashes is a convenience constructor for WithCrashes: it crashes each
+// node in victims at the given round.
+func Crashes(round int, victims ...graph.NodeID) map[graph.NodeID]int {
+	m := make(map[graph.NodeID]int, len(victims))
+	for _, v := range victims {
+		m[v] = round
+	}
+	return m
+}

@@ -1,0 +1,317 @@
+// Package sim implements the synchronous message-passing model of
+// Section 3 of the paper: time is divided into rounds; in each round every
+// node may send a message to each of its neighbors, receive the messages
+// its neighbors sent in the same round, and update local state. Message
+// sizes are accounted in bits so the paper's O(log n)-bit claim is
+// auditable, and crash failures and message loss can be injected.
+//
+// Algorithms are written once against the Program/Context API and can then
+// be executed by the sequential engine, the goroutine-per-node parallel
+// engine, or the event-driven asynchronous engine with an α-synchronizer
+// (Awerbuch), all with identical results for a fixed seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// Message is any payload a node sends to a neighbor. SizeBits reports the
+// encoded size in bits given the network size n, so experiments can audit
+// the O(log n) message-size claim.
+type Message interface {
+	SizeBits(n int) int
+}
+
+// Envelope is a received message together with its sender.
+type Envelope struct {
+	From graph.NodeID
+	Msg  Message
+}
+
+// Context is the interface through which a node program observes and acts
+// on the network in the current round. A Context is only valid for the
+// duration of one Step call.
+type Context interface {
+	// ID returns this node's identifier (0 … N-1).
+	ID() graph.NodeID
+	// N returns the number of nodes in the network, a standard model
+	// assumption (needed e.g. to draw IDs from [1, n⁴]).
+	N() int
+	// Round returns the current round number, starting at 0.
+	Round() int
+	// Degree returns δ(v), the number of neighbors.
+	Degree() int
+	// Neighbors returns this node's neighbors in ascending ID order.
+	// The slice must not be modified.
+	Neighbors() []graph.NodeID
+	// Dist returns the Euclidean distance to neighbor w (UDG deployments
+	// with distance sensing), or NaN when the network carries no
+	// distance information or w is not a neighbor.
+	Dist(w graph.NodeID) float64
+	// Send queues a message for delivery to neighbor w this round.
+	Send(w graph.NodeID, m Message)
+	// Broadcast queues a message for delivery to every neighbor.
+	Broadcast(m Message)
+	// Inbox returns the messages sent to this node in the previous
+	// round, sorted by sender ID. The slice must not be modified.
+	Inbox() []Envelope
+	// Rand returns this node's private random stream; deterministic per
+	// (run seed, node).
+	Rand() *rand.Rand
+}
+
+// Program is the per-node state machine. The engine calls Step once per
+// round; a program returns true when it has terminated locally. Step is
+// still called in later rounds (with fresh inboxes) until every node has
+// terminated, so terminated programs should return true idempotently and
+// may keep answering passively.
+type Program interface {
+	Step(ctx Context) bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed sets the root seed for all node random streams.
+func WithSeed(seed int64) Option {
+	return func(nw *Network) { nw.seed = seed }
+}
+
+// WithDistances attaches per-node positions so Context.Dist works; pts[v]
+// is node v's location.
+func WithDistances(pts []Point) Option {
+	return func(nw *Network) { nw.pts = pts }
+}
+
+// Point mirrors geom.Point without importing it (sim must not depend on
+// geom; geom depends on graph only). Callers convert explicitly.
+type Point struct {
+	X, Y float64
+}
+
+// WithCrashes schedules crash failures: node v crashes at the start of
+// round crashAt[v] (it neither steps nor delivers from that round on).
+// Nodes absent from the map never crash.
+func WithCrashes(crashAt map[graph.NodeID]int) Option {
+	return func(nw *Network) { nw.crashAt = crashAt }
+}
+
+// WithDropProb makes every message be lost independently with probability
+// p (applied identically across engines for a fixed seed).
+func WithDropProb(p float64) Option {
+	return func(nw *Network) { nw.dropProb = p }
+}
+
+// Network binds a graph (and options) ready to execute programs.
+type Network struct {
+	g        *graph.Graph
+	seed     int64
+	pts      []Point
+	crashAt  map[graph.NodeID]int
+	dropProb float64
+}
+
+// New creates a Network over g.
+func New(g *graph.Graph, opts ...Option) *Network {
+	nw := &Network{g: g, seed: 1}
+	for _, o := range opts {
+		o(nw)
+	}
+	return nw
+}
+
+// Graph returns the underlying graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Metrics aggregates what an execution cost.
+type Metrics struct {
+	// Rounds is the number of rounds executed until global termination.
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// TotalBits is the sum of SizeBits over all sent messages.
+	TotalBits int64
+	// MaxMessageBits is the largest single message.
+	MaxMessageBits int
+	// MessagesPerRound records the per-round message counts.
+	MessagesPerRound []int64
+	// Dropped counts messages lost to the drop model.
+	Dropped int64
+}
+
+// MaxBitsPerLogN returns MaxMessageBits / ⌈log₂ n⌉, the constant of the
+// O(log n) message-size claim.
+func (m Metrics) MaxBitsPerLogN(n int) float64 {
+	l := math.Ceil(math.Log2(float64(n)))
+	if l < 1 {
+		l = 1
+	}
+	return float64(m.MaxMessageBits) / l
+}
+
+// Result of an execution: the per-node programs (holding final state) and
+// metrics.
+type Result struct {
+	Programs []Program
+	Metrics  Metrics
+}
+
+// ErrNoProgress is returned when maxRounds elapses before every node
+// terminates.
+var ErrNoProgress = fmt.Errorf("sim: maxRounds exceeded before termination")
+
+type nodeCtx struct {
+	nw    *Network
+	id    graph.NodeID
+	round int
+	inbox []Envelope
+	out   *[]delivery
+	rnd   *rand.Rand
+}
+
+type delivery struct {
+	from, to graph.NodeID
+	msg      Message
+}
+
+func (c *nodeCtx) ID() graph.NodeID          { return c.id }
+func (c *nodeCtx) N() int                    { return c.nw.g.NumNodes() }
+func (c *nodeCtx) Round() int                { return c.round }
+func (c *nodeCtx) Degree() int               { return c.nw.g.Degree(c.id) }
+func (c *nodeCtx) Neighbors() []graph.NodeID { return c.nw.g.Neighbors(c.id) }
+func (c *nodeCtx) Inbox() []Envelope         { return c.inbox }
+func (c *nodeCtx) Rand() *rand.Rand          { return c.rnd }
+
+func (c *nodeCtx) Dist(w graph.NodeID) float64 {
+	if c.nw.pts == nil || !c.nw.g.HasEdge(c.id, w) {
+		return math.NaN()
+	}
+	a, b := c.nw.pts[c.id], c.nw.pts[w]
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+func (c *nodeCtx) Send(w graph.NodeID, m Message) {
+	if !c.nw.g.HasEdge(c.id, w) {
+		panic(fmt.Sprintf("sim: node %d sending to non-neighbor %d", c.id, w))
+	}
+	*c.out = append(*c.out, delivery{from: c.id, to: w, msg: m})
+}
+
+func (c *nodeCtx) Broadcast(m Message) {
+	for _, w := range c.Neighbors() {
+		*c.out = append(*c.out, delivery{from: c.id, to: w, msg: m})
+	}
+}
+
+// Run executes the programs produced by newNode sequentially and
+// deterministically until every non-crashed node's Step has returned true,
+// or maxRounds elapses (in which case ErrNoProgress is returned along with
+// the partial result).
+func (nw *Network) Run(newNode func(v graph.NodeID) Program, maxRounds int) (Result, error) {
+	return nw.run(newNode, maxRounds, false)
+}
+
+// RunParallel is Run with a goroutine-per-node step executor. Results are
+// identical to Run for the same seed.
+func (nw *Network) RunParallel(newNode func(v graph.NodeID) Program, maxRounds int) (Result, error) {
+	return nw.run(newNode, maxRounds, true)
+}
+
+func (nw *Network) run(newNode func(v graph.NodeID) Program, maxRounds int, parallel bool) (Result, error) {
+	n := nw.g.NumNodes()
+	progs := make([]Program, n)
+	rnds := make([]*rand.Rand, n)
+	for v := 0; v < n; v++ {
+		progs[v] = newNode(graph.NodeID(v))
+		rnds[v] = rng.NewStream(nw.seed, uint64(v)+1)
+	}
+	dropRnd := rng.NewStream(nw.seed, 0)
+
+	var met Metrics
+	inboxes := make([][]Envelope, n)
+	done := make([]bool, n)
+
+	for round := 0; round < maxRounds; round++ {
+		outs := make([][]delivery, n)
+		if parallel {
+			nw.stepAll(progs, rnds, inboxes, done, outs, round)
+		} else {
+			for v := 0; v < n; v++ {
+				nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
+			}
+		}
+		met.Rounds = round + 1
+
+		// Gather and deliver.
+		var perRound int64
+		next := make([][]Envelope, n)
+		for v := 0; v < n; v++ {
+			if nw.crashed(graph.NodeID(v), round) {
+				continue // messages from a crashed node are lost
+			}
+			for _, d := range outs[v] {
+				bits := d.msg.SizeBits(n)
+				met.TotalBits += int64(bits)
+				if bits > met.MaxMessageBits {
+					met.MaxMessageBits = bits
+				}
+				if nw.dropProb > 0 && dropRnd.Float64() < nw.dropProb {
+					met.Dropped++
+					continue
+				}
+				if nw.crashed(d.to, round+1) {
+					continue // receiver dead next round
+				}
+				perRound++
+				next[d.to] = append(next[d.to], Envelope{From: d.from, Msg: d.msg})
+			}
+		}
+		met.Messages += perRound
+		met.MessagesPerRound = append(met.MessagesPerRound, perRound)
+		for v := range next {
+			sort.Slice(next[v], func(i, j int) bool { return next[v][i].From < next[v][j].From })
+		}
+		inboxes = next
+
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !done[v] && !nw.crashed(graph.NodeID(v), round+1) {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return Result{Programs: progs, Metrics: met}, nil
+		}
+	}
+	return Result{Programs: progs, Metrics: met}, ErrNoProgress
+}
+
+func (nw *Network) stepOne(v int, progs []Program, rnds []*rand.Rand,
+	inboxes [][]Envelope, done []bool, outs [][]delivery, round int) {
+	id := graph.NodeID(v)
+	if nw.crashed(id, round) {
+		return
+	}
+	ctx := &nodeCtx{nw: nw, id: id, round: round, inbox: inboxes[v], out: &outs[v], rnd: rnds[v]}
+	if progs[v].Step(ctx) {
+		done[v] = true
+	} else {
+		done[v] = false
+	}
+}
+
+func (nw *Network) crashed(v graph.NodeID, round int) bool {
+	if nw.crashAt == nil {
+		return false
+	}
+	at, ok := nw.crashAt[v]
+	return ok && round >= at
+}

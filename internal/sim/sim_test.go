@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ftclust/internal/graph"
+)
+
+// floodMax is a toy program: every node floods the largest node ID it has
+// seen for a fixed number of rounds; afterwards every node in a connected
+// graph of diameter ≤ rounds knows the global maximum.
+type floodMax struct {
+	rounds int
+	best   graph.NodeID
+	init   bool
+}
+
+type idMsg struct{ ID graph.NodeID }
+
+func (idMsg) SizeBits(n int) int { return IDBits(n) }
+
+func (f *floodMax) Step(ctx Context) bool {
+	if !f.init {
+		f.best = ctx.ID()
+		f.init = true
+	}
+	for _, env := range ctx.Inbox() {
+		m := env.Msg.(idMsg)
+		if m.ID > f.best {
+			f.best = m.ID
+		}
+	}
+	if ctx.Round() < f.rounds {
+		ctx.Broadcast(idMsg{f.best})
+		return false
+	}
+	return true
+}
+
+// coinFlipper consumes per-node randomness so engine-equivalence tests
+// exercise the RNG plumbing.
+type coinFlipper struct {
+	rounds int
+	flips  []bool
+}
+
+func (c *coinFlipper) Step(ctx Context) bool {
+	if ctx.Round() > c.rounds {
+		return true // quiescent after termination
+	}
+	c.flips = append(c.flips, ctx.Rand().Intn(2) == 1)
+	if ctx.Round() < c.rounds {
+		ctx.Broadcast(Flag{Kind: 1})
+		return false
+	}
+	return true
+}
+
+func TestFloodMaxReachesEveryone(t *testing.T) {
+	g := graph.Ring(12) // diameter 6
+	nw := New(g, WithSeed(1))
+	res, err := nw.Run(func(graph.NodeID) Program { return &floodMax{rounds: 6} }, 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for v, p := range res.Programs {
+		if got := p.(*floodMax).best; got != 11 {
+			t.Errorf("node %d best = %d, want 11", v, got)
+		}
+	}
+	if res.Metrics.Rounds != 7 {
+		t.Errorf("Rounds = %d, want 7", res.Metrics.Rounds)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	g := graph.Complete(4) // every broadcast = 3 messages
+	nw := New(g, WithSeed(1))
+	res, err := nw.Run(func(graph.NodeID) Program { return &floodMax{rounds: 2} }, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Metrics
+	// Rounds 0 and 1 broadcast (round 2 is the final silent step): 2 * 4 * 3.
+	if m.Messages != 24 {
+		t.Errorf("Messages = %d, want 24", m.Messages)
+	}
+	if m.MaxMessageBits != IDBits(4) {
+		t.Errorf("MaxMessageBits = %d, want %d", m.MaxMessageBits, IDBits(4))
+	}
+	if m.TotalBits != 24*int64(IDBits(4)) {
+		t.Errorf("TotalBits = %d", m.TotalBits)
+	}
+	if len(m.MessagesPerRound) != m.Rounds {
+		t.Errorf("MessagesPerRound has %d entries for %d rounds", len(m.MessagesPerRound), m.Rounds)
+	}
+	if r := m.MaxBitsPerLogN(4); r != float64(IDBits(4))/2 {
+		t.Errorf("MaxBitsPerLogN = %v", r)
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := graph.Path(3)
+	nw := New(g, WithSeed(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for send to non-neighbor")
+		}
+	}()
+	_, _ = nw.Run(func(v graph.NodeID) Program {
+		return programFunc(func(ctx Context) bool {
+			if ctx.ID() == 0 {
+				ctx.Send(2, Flag{})
+			}
+			return true
+		})
+	}, 5)
+}
+
+type programFunc func(Context) bool
+
+func (f programFunc) Step(ctx Context) bool { return f(ctx) }
+
+func TestErrNoProgress(t *testing.T) {
+	g := graph.Ring(4)
+	nw := New(g, WithSeed(1))
+	_, err := nw.Run(func(graph.NodeID) Program {
+		return programFunc(func(Context) bool { return false })
+	}, 8)
+	if err != ErrNoProgress {
+		t.Errorf("err = %v, want ErrNoProgress", err)
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	// Path 0-1-2 with node 1 crashing at round 1: node 0's flood can never
+	// reach node 2.
+	g := graph.Path(3)
+	nw := New(g, WithSeed(1), WithCrashes(Crashes(1, 1)))
+	res, err := nw.Run(func(graph.NodeID) Program { return &floodMax{rounds: 6} }, 20)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Node 2 can still have received 1's initial broadcast (sent round 0,
+	// but 1 crashes at round 1, before delivery of round-0 sends happens
+	// at round 1... deliveries from round 0 happen while 1 is alive in
+	// round 0, so 2 sees ID 1 but never ID... crash at round 1 means
+	// round-0 messages were already sent and are delivered.
+	best2 := res.Programs[2].(*floodMax).best
+	if best2 != 2 {
+		t.Errorf("node 2 best = %d, want 2 (0's flood blocked by crash)", best2)
+	}
+	best0 := res.Programs[0].(*floodMax).best
+	if best0 != 1 {
+		t.Errorf("node 0 best = %d, want 1 (heard 1 before crash)", best0)
+	}
+}
+
+func TestDropAllMessages(t *testing.T) {
+	g := graph.Complete(5)
+	nw := New(g, WithSeed(3), WithDropProb(1.0))
+	res, err := nw.Run(func(graph.NodeID) Program { return &floodMax{rounds: 3} }, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for v, p := range res.Programs {
+		if got := p.(*floodMax).best; got != graph.NodeID(v) {
+			t.Errorf("node %d best = %d, want itself", v, got)
+		}
+	}
+	if res.Metrics.Dropped == 0 {
+		t.Error("expected dropped messages")
+	}
+	if res.Metrics.Messages != 0 {
+		t.Errorf("Messages = %d, want 0", res.Metrics.Messages)
+	}
+}
+
+func TestPartialDrops(t *testing.T) {
+	g := graph.Complete(6)
+	nw := New(g, WithSeed(5), WithDropProb(0.5))
+	res, err := nw.Run(func(graph.NodeID) Program { return &floodMax{rounds: 4} }, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m := res.Metrics
+	if m.Dropped == 0 {
+		t.Error("expected some drops at p=0.5")
+	}
+	if m.Messages == 0 {
+		t.Error("expected some deliveries at p=0.5")
+	}
+	// TotalBits counts sent messages, delivered or not.
+	if m.TotalBits != (m.Messages+m.Dropped)*int64(IDBits(6)) {
+		t.Errorf("TotalBits = %d inconsistent with %d sent", m.TotalBits, m.Messages+m.Dropped)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := graph.Gnp(60, 0.1, 5)
+	mk := func(graph.NodeID) Program { return &coinFlipper{rounds: 8} }
+	seq, err := New(g, WithSeed(9)).Run(mk, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	par, err := New(g, WithSeed(9)).RunParallel(mk, 50)
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if par.Metrics.Rounds != seq.Metrics.Rounds ||
+		par.Metrics.Messages != seq.Metrics.Messages ||
+		par.Metrics.TotalBits != seq.Metrics.TotalBits ||
+		par.Metrics.MaxMessageBits != seq.Metrics.MaxMessageBits {
+		t.Errorf("metrics diverge: seq %+v par %+v", seq.Metrics, par.Metrics)
+	}
+	for v := range seq.Programs {
+		a := seq.Programs[v].(*coinFlipper).flips
+		b := par.Programs[v].(*coinFlipper).flips
+		if len(a) != len(b) {
+			t.Fatalf("node %d: flip counts differ", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d flip %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestAsyncMatchesSync(t *testing.T) {
+	g := graph.Gnp(40, 0.15, 6)
+	mk := func(graph.NodeID) Program { return &floodMax{rounds: 10} }
+	syn, err := New(g, WithSeed(4)).Run(mk, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	asy, err := New(g, WithSeed(4)).RunAsync(mk, 50)
+	if err != nil {
+		t.Fatalf("RunAsync: %v", err)
+	}
+	if syn.Metrics.Rounds != asy.Metrics.Rounds {
+		t.Errorf("rounds: sync %d async %d", syn.Metrics.Rounds, asy.Metrics.Rounds)
+	}
+	for v := range syn.Programs {
+		a := syn.Programs[v].(*floodMax).best
+		b := asy.Programs[v].(*floodMax).best
+		if a != b {
+			t.Errorf("node %d: sync best %d async best %d", v, a, b)
+		}
+	}
+}
+
+func TestAsyncMatchesSyncWithRandomness(t *testing.T) {
+	g := graph.Grid(6, 6)
+	mk := func(graph.NodeID) Program { return &coinFlipper{rounds: 7} }
+	syn, err := New(g, WithSeed(11)).Run(mk, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	asy, err := New(g, WithSeed(11)).RunAsync(mk, 50)
+	if err != nil {
+		t.Fatalf("RunAsync: %v", err)
+	}
+	for v := range syn.Programs {
+		a := syn.Programs[v].(*coinFlipper).flips
+		b := asy.Programs[v].(*coinFlipper).flips
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %d vs %d flips", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d flip %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestAsyncRejectsFailures(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := New(g, WithCrashes(Crashes(1, 0))).RunAsync(func(graph.NodeID) Program {
+		return &floodMax{rounds: 1}
+	}, 10); err == nil {
+		t.Error("async with crashes should error")
+	}
+	if _, err := New(g, WithDropProb(0.5)).RunAsync(func(graph.NodeID) Program {
+		return &floodMax{rounds: 1}
+	}, 10); err == nil {
+		t.Error("async with drops should error")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	pts := []Point{{0, 0}, {0.6, 0}, {0.6, 0.8}}
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	nw := New(g, WithSeed(1), WithDistances(pts))
+	var d01, d12, dNon float64
+	_, err := nw.Run(func(v graph.NodeID) Program {
+		return programFunc(func(ctx Context) bool {
+			if ctx.ID() == 1 {
+				d01 = ctx.Dist(0)
+				d12 = ctx.Dist(2)
+			}
+			if ctx.ID() == 0 {
+				dNon = ctx.Dist(2) // not a neighbor
+			}
+			return true
+		})
+	}, 5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(d01-0.6) > 1e-12 || math.Abs(d12-0.8) > 1e-12 {
+		t.Errorf("distances = %v, %v", d01, d12)
+	}
+	if !math.IsNaN(dNon) {
+		t.Errorf("non-neighbor distance = %v, want NaN", dNon)
+	}
+}
+
+func TestBitHelpers(t *testing.T) {
+	tests := []struct {
+		max  int
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {255, 8}, {256, 9},
+	}
+	for _, tt := range tests {
+		if got := BitsForCount(tt.max); got != tt.want {
+			t.Errorf("BitsForCount(%d) = %d, want %d", tt.max, got, tt.want)
+		}
+	}
+	if got := IDBits(1024); got != 10 {
+		t.Errorf("IDBits(1024) = %d, want 10", got)
+	}
+	if got := RandIDBits(1024); got != 42 {
+		t.Errorf("RandIDBits(1024) = %d, want 42", got)
+	}
+	if got := FixedPointBits(1024); got != 26 {
+		t.Errorf("FixedPointBits(1024) = %d, want 26", got)
+	}
+}
+
+func TestIsolatedNodeTerminates(t *testing.T) {
+	g := graph.NewBuilder(3).Build() // three isolated nodes
+	res, err := New(g, WithSeed(1)).Run(func(graph.NodeID) Program {
+		return &floodMax{rounds: 2}
+	}, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Metrics.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", res.Metrics.Rounds)
+	}
+	asy, err := New(g, WithSeed(1)).RunAsync(func(graph.NodeID) Program {
+		return &floodMax{rounds: 2}
+	}, 10)
+	if err != nil {
+		t.Fatalf("RunAsync: %v", err)
+	}
+	if asy.Metrics.Rounds != 3 {
+		t.Errorf("async Rounds = %d, want 3", asy.Metrics.Rounds)
+	}
+}

@@ -1,0 +1,156 @@
+// Package stats provides the small statistical toolkit the experiment
+// suite uses: summary statistics, quantiles, confidence intervals, and
+// least-squares regression for round-complexity fits.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator), 0 for fewer
+// than two samples.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Max returns the maximum, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * Std(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary bundles the usual descriptive statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	CI95   float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Quantile(xs, 0.5),
+		P95:    Quantile(xs, 0.95),
+		CI95:   CI95(xs),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f±%.3f std=%.3f min=%.3f med=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.CI95, s.Std, s.Min, s.Median, s.P95, s.Max)
+}
+
+// LinReg holds a least-squares line fit y ≈ Slope·x + Intercept.
+type LinReg struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// Fit computes the least-squares fit of y against x. Inputs must have the
+// same nonzero length; degenerate inputs yield NaNs.
+func Fit(x, y []float64) LinReg {
+	if len(x) != len(y) || len(x) == 0 {
+		return LinReg{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	mx, my := Mean(x), Mean(y)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinReg{Slope: math.NaN(), Intercept: my, R2: math.NaN()}
+	}
+	slope := sxy / sxx
+	r2 := 1.0
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return LinReg{Slope: slope, Intercept: my - slope*mx, R2: r2}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if s := Std(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("Std = %v, want ≈2.138", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Std([]float64{1}) != 0 {
+		t.Error("Std of singleton should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Interpolation between values.
+	if got := Quantile([]float64{0, 10}, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Median != 3 || s.Max != 100 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	if s.CI95 <= 0 {
+		t.Error("CI95 should be positive for varied data")
+	}
+}
+
+func TestFitPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	f := Fit(x, y)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if f := Fit([]float64{1, 2}, []float64{1}); !math.IsNaN(f.Slope) {
+		t.Error("length mismatch should yield NaN slope")
+	}
+	if f := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(f.Slope) {
+		t.Error("constant x should yield NaN slope")
+	}
+	// Flat y: slope 0, R² defined as 1 by convention here.
+	f := Fit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if f.Slope != 0 || f.Intercept != 5 {
+		t.Errorf("flat fit = %+v", f)
+	}
+}

@@ -1,0 +1,153 @@
+// Package tdma builds collision-free transmission schedules on top of a
+// clustering, the "spatial multiplexing in non-overlapping clusters" and
+// "efficient network initialization" applications the paper's introduction
+// cites ([12, 18]). Cluster heads receive interference-free control slots
+// via a distance-2 coloring (two heads sharing a potential receiver must
+// differ), and every ordinary node receives an intra-cluster slot from its
+// lowest-ID head, giving a complete two-level TDMA frame.
+package tdma
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+)
+
+// Schedule is a two-level TDMA frame.
+type Schedule struct {
+	// HeadSlot[v] is the control slot of head v (-1 for non-heads).
+	// Slots are 0-based; two heads with a common neighbor (or that are
+	// adjacent) never share a slot.
+	HeadSlot []int
+	// HeadSlots is the number of distinct control slots (frame length of
+	// the control subframe).
+	HeadSlots int
+	// MemberSlot[v] is the data slot of node v inside its cluster (-1 for
+	// heads and unaffiliated nodes). Two members of the same head never
+	// share a slot.
+	MemberSlot []int
+	// MemberSlots is the data subframe length (the largest cluster size).
+	MemberSlots int
+	// Head[v] is the head node v is affiliated with (itself for heads;
+	// -1 when v has no head in range).
+	Head []graph.NodeID
+}
+
+// FrameLength returns the total number of slots in the frame.
+func (s Schedule) FrameLength() int { return s.HeadSlots + s.MemberSlots }
+
+// Build constructs a schedule from the dominator mask heads. Every node
+// must be a head or adjacent to one (i.e. heads is a dominating set).
+func Build(g *graph.Graph, heads []bool) (Schedule, error) {
+	n := g.NumNodes()
+	if len(heads) != n {
+		return Schedule{}, fmt.Errorf("tdma: mask has %d entries for %d nodes", len(heads), n)
+	}
+	s := Schedule{
+		HeadSlot:   make([]int, n),
+		MemberSlot: make([]int, n),
+		Head:       make([]graph.NodeID, n),
+	}
+	for v := range s.HeadSlot {
+		s.HeadSlot[v] = -1
+		s.MemberSlot[v] = -1
+		s.Head[v] = -1
+	}
+
+	// Distance-2 greedy coloring of heads in ID order: a head's color must
+	// differ from every other head within two hops.
+	for v := 0; v < n; v++ {
+		if !heads[v] {
+			continue
+		}
+		used := map[int]bool{}
+		for _, u := range g.KHopNeighborhood(graph.NodeID(v), 2) {
+			if int(u) != v && heads[u] && s.HeadSlot[u] >= 0 {
+				used[s.HeadSlot[u]] = true
+			}
+		}
+		slot := 0
+		for used[slot] {
+			slot++
+		}
+		s.HeadSlot[v] = slot
+		if slot+1 > s.HeadSlots {
+			s.HeadSlots = slot + 1
+		}
+	}
+
+	// Affiliation: lowest-ID head in the closed neighborhood.
+	for v := 0; v < n; v++ {
+		if heads[v] {
+			s.Head[v] = graph.NodeID(v)
+			continue
+		}
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if heads[w] {
+				s.Head[v] = w
+				break
+			}
+		}
+		if s.Head[v] < 0 && g.Degree(graph.NodeID(v)) > 0 {
+			return Schedule{}, fmt.Errorf("tdma: node %d has no head in range", v)
+		}
+	}
+
+	// Intra-cluster slots: each head numbers its members in ID order.
+	next := make(map[graph.NodeID]int, n)
+	for v := 0; v < n; v++ {
+		h := s.Head[v]
+		if h < 0 || heads[v] {
+			continue
+		}
+		s.MemberSlot[v] = next[h]
+		next[h]++
+		if next[h] > s.MemberSlots {
+			s.MemberSlots = next[h]
+		}
+	}
+	return s, nil
+}
+
+// Validate checks the schedule's two collision-freedom invariants and
+// affiliation consistency; it returns nil when the schedule is valid.
+func Validate(g *graph.Graph, heads []bool, s Schedule) error {
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		if heads[v] != (s.HeadSlot[v] >= 0) {
+			return fmt.Errorf("tdma: head flag and slot disagree at node %d", v)
+		}
+	}
+	// Distance-2 head collision freedom.
+	for v := 0; v < n; v++ {
+		if !heads[v] {
+			continue
+		}
+		for _, u := range g.KHopNeighborhood(graph.NodeID(v), 2) {
+			if int(u) != v && heads[u] && s.HeadSlot[u] == s.HeadSlot[v] {
+				return fmt.Errorf("tdma: heads %d and %d within 2 hops share slot %d",
+					v, u, s.HeadSlot[v])
+			}
+		}
+	}
+	// Intra-cluster member collision freedom.
+	seen := map[[2]int]graph.NodeID{}
+	for v := 0; v < n; v++ {
+		if heads[v] || s.Head[v] < 0 {
+			continue
+		}
+		if s.MemberSlot[v] < 0 {
+			return fmt.Errorf("tdma: member %d has no slot", v)
+		}
+		key := [2]int{int(s.Head[v]), s.MemberSlot[v]}
+		if other, dup := seen[key]; dup {
+			return fmt.Errorf("tdma: members %d and %d of head %d share slot %d",
+				v, other, s.Head[v], s.MemberSlot[v])
+		}
+		seen[key] = graph.NodeID(v)
+		if !g.HasEdge(graph.NodeID(v), s.Head[v]) {
+			return fmt.Errorf("tdma: node %d affiliated with non-neighbor %d", v, s.Head[v])
+		}
+	}
+	return nil
+}

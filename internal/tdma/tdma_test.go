@@ -1,0 +1,111 @@
+package tdma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/baseline"
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/udg"
+)
+
+func TestBuildOnStar(t *testing.T) {
+	g := graph.Star(6)
+	heads := []bool{true, false, false, false, false, false}
+	s, err := Build(g, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, heads, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.HeadSlots != 1 {
+		t.Errorf("HeadSlots = %d, want 1", s.HeadSlots)
+	}
+	if s.MemberSlots != 5 {
+		t.Errorf("MemberSlots = %d, want 5", s.MemberSlots)
+	}
+	if s.FrameLength() != 6 {
+		t.Errorf("FrameLength = %d", s.FrameLength())
+	}
+}
+
+func TestBuildRejectsNonDominating(t *testing.T) {
+	g := graph.Path(4)
+	heads := []bool{true, false, false, false}
+	if _, err := Build(g, heads); err == nil {
+		t.Error("node 2/3 have no head; must be rejected")
+	}
+	if _, err := Build(g, []bool{true}); err == nil {
+		t.Error("mask length mismatch must be rejected")
+	}
+}
+
+func TestDistanceTwoColoring(t *testing.T) {
+	// Path 0-1-2 with heads {0, 2}: they share neighbor 1, so their slots
+	// must differ even though they are not adjacent.
+	g := graph.Path(3)
+	heads := []bool{true, false, true}
+	s, err := Build(g, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HeadSlot[0] == s.HeadSlot[2] {
+		t.Error("distance-2 heads share a slot")
+	}
+	if err := Validate(g, heads, s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildOnSolverOutput(t *testing.T) {
+	pts := geom.UniformPoints(500, 5, 2)
+	g, idx := geom.UnitUDG(pts)
+	sol, err := udg.Solve(pts, g, idx, udg.Options{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(g, sol.Leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, sol.Leader, s); err != nil {
+		t.Fatal(err)
+	}
+	// In a UDG the number of heads within 2 hops of a head is bounded by
+	// a constant when the head set is sparse (O(k) per disk), so the
+	// control subframe stays small.
+	if s.HeadSlots > 80 {
+		t.Errorf("control subframe %d suspiciously large", s.HeadSlots)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := graph.Path(3)
+	heads := []bool{true, false, true}
+	s, err := Build(g, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.HeadSlot[2] = s.HeadSlot[0]
+	if err := Validate(g, heads, s); err == nil {
+		t.Error("corrupted head slots not detected")
+	}
+}
+
+func TestQuickScheduleAlwaysValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%80) + 5
+		g := graph.Gnp(n, 0.2, seed)
+		heads := baseline.GreedyKMDS(g, 1)
+		s, err := Build(g, heads)
+		if err != nil {
+			return false
+		}
+		return Validate(g, heads, s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

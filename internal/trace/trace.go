@@ -1,0 +1,114 @@
+// Package trace renders experiment results as aligned text tables and CSV,
+// the two output formats of cmd/ftbench and EXPERIMENTS.md.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	// Title names the experiment (e.g. "E1 fractional trade-off").
+	Title string
+	// Note is an optional caption explaining how to read the table.
+	Note string
+	// Headers are the column names.
+	Headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are rendered with %v, floats with %.4g.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i (for tests).
+func (t *Table) Row(i int) []string { return t.rows[i] }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Note)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (no quoting needed: cells are numeric
+// or simple identifiers; commas in cells are replaced by semicolons).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	for i, h := range t.Headers {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(clean(h))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(clean(c))
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.Note = "a caption"
+	tb.AddRow("alpha", 1.25)
+	tb.AddRow("b", 100)
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a caption", "name", "alpha", "1.25", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	if got := tb.Row(0)[0]; got != "alpha" {
+		t.Errorf("Row(0)[0] = %q", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := New("x", "a,b", "c")
+	tb.AddRow("v,1", 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "a;b,c" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "v;1,2" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("f", "v")
+	tb.AddRow(1.0 / 3.0)
+	if got := tb.Row(0)[0]; got != "0.3333" {
+		t.Errorf("float cell = %q, want 0.3333", got)
+	}
+	tb.AddRow(float32(2.5))
+	if got := tb.Row(1)[0]; got != "2.5" {
+		t.Errorf("float32 cell = %q", got)
+	}
+}

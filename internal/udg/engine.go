@@ -1,0 +1,345 @@
+// Package udg implements the paper's Section 5 contribution: Algorithm 3,
+// the O(log log n)-round expected-O(1)-approximation for the k-fold
+// dominating set problem in unit disk graphs, assuming nodes can sense
+// distances to their neighbors.
+//
+// Part I (the sparsification of Gao et al. [7]) repeatedly halves the
+// active-node population with a doubling communication radius θ; survivors
+// become leaders and form an ordinary dominating set (Lemma 5.1). Part II
+// extends the leader set to a k-fold dominating set by local promotion
+// (Lemma 5.6).
+//
+// Reproduction note on Part II: the pseudocode as printed promotes
+// under-covered nodes u ∈ U(v) but never anyone else, and it can stall —
+// if the only nodes whose promotion would raise c(u) are themselves fully
+// covered, they are in no U(·), so u stays under-covered and U(v) = {u}
+// forever. This implementation (a) restricts each leader's selections to
+// not-yet-leader members of U(v), which is what the Lemma 5.6 analysis
+// charges for, and (b) adds a local fallback preserving both correctness
+// and locality: a node whose coverage has not improved for two consecutive
+// iterations directly recruits its lowest-ID non-leader neighbors to close
+// its own deficit. The fallback never triggers on the random deployments
+// of the experiment suite; it exists to make termination unconditional.
+package udg
+
+import (
+	"fmt"
+	"math"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// Options configure the UDG solver.
+type Options struct {
+	// K is the fault-tolerance parameter k ≥ 1.
+	K int
+	// Seed drives the per-round random identifiers of Part I.
+	Seed int64
+	// FanOut caps how many nodes a leader promotes per Part II iteration;
+	// 0 means the paper's default of k. Lower fan-out trades iterations
+	// for (slightly) smaller solutions — the AblPartTwoFanout experiment.
+	FanOut int
+}
+
+// Result carries the outcome of Algorithm 3 along with the telemetry the
+// Section 5 experiments need.
+type Result struct {
+	// Leader marks the final k-fold dominating set.
+	Leader []bool
+	// PartILeader marks the plain dominating set after Part I.
+	PartILeader []bool
+	// PartIRounds is the number of leader-election rounds (log_ξ log₂ n).
+	PartIRounds int
+	// PartIIIters counts promotion iterations of Part II.
+	PartIIIters int
+	// FallbackRecruits counts nodes promoted by the stall-repair fallback
+	// (expected 0 on random deployments; see the package comment).
+	FallbackRecruits int
+	// ActivePerRound[i] is the number of active nodes entering round i+1
+	// of Part I (ActivePerRound[0] = n).
+	ActivePerRound []int
+}
+
+// Size returns the number of final leaders.
+func (r Result) Size() int {
+	n := 0
+	for _, l := range r.Leader {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// PartISize returns the number of Part I leaders.
+func (r Result) PartISize() int {
+	n := 0
+	for _, l := range r.PartILeader {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Solve runs Algorithm 3 on the unit disk graph of pts (g and idx must be
+// the UDG and index built from pts with radius 1, e.g. by geom.UnitUDG).
+// The execution is an exact emulation of the synchronous distributed
+// algorithm; program.go is the message-passing twin.
+func Solve(pts []geom.Point, g *graph.Graph, idx *geom.Index, opts Options) (Result, error) {
+	if opts.K < 1 {
+		return Result{}, fmt.Errorf("udg: k must be ≥ 1, got %d", opts.K)
+	}
+	n := len(pts)
+	if g.NumNodes() != n {
+		return Result{}, fmt.Errorf("udg: graph has %d nodes for %d points", g.NumNodes(), n)
+	}
+	res := Result{
+		Leader:      make([]bool, n),
+		PartILeader: make([]bool, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	active := runPartI(pts, idx, opts.Seed, &res)
+	copy(res.PartILeader, active)
+	copy(res.Leader, active)
+	fanOut := opts.FanOut
+	if fanOut <= 0 {
+		fanOut = opts.K
+	}
+	runPartII(g, res.Leader, opts.K, fanOut, &res)
+	return res, nil
+}
+
+// runPartI returns the active mask after the last election round.
+func runPartI(pts []geom.Point, idx *geom.Index, seed int64, res *Result) []bool {
+	n := len(pts)
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	rnds := make([]*idDrawer, n)
+	for v := 0; v < n; v++ {
+		rnds[v] = &idDrawer{r: rng.NewStream(seed, uint64(v)+1), n: n}
+	}
+
+	R := geom.PartIRounds(n)
+	res.PartIRounds = R
+	for i := 1; i <= R; i++ {
+		res.ActivePerRound = append(res.ActivePerRound, count(active))
+		theta := geom.Theta(i, R)
+		ids := make([]int64, n)
+		for v := 0; v < n; v++ {
+			if active[v] {
+				ids[v] = rnds[v].draw()
+			}
+		}
+		elected := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			best := v
+			idx.Within(pts[v], theta, v, func(j int) {
+				if active[j] && higherID(ids[j], j, ids[best], best) {
+					best = j
+				}
+			})
+			elected[best] = true
+		}
+		active = elected
+	}
+	res.ActivePerRound = append(res.ActivePerRound, count(active))
+	return active
+}
+
+// idDrawer draws the per-round random identifiers ID_i(v) ∈ [1, n⁴]
+// (range clamped so it fits in an int64 for very large n).
+type idDrawer struct {
+	r interface{ Int63n(int64) int64 }
+	n int
+}
+
+func (d *idDrawer) draw() int64 {
+	return 1 + d.r.Int63n(idRange(d.n))
+}
+
+func idRange(n int) int64 {
+	f := float64(n)
+	if p := f * f * f * f; p < float64(1<<62) {
+		return int64(p)
+	}
+	return 1 << 62
+}
+
+// higherID compares (id, nodeIndex) pairs; node index breaks the
+// vanishingly rare identifier ties deterministically.
+func higherID(idA int64, a int, idB int64, b int) bool {
+	if idA != idB {
+		return idA > idB
+	}
+	return a > b
+}
+
+// runPartII promotes nodes until every node v has at least
+// min(k, δ(v)+1) leaders in its closed neighborhood (the ClosedPP
+// convention, which implies the paper's Section 1 definition).
+func runPartII(g *graph.Graph, leader []bool, k, fanOut int, res *Result) {
+	n := g.NumNodes()
+	kEff := make([]int, n)
+	for v := 0; v < n; v++ {
+		kEff[v] = min(k, g.Degree(graph.NodeID(v))+1)
+	}
+	stagnant := make([]int, n)
+	prevCov := make([]int, n)
+	for iter := 0; ; iter++ {
+		cov := coverage(g, leader)
+		underAny := false
+		for v := 0; v < n; v++ {
+			if cov[v] < kEff[v] {
+				underAny = true
+				if iter > 0 && cov[v] == prevCov[v] {
+					stagnant[v]++
+				} else {
+					stagnant[v] = 0
+				}
+			} else {
+				stagnant[v] = 0
+			}
+		}
+		copy(prevCov, cov)
+		if !underAny {
+			res.PartIIIters = iter
+			return
+		}
+
+		// Selections are made independently per node, exactly as in the
+		// distributed execution where concurrent selections cannot see
+		// each other; duplicates collapse when promotions are applied.
+		promote := make([]bool, n)
+		// Leaders select up to k not-yet-leader under-covered closed
+		// neighbors (Lines 19–24, with the non-leader restriction).
+		for v := 0; v < n; v++ {
+			if !leader[v] {
+				continue
+			}
+			picked := 0
+			forClosed(g, v, func(u int) {
+				if picked < fanOut && !leader[u] && cov[u] < kEff[u] {
+					promote[u] = true
+					picked++
+				}
+			})
+		}
+		// Stall fallback: a node stuck for two iterations closes its own
+		// deficit by recruiting lowest-ID non-leader closed neighbors.
+		for v := 0; v < n; v++ {
+			if stagnant[v] < 2 || cov[v] >= kEff[v] {
+				continue
+			}
+			deficit := kEff[v] - cov[v]
+			forClosed(g, v, func(u int) {
+				if deficit > 0 && !leader[u] {
+					promote[u] = true
+					deficit--
+					res.FallbackRecruits++
+				}
+			})
+		}
+		for v := 0; v < n; v++ {
+			if promote[v] {
+				leader[v] = true
+			}
+		}
+	}
+}
+
+// coverage returns, per node, the number of leaders in its closed
+// neighborhood.
+func coverage(g *graph.Graph, leader []bool) []int {
+	n := g.NumNodes()
+	cov := make([]int, n)
+	for v := 0; v < n; v++ {
+		if leader[v] {
+			cov[v]++
+		}
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if leader[w] {
+				cov[v]++
+			}
+		}
+	}
+	return cov
+}
+
+// forClosed visits the closed neighborhood of v in ascending ID order.
+func forClosed(g *graph.Graph, v int, fn func(u int)) {
+	visitedSelf := false
+	for _, w := range g.Neighbors(graph.NodeID(v)) {
+		if !visitedSelf && int(w) > v {
+			fn(v)
+			visitedSelf = true
+		}
+		fn(int(w))
+	}
+	if !visitedSelf {
+		fn(v)
+	}
+}
+
+func count(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LeadersPerDisk measures, for a hexagonal lattice of disks of radius 1/2
+// covering the deployment area, the leader count inside each non-empty
+// disk. It is the quantity Lemmas 5.5 and 5.6 bound.
+func LeadersPerDisk(pts []geom.Point, leader []bool) []int {
+	if len(pts) == 0 {
+		return nil
+	}
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	center := geom.Point{X: (minX + maxX) / 2, Y: (minY + maxY) / 2}
+	spread := math.Hypot(maxX-minX, maxY-minY)/2 + 1
+	centers := geom.HexLattice(center, 0.5, spread)
+	var counts []int
+	for _, c := range centers {
+		occupied, leaders := 0, 0
+		for i, p := range pts {
+			if c.Dist2(p) <= 0.25 {
+				occupied++
+				if leader[i] {
+					leaders++
+				}
+			}
+		}
+		if occupied > 0 {
+			counts = append(counts, leaders)
+		}
+	}
+	return counts
+}

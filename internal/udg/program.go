@@ -1,0 +1,264 @@
+package udg
+
+import (
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/sim"
+)
+
+// This file is the message-passing twin of engine.go: Algorithm 3 as a
+// sim.Program. Every Part I election round costs two simulator rounds (ID
+// exchange, elect-message delivery) and every Part II promotion iteration
+// costs three (leader flags, coverage flags, promote/recruit messages).
+// All messages are O(log n) bits; the largest is the random identifier
+// (4·log n bits, as in the paper).
+
+// ProgramConfig configures NewProgram.
+type ProgramConfig struct {
+	// K is the fault-tolerance parameter.
+	K int
+	// PartIIIters is the number of promotion iterations to run; the engine
+	// needs PartIIIters ≥ engine iterations + 2 for exact agreement, and
+	// O(k) always suffices in practice (Theorem 5.7 argues O(1)).
+	PartIIIters int
+}
+
+// Program is the per-node state machine of Algorithm 3.
+type Program struct {
+	cfg ProgramConfig
+	id  graph.NodeID
+
+	rounds      int // R = Part I election rounds
+	active      bool
+	leader      bool
+	partILeader bool
+	partIDone   bool
+
+	selfElected bool
+	electRound  int // current election round, 1-based
+	lastID      int64
+
+	// Part II state.
+	iter     int
+	kEff     int
+	cov      int
+	prevCov  int
+	stagnant int
+	nbLeader map[graph.NodeID]bool
+	nbUnder  map[graph.NodeID]bool
+
+	phase udgPhase
+}
+
+type udgPhase int
+
+const (
+	phaseIDSend udgPhase = iota
+	phaseElect
+	phaseFlagSend
+	phaseCovSend
+	phasePromote
+	phaseUDGDone
+)
+
+type udgIDMsg struct{ ID int64 }
+
+func (udgIDMsg) SizeBits(n int) int { return sim.RandIDBits(n) }
+
+type electMsg struct{}
+
+func (electMsg) SizeBits(int) int { return 2 }
+
+type flagMsg struct{ Leader bool }
+
+func (flagMsg) SizeBits(int) int { return 2 }
+
+type underMsg struct{ Under bool }
+
+func (underMsg) SizeBits(int) int { return 2 }
+
+type promoteMsg struct{}
+
+func (promoteMsg) SizeBits(int) int { return 2 }
+
+// NewProgram returns the Algorithm 3 node program for v.
+func NewProgram(v graph.NodeID, cfg ProgramConfig) *Program {
+	return &Program{cfg: cfg, id: v, active: true, electRound: 1}
+}
+
+// Leader reports final membership after termination.
+func (p *Program) Leader() bool { return p.leader }
+
+// PartILeader reports whether the node survived Part I. Valid after
+// termination (leaders never resign).
+func (p *Program) PartILeader() bool { return p.partILeader }
+
+// Step implements sim.Program.
+func (p *Program) Step(ctx sim.Context) bool {
+	if ctx.Round() == 0 {
+		p.rounds = geom.PartIRounds(ctx.N())
+		p.kEff = minInt(p.cfg.K, ctx.Degree()+1)
+		p.nbLeader = make(map[graph.NodeID]bool)
+		p.nbUnder = make(map[graph.NodeID]bool)
+	}
+	switch p.phase {
+	case phaseIDSend:
+		// Process last round's elect messages (none before round 1).
+		if p.electRound > 1 {
+			p.applyElection(ctx)
+		}
+		if p.active {
+			theta := geom.Theta(p.electRound, p.rounds)
+			id := udgIDMsg{ID: 1 + ctx.Rand().Int63n(idRange(ctx.N()))}
+			for _, w := range ctx.Neighbors() {
+				if ctx.Dist(w) <= theta {
+					ctx.Send(w, id)
+				}
+			}
+			p.lastID = id.ID
+		}
+		p.phase = phaseElect
+	case phaseElect:
+		if p.active {
+			bestID, bestNode := p.lastID, p.id
+			for _, env := range ctx.Inbox() {
+				m := env.Msg.(udgIDMsg)
+				if higherID(m.ID, int(env.From), bestID, int(bestNode)) {
+					bestID, bestNode = m.ID, env.From
+				}
+			}
+			if bestNode == p.id {
+				p.selfElected = true
+			} else {
+				ctx.Send(bestNode, electMsg{})
+			}
+		}
+		if p.electRound < p.rounds {
+			p.electRound++
+			p.phase = phaseIDSend
+		} else {
+			p.phase = phaseFlagSend
+		}
+	case phaseFlagSend:
+		if !p.partIDone {
+			p.applyElection(ctx)
+			p.leader = p.active
+			p.partILeader = p.leader
+			p.partIDone = true
+		} else if p.iter > 0 {
+			// Promotions from the previous iteration arrive here.
+			for range ctx.Inbox() {
+				p.leader = true
+			}
+		}
+		if p.iter >= p.cfg.PartIIIters {
+			p.phase = phaseUDGDone
+			return true
+		}
+		ctx.Broadcast(flagMsg{Leader: p.leader})
+		p.phase = phaseCovSend
+	case phaseCovSend:
+		cov := 0
+		if p.leader {
+			cov++
+		}
+		for k := range p.nbLeader {
+			delete(p.nbLeader, k)
+		}
+		for _, env := range ctx.Inbox() {
+			if env.Msg.(flagMsg).Leader {
+				cov++
+				p.nbLeader[env.From] = true
+			}
+		}
+		if p.iter > 0 {
+			if cov < p.kEff && cov == p.prevCov {
+				p.stagnant++
+			} else {
+				p.stagnant = 0
+			}
+		}
+		p.prevCov = cov
+		p.cov = cov
+		ctx.Broadcast(underMsg{Under: cov < p.kEff})
+		p.phase = phasePromote
+	case phasePromote:
+		for k := range p.nbUnder {
+			delete(p.nbUnder, k)
+		}
+		for _, env := range ctx.Inbox() {
+			if env.Msg.(underMsg).Under {
+				p.nbUnder[env.From] = true
+			}
+		}
+		if p.leader {
+			picked := 0
+			p.forClosedCtx(ctx, func(u graph.NodeID) {
+				if picked < p.cfg.K && u != p.id && !p.nbLeader[u] && p.nbUnder[u] {
+					ctx.Send(u, promoteMsg{})
+					picked++
+				}
+			})
+		}
+		if p.stagnant >= 2 && p.cov < p.kEff {
+			deficit := p.kEff - p.cov
+			p.forClosedCtx(ctx, func(u graph.NodeID) {
+				if deficit <= 0 {
+					return
+				}
+				if u == p.id {
+					if !p.leader {
+						p.leader = true
+						deficit--
+					}
+					return
+				}
+				if !p.nbLeader[u] {
+					ctx.Send(u, promoteMsg{})
+					deficit--
+				}
+			})
+		}
+		p.iter++
+		p.phase = phaseFlagSend
+	case phaseUDGDone:
+		return true
+	}
+	return false
+}
+
+func (p *Program) applyElection(ctx sim.Context) {
+	if !p.active {
+		return
+	}
+	elected := p.selfElected
+	if !elected {
+		for range ctx.Inbox() {
+			elected = true
+		}
+	}
+	p.active = elected
+	p.selfElected = false
+}
+
+// forClosedCtx visits the closed neighborhood in ascending ID order.
+func (p *Program) forClosedCtx(ctx sim.Context, fn func(u graph.NodeID)) {
+	visitedSelf := false
+	for _, w := range ctx.Neighbors() {
+		if !visitedSelf && w > p.id {
+			fn(p.id)
+			visitedSelf = true
+		}
+		fn(w)
+	}
+	if !visitedSelf {
+		fn(p.id)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

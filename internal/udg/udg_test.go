@@ -1,0 +1,259 @@
+package udg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftclust/internal/geom"
+	"ftclust/internal/graph"
+	"ftclust/internal/sim"
+	"ftclust/internal/verify"
+)
+
+func deployment(n int, side float64, seed int64) ([]geom.Point, *graph.Graph, *geom.Index) {
+	pts := geom.UniformPoints(n, side, seed)
+	g, idx := geom.UnitUDG(pts)
+	return pts, g, idx
+}
+
+func TestPartIDominates(t *testing.T) {
+	// Lemma 5.1: after Part I, every node is a leader or has a leader
+	// within distance 1.
+	for seed := int64(0); seed < 10; seed++ {
+		pts, g, idx := deployment(300, 6, seed)
+		res, err := Solve(pts, g, idx, Options{K: 1, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.CheckKFold(g, res.PartILeader, 1, verify.Standard); err != nil {
+			t.Errorf("seed %d: Part I not dominating: %v", seed, err)
+		}
+	}
+}
+
+func TestPartIIKFold(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		for seed := int64(0); seed < 4; seed++ {
+			pts, g, idx := deployment(400, 5, seed)
+			res, err := Solve(pts, g, idx, Options{K: k, Seed: seed})
+			if err != nil {
+				t.Fatalf("k=%d seed %d: %v", k, seed, err)
+			}
+			if err := verify.CheckKFold(g, res.Leader, float64(k), verify.ClosedPP); err != nil {
+				t.Errorf("k=%d seed %d: %v", k, seed, err)
+			}
+			// ClosedPP implies the Section 1 standard definition.
+			if err := verify.CheckKFold(g, res.Leader, float64(k), verify.Standard); err != nil {
+				t.Errorf("k=%d seed %d (standard): %v", k, seed, err)
+			}
+			if res.Size() < res.PartISize() {
+				t.Errorf("k=%d seed %d: Part II shrank the leader set", k, seed)
+			}
+		}
+	}
+}
+
+func TestActiveCountsDecrease(t *testing.T) {
+	pts, g, idx := deployment(2000, 4, 3)
+	res, err := Solve(pts, g, idx, Options{K: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ActivePerRound) != res.PartIRounds+1 {
+		t.Fatalf("ActivePerRound has %d entries for %d rounds",
+			len(res.ActivePerRound), res.PartIRounds)
+	}
+	if res.ActivePerRound[0] != 2000 {
+		t.Errorf("initial active = %d, want 2000", res.ActivePerRound[0])
+	}
+	for i := 1; i < len(res.ActivePerRound); i++ {
+		if res.ActivePerRound[i] > res.ActivePerRound[i-1] {
+			t.Errorf("active count increased at round %d: %v", i, res.ActivePerRound)
+		}
+	}
+	final := res.ActivePerRound[len(res.ActivePerRound)-1]
+	if final >= 2000/4 {
+		t.Errorf("sparsification too weak: %d of 2000 still active", final)
+	}
+}
+
+func TestLeadersPerDiskBounded(t *testing.T) {
+	// Lemma 5.5 / 5.6: expected leaders per ½-radius disk is O(1) after
+	// Part I and O(k) after Part II. We assert loose empirical caps on the
+	// mean (the lemmas bound expectations, not worst cases).
+	pts, g, idx := deployment(3000, 6, 1)
+	for _, k := range []int{1, 4} {
+		res, err := Solve(pts, g, idx, Options{K: k, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := LeadersPerDisk(pts, res.Leader)
+		if len(counts) == 0 {
+			t.Fatal("no occupied disks")
+		}
+		mean := 0.0
+		for _, c := range counts {
+			mean += float64(c)
+		}
+		mean /= float64(len(counts))
+		if limit := 4.0*float64(k) + 4; mean > limit {
+			t.Errorf("k=%d: mean leaders/disk %.2f exceeds %.1f", k, mean, limit)
+		}
+	}
+}
+
+func TestNoFallbackOnRandomDeployments(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		pts, g, idx := deployment(500, 5, seed)
+		res, err := Solve(pts, g, idx, Options{K: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FallbackRecruits != 0 {
+			t.Errorf("seed %d: fallback fired %d times on a random deployment",
+				seed, res.FallbackRecruits)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	pts, g, idx := deployment(10, 3, 1)
+	if _, err := Solve(pts, g, idx, Options{K: 0, Seed: 1}); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	if _, err := Solve(pts[:5], g, idx, Options{K: 1, Seed: 1}); err == nil {
+		t.Error("points/graph mismatch should be rejected")
+	}
+	empty, eidx := geom.UnitUDG(nil)
+	if res, err := Solve(nil, empty, eidx, Options{K: 1, Seed: 1}); err != nil || res.Size() != 0 {
+		t.Errorf("empty instance: res=%v err=%v", res, err)
+	}
+}
+
+func TestQuickAlwaysKFold(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%150 + 2
+		k := int(kRaw)%4 + 1
+		pts, g, idx := deployment(n, 4, seed)
+		res, err := Solve(pts, g, idx, Options{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return verify.CheckKFold(g, res.Leader, float64(k), verify.ClosedPP) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func runUDGProgram(t *testing.T, pts []geom.Point, g *graph.Graph, cfg ProgramConfig, seed int64) ([]sim.Program, sim.Metrics) {
+	t.Helper()
+	simPts := make([]sim.Point, len(pts))
+	for i, p := range pts {
+		simPts[i] = sim.Point{X: p.X, Y: p.Y}
+	}
+	nw := sim.New(g, sim.WithSeed(seed), sim.WithDistances(simPts))
+	res, err := nw.Run(func(v graph.NodeID) sim.Program {
+		return NewProgram(v, cfg)
+	}, 1000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return res.Programs, res.Metrics
+}
+
+func TestProgramMatchesEngine(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pts, g, idx := deployment(250, 4, seed)
+		eng, err := Solve(pts, g, idx, Options{K: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs, _ := runUDGProgram(t, pts, g, ProgramConfig{
+			K:           3,
+			PartIIIters: eng.PartIIIters + 2,
+		}, seed)
+		for v, sp := range progs {
+			p := sp.(*Program)
+			if p.PartILeader() != eng.PartILeader[v] {
+				t.Errorf("seed %d node %d: partI engine=%v program=%v",
+					seed, v, eng.PartILeader[v], p.PartILeader())
+			}
+			if p.Leader() != eng.Leader[v] {
+				t.Errorf("seed %d node %d: leader engine=%v program=%v",
+					seed, v, eng.Leader[v], p.Leader())
+			}
+		}
+	}
+}
+
+func TestProgramRoundsAndMessageSizes(t *testing.T) {
+	pts, g, _ := deployment(400, 4, 7)
+	iters := 6
+	progs, met := runUDGProgram(t, pts, g, ProgramConfig{K: 2, PartIIIters: iters}, 7)
+	// 2 rounds per election round, then per Part II iteration 3 rounds,
+	// plus the final flagSend round that terminates.
+	wantRounds := 2*geom.PartIRounds(400) + 3*iters + 1
+	if met.Rounds != wantRounds {
+		t.Errorf("rounds = %d, want %d", met.Rounds, wantRounds)
+	}
+	if c := met.MaxBitsPerLogN(400); c > 4.5 {
+		t.Errorf("max message bits %d = %.1f × log n (want ≤ 4.5: IDs are 4·log n + O(1))",
+			met.MaxMessageBits, c)
+	}
+	out := make([]bool, len(progs))
+	for v, sp := range progs {
+		out[v] = sp.(*Program).Leader()
+	}
+	if err := verify.CheckKFold(g, out, 2, verify.ClosedPP); err != nil {
+		t.Errorf("program output: %v", err)
+	}
+}
+
+func TestProgramRunsOnAsyncEngine(t *testing.T) {
+	// Algorithm 3 under the α-synchronizer must match the synchronous run.
+	pts, g, _ := deployment(150, 4, 12)
+	cfg := ProgramConfig{K: 2, PartIIIters: 5}
+	simPts := make([]sim.Point, len(pts))
+	for i, p := range pts {
+		simPts[i] = sim.Point{X: p.X, Y: p.Y}
+	}
+	mk := func(v graph.NodeID) sim.Program { return NewProgram(v, cfg) }
+	syn, err := sim.New(g, sim.WithSeed(6), sim.WithDistances(simPts)).Run(mk, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asy, err := sim.New(g, sim.WithSeed(6), sim.WithDistances(simPts)).RunAsync(mk, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range syn.Programs {
+		a := syn.Programs[v].(*Program).Leader()
+		b := asy.Programs[v].(*Program).Leader()
+		if a != b {
+			t.Errorf("node %d: sync %v async %v", v, a, b)
+		}
+	}
+}
+
+func TestProgramRunsOnParallelEngine(t *testing.T) {
+	pts, g, _ := deployment(200, 4, 9)
+	cfg := ProgramConfig{K: 2, PartIIIters: 5}
+	seqProgs, _ := runUDGProgram(t, pts, g, cfg, 2)
+	simPts := make([]sim.Point, len(pts))
+	for i, p := range pts {
+		simPts[i] = sim.Point{X: p.X, Y: p.Y}
+	}
+	par, err := sim.New(g, sim.WithSeed(2), sim.WithDistances(simPts)).
+		RunParallel(func(v graph.NodeID) sim.Program { return NewProgram(v, cfg) }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seqProgs {
+		a := seqProgs[v].(*Program).Leader()
+		b := par.Programs[v].(*Program).Leader()
+		if a != b {
+			t.Errorf("node %d: seq %v par %v", v, a, b)
+		}
+	}
+}

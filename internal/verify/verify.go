@@ -1,0 +1,187 @@
+// Package verify provides the correctness checkers the experiment suite
+// and tests use to validate solutions: the standard k-fold dominating set
+// definition of Section 1, the closed-neighborhood (PP) convention of
+// Section 4.1, and coverage accounting under node failures.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"ftclust/internal/graph"
+)
+
+// Convention selects the feasibility definition being checked.
+type Convention int
+
+const (
+	// Standard is the paper's Section 1 definition: every node v ∉ S has
+	// at least k neighbors in S; members of S need no coverage.
+	Standard Convention = iota + 1
+	// ClosedPP is the (PP) convention of Section 4.1: every node v (member
+	// or not) needs k_v coverage in its closed neighborhood, counting
+	// itself once if v ∈ S.
+	ClosedPP
+)
+
+// String implements fmt.Stringer.
+func (c Convention) String() string {
+	switch c {
+	case Standard:
+		return "standard"
+	case ClosedPP:
+		return "closed-pp"
+	default:
+		return fmt.Sprintf("convention(%d)", int(c))
+	}
+}
+
+// CheckKFold verifies that S (as a bool mask over nodes) is a k-fold
+// dominating set under the convention. Demands are capped at what is
+// achievable: min(k, δ(v)) for Standard non-members, min(k, δ(v)+1) for
+// ClosedPP. It returns nil if feasible and a descriptive error naming the
+// first violated node otherwise.
+func CheckKFold(g *graph.Graph, inSet []bool, k float64, conv Convention) error {
+	kv := make([]float64, g.NumNodes())
+	for v := range kv {
+		kv[v] = k
+	}
+	return CheckKFoldVector(g, inSet, kv, conv)
+}
+
+// CheckKFoldVector is CheckKFold with per-node demands.
+func CheckKFoldVector(g *graph.Graph, inSet []bool, k []float64, conv Convention) error {
+	n := g.NumNodes()
+	if len(inSet) != n || len(k) != n {
+		return fmt.Errorf("verify: length mismatch (n=%d, |S|=%d, |k|=%d)", n, len(inSet), len(k))
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		switch conv {
+		case Standard:
+			if inSet[v] {
+				continue
+			}
+			need := math.Min(k[v], float64(g.Degree(id)))
+			got := 0.0
+			for _, w := range g.Neighbors(id) {
+				if inSet[w] {
+					got++
+				}
+			}
+			if got < need {
+				return fmt.Errorf("verify: node %d has %v of %v dominators (standard)", v, got, need)
+			}
+		case ClosedPP:
+			need := math.Min(k[v], float64(g.Degree(id)+1))
+			got := 0.0
+			if inSet[v] {
+				got++
+			}
+			for _, w := range g.Neighbors(id) {
+				if inSet[w] {
+					got++
+				}
+			}
+			if got < need {
+				return fmt.Errorf("verify: node %d has %v of %v coverage (closed-pp)", v, got, need)
+			}
+		default:
+			return fmt.Errorf("verify: unknown convention %v", conv)
+		}
+	}
+	return nil
+}
+
+// Coverage returns, for every node, the number of set members in its
+// closed neighborhood (itself included if a member).
+func Coverage(g *graph.Graph, inSet []bool) []int {
+	n := g.NumNodes()
+	cov := make([]int, n)
+	for v := 0; v < n; v++ {
+		if inSet[v] {
+			cov[v]++
+		}
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if inSet[w] {
+				cov[v]++
+			}
+		}
+	}
+	return cov
+}
+
+// SetSize counts the members of the mask.
+func SetSize(inSet []bool) int {
+	n := 0
+	for _, in := range inSet {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// SetFromMask converts the mask to a sorted ID list.
+func SetFromMask(inSet []bool) []graph.NodeID {
+	var out []graph.NodeID
+	for v, in := range inSet {
+		if in {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// MaskFromSet converts an ID list to a mask over n nodes.
+func MaskFromSet(n int, set []graph.NodeID) []bool {
+	mask := make([]bool, n)
+	for _, v := range set {
+		mask[v] = true
+	}
+	return mask
+}
+
+// FailureReport summarizes residual domination after dominator failures.
+type FailureReport struct {
+	// Failed is the number of set members removed.
+	Failed int
+	// UncoveredNodes counts surviving non-members with zero surviving
+	// dominators in their neighborhood.
+	UncoveredNodes int
+	// MinCoverage is the minimum surviving dominator count over surviving
+	// non-member nodes (0 if any is uncovered); -1 when there are no
+	// non-member nodes.
+	MinCoverage int
+}
+
+// AfterFailures evaluates how domination degrades when the dominators in
+// dead fail (dead nodes need no coverage themselves: a crashed sensor
+// neither serves nor demands the backbone).
+func AfterFailures(g *graph.Graph, inSet []bool, dead map[graph.NodeID]bool) FailureReport {
+	rep := FailureReport{MinCoverage: -1}
+	for v := range inSet {
+		if inSet[v] && dead[graph.NodeID(v)] {
+			rep.Failed++
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if dead[id] || inSet[v] {
+			continue
+		}
+		cov := 0
+		for _, w := range g.Neighbors(id) {
+			if inSet[w] && !dead[w] {
+				cov++
+			}
+		}
+		if rep.MinCoverage < 0 || cov < rep.MinCoverage {
+			rep.MinCoverage = cov
+		}
+		if cov == 0 {
+			rep.UncoveredNodes++
+		}
+	}
+	return rep
+}

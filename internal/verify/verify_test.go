@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"testing"
+
+	"ftclust/internal/graph"
+)
+
+func TestConventions(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	center := []bool{false, true, false}
+	if err := CheckKFold(g, center, 1, Standard); err != nil {
+		t.Errorf("center dominates under standard: %v", err)
+	}
+	if err := CheckKFold(g, center, 1, ClosedPP); err != nil {
+		t.Errorf("center dominates under closed-pp: %v", err)
+	}
+	end := []bool{true, false, false}
+	if err := CheckKFold(g, end, 1, Standard); err == nil {
+		t.Error("endpoint-only should fail standard (node 2 uncovered)")
+	}
+	// Members are exempt under Standard but not under ClosedPP for k=2.
+	all := []bool{true, true, true}
+	if err := CheckKFold(g, all, 5, Standard); err != nil {
+		t.Errorf("S=V always passes standard: %v", err)
+	}
+	if err := CheckKFold(g, all, 5, ClosedPP); err != nil {
+		t.Errorf("S=V always passes closed-pp (capped demands): %v", err)
+	}
+}
+
+func TestStandardExemptsMembers(t *testing.T) {
+	g := graph.Star(4)
+	onlyLeaf := []bool{false, true, false, false}
+	// Leaf 1 is in S (exempt); center has 1 dominator; leaves 2,3 have 0.
+	if err := CheckKFold(g, onlyLeaf, 1, Standard); err == nil {
+		t.Error("leaves 2,3 uncovered; should fail")
+	}
+	centerAndLeaf := []bool{true, true, false, false}
+	if err := CheckKFold(g, centerAndLeaf, 1, Standard); err != nil {
+		t.Errorf("center covers leaves: %v", err)
+	}
+}
+
+func TestCapsAtDegree(t *testing.T) {
+	g := graph.Path(2)
+	one := []bool{true, false}
+	// k=5 capped: node 1 ∉ S has degree 1, needs min(5,1)=1 dominator. ✓
+	if err := CheckKFold(g, one, 5, Standard); err != nil {
+		t.Errorf("capped standard: %v", err)
+	}
+	// ClosedPP: node 1 needs min(5, 2)=2 coverage but has 1 → fail.
+	if err := CheckKFold(g, one, 5, ClosedPP); err == nil {
+		t.Error("closed-pp should fail: node 1 has 1 of 2")
+	}
+}
+
+func TestVectorAndLengthValidation(t *testing.T) {
+	g := graph.Path(3)
+	if err := CheckKFoldVector(g, []bool{true}, []float64{1, 1, 1}, Standard); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := CheckKFold(g, []bool{true, true, true}, 1, Convention(99)); err == nil {
+		t.Error("unknown convention should error")
+	}
+	k := []float64{1, 2, 1}
+	s := []bool{true, false, true}
+	// Node 1 needs 2 of its closed nbhd {0,1,2}: has 0 and 2 → ok.
+	if err := CheckKFoldVector(g, s, k, ClosedPP); err != nil {
+		t.Errorf("vector demands: %v", err)
+	}
+}
+
+func TestCoverageAndMasks(t *testing.T) {
+	g := graph.Ring(4)
+	s := []bool{true, false, true, false}
+	cov := Coverage(g, s)
+	want := []int{1, 2, 1, 2}
+	for i := range cov {
+		if cov[i] != want[i] {
+			t.Errorf("cov[%d] = %d, want %d", i, cov[i], want[i])
+		}
+	}
+	if SetSize(s) != 2 {
+		t.Error("SetSize")
+	}
+	ids := SetFromMask(s)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Errorf("SetFromMask = %v", ids)
+	}
+	back := MaskFromSet(4, ids)
+	for i := range back {
+		if back[i] != s[i] {
+			t.Error("MaskFromSet round-trip failed")
+		}
+	}
+}
+
+func TestAfterFailures(t *testing.T) {
+	g := graph.Star(5) // center 0
+	s := []bool{true, true, false, false, false}
+	rep := AfterFailures(g, s, map[graph.NodeID]bool{0: true})
+	if rep.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", rep.Failed)
+	}
+	// Leaves 2,3,4 survive uncovered (their only dominator 0 died;
+	// leaf 1 is a member).
+	if rep.UncoveredNodes != 3 {
+		t.Errorf("UncoveredNodes = %d, want 3", rep.UncoveredNodes)
+	}
+	if rep.MinCoverage != 0 {
+		t.Errorf("MinCoverage = %d, want 0", rep.MinCoverage)
+	}
+	// No failures: everyone keeps their dominator.
+	rep2 := AfterFailures(g, s, nil)
+	if rep2.Failed != 0 || rep2.UncoveredNodes != 0 || rep2.MinCoverage != 1 {
+		t.Errorf("no-failure report = %+v", rep2)
+	}
+	// All non-members dead: no coverage demands remain.
+	rep3 := AfterFailures(g, s, map[graph.NodeID]bool{2: true, 3: true, 4: true})
+	if rep3.MinCoverage != -1 || rep3.UncoveredNodes != 0 {
+		t.Errorf("all-dead report = %+v", rep3)
+	}
+}
+
+func TestConventionString(t *testing.T) {
+	if Standard.String() != "standard" || ClosedPP.String() != "closed-pp" {
+		t.Error("convention names")
+	}
+	if Convention(9).String() == "" {
+		t.Error("unknown convention should still print")
+	}
+}
