@@ -9,6 +9,7 @@ package ftclust
 // cmd/ftbench regenerates the full-scale tables.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -145,5 +146,25 @@ func BenchmarkPublicAPISolve(b *testing.B) {
 		if sol.Size() == 0 {
 			b.Fatal("empty solution")
 		}
+	}
+}
+
+func BenchmarkPublicAPISolveParallel(b *testing.B) {
+	g, err := GenerateGraph("gnp", 4096, 14, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := SolveKMDS(g, 3, WithSeed(int64(i)), WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Size() == 0 {
+					b.Fatal("empty solution")
+				}
+			}
+		})
 	}
 }

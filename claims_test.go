@@ -227,3 +227,46 @@ func TestClaimLocalDelta(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Lemma 4.4 under LocalDelta: the dual certificate remains feasible up to
+// the global-Δ κ = t(Δ+1)^{1/t} even when thresholds use per-node 2-hop
+// local degrees, because every local Δ_v is bounded by the global Δ and
+// the per-phase overshoot argument only needs (Δ_v+1)^{1/t} ≤ (Δ+1)^{1/t}
+// (see the Kappa field documentation in internal/core). Degree-skewed
+// graphs make the local/global gap as large as possible.
+func TestClaimLocalDeltaDualCertificate(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.PreferentialAttachment(150, 2, 7),
+		graph.Star(60),
+		graph.Gnp(120, 0.08, 3),
+	}
+	for gi, g := range graphs {
+		for _, tt := range []int{1, 2, 3} {
+			k := core.EffectiveDemands(g, 2)
+			res, err := core.SolveFractional(g, k, core.FractionalOptions{T: tt, LocalDelta: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Dual-fitting identity (Lemma 4.3) is threshold-agnostic.
+			if d := math.Abs(res.DualObjective(k) - res.BetaSum); d > 1e-8*(1+math.Abs(res.BetaSum)) {
+				t.Errorf("graph %d t=%d: dual-fitting residual %v", gi, tt, d)
+			}
+			c := lp.FromGraph(g, k)
+			if err := c.CheckDualNonNegative(res.Y, res.Z, 1e-9); err != nil {
+				t.Errorf("graph %d t=%d: %v", gi, tt, err)
+			}
+			if v := c.DualViolation(res.Y, res.Z); v > res.Kappa+1e-9 {
+				t.Errorf("graph %d t=%d: local-Δ dual violation %v exceeds global-Δ κ %v",
+					gi, tt, v, res.Kappa)
+			}
+			// The certificate still lower-bounds OPT_f via weak duality.
+			_, opt, err := c.SolveFractional()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cert := res.DualObjective(k) / res.Kappa; cert > opt+1e-6 {
+				t.Errorf("graph %d t=%d: certificate %v exceeds OPT_f %v", gi, tt, cert, opt)
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+// -bench-json mode: measure the in-memory core engines (SolveFractional,
+// RoundSolution, SolveWeighted) across graph families, sizes and worker
+// counts, and write a machine-readable JSON report so the performance
+// trajectory of the repository is tracked in version control
+// (BENCH_core.json at the repo root). See EXPERIMENTS.md ("Benchmark
+// harness") for the schema and reproduction instructions.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ftclust/internal/core"
+	"ftclust/internal/graph"
+)
+
+// benchReport is the top-level BENCH_core.json document.
+type benchReport struct {
+	Schema      string        `json:"schema"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
+	Scale       float64       `json:"scale"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+}
+
+// benchRecord is one measured configuration.
+type benchRecord struct {
+	Op       string `json:"op"`
+	Family   string `json:"family"`
+	N        int    `json:"n"`
+	K        int    `json:"k"`
+	T        int    `json:"t"`
+	Workers  int    `json:"workers"`
+	NsPerOp  int64  `json:"ns_op"`
+	AllocsOp int64  `json:"allocs_op"`
+	BytesOp  int64  `json:"bytes_op"`
+	// SpeedupVsSequential is ns_op(workers=1)/ns_op for the same
+	// (op, family, n); 0 on the sequential record itself. On a
+	// single-core machine this hovers around 1 — the worker pool can
+	// only pay off with GOMAXPROCS ≥ 2.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+}
+
+func benchGraphFor(family string, n int) (*graph.Graph, error) {
+	switch family {
+	case "gnp":
+		return graph.GnpAvgDegree(n, 12, 3), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "powerlaw":
+		return graph.PreferentialAttachment(n, 4, 5), nil
+	}
+	return nil, fmt.Errorf("unknown benchmark family %q", family)
+}
+
+// runBenchJSON measures every configuration and writes the report to path.
+// scale shrinks the instance sizes for smoke runs (CI uses 0.05).
+func runBenchJSON(path string, scale float64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("bench-json: scale must be in (0,1], got %v", scale)
+	}
+	const k, t = 2, 3
+	sizes := []int{1000, 5000}
+	// Always measure one parallel configuration: GOMAXPROCS workers, or 4
+	// on a single-core machine — there the speedup column reads ≈ 1 and
+	// documents the worker-pool overhead instead.
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
+	}
+	workerCounts := []int{1, par}
+
+	rep := benchReport{
+		Schema:      "ftclust-bench-core/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Scale:       scale,
+	}
+
+	for _, family := range []string{"gnp", "grid", "powerlaw"} {
+		for _, baseN := range sizes {
+			n := int(float64(baseN) * scale)
+			if n < 10 {
+				n = 10
+			}
+			g, err := benchGraphFor(family, n)
+			if err != nil {
+				return err
+			}
+			n = g.NumNodes() // grid rounds up to a full square
+			kVec := core.EffectiveDemands(g, k)
+			frac, err := core.SolveFractional(g, kVec, core.FractionalOptions{T: t})
+			if err != nil {
+				return err
+			}
+			costs := make([]float64, n)
+			for v := range costs {
+				costs[v] = 1 + float64(v%9)
+			}
+
+			ops := []struct {
+				name string
+				run  func(workers int) error
+			}{
+				{"SolveFractional", func(workers int) error {
+					_, err := core.SolveFractional(g, kVec, core.FractionalOptions{T: t, Workers: workers})
+					return err
+				}},
+				{"RoundSolution", func(workers int) error {
+					_, err := core.RoundSolution(g, kVec, frac.X, frac.Delta,
+						core.RoundingOptions{Seed: 1, Workers: workers})
+					return err
+				}},
+				{"SolveWeighted", func(workers int) error {
+					_, err := core.SolveWeighted(g, core.WeightedOptions{
+						K: k, T: t, Seed: 1, Costs: costs, Workers: workers,
+					})
+					return err
+				}},
+			}
+
+			for _, op := range ops {
+				var seqNs int64
+				for _, workers := range workerCounts {
+					workers := workers
+					var benchErr error
+					r := testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							if err := op.run(workers); err != nil {
+								benchErr = err
+								b.Fatal(err)
+							}
+						}
+					})
+					if benchErr != nil {
+						return fmt.Errorf("bench %s/%s/n=%d: %w", op.name, family, n, benchErr)
+					}
+					rec := benchRecord{
+						Op: op.name, Family: family, N: n, K: k, T: t,
+						Workers:  workers,
+						NsPerOp:  r.NsPerOp(),
+						AllocsOp: r.AllocsPerOp(),
+						BytesOp:  r.AllocedBytesPerOp(),
+					}
+					if workers == 1 {
+						seqNs = r.NsPerOp()
+					} else if seqNs > 0 && r.NsPerOp() > 0 {
+						rec.SpeedupVsSequential = float64(seqNs) / float64(r.NsPerOp())
+					}
+					rep.Benchmarks = append(rep.Benchmarks, rec)
+					fmt.Fprintf(os.Stderr, "bench %-16s %-8s n=%-6d workers=%-2d %12d ns/op %8d allocs/op\n",
+						op.name, family, n, workers, rec.NsPerOp, rec.AllocsOp)
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

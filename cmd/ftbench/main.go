@@ -6,6 +6,10 @@
 //	ftbench -exp E7         # one experiment
 //	ftbench -scale 0.3      # quick pass
 //	ftbench -csv -o out/    # additionally write CSV per experiment
+//	ftbench -bench-json BENCH_core.json
+//	                        # instead: benchmark the core engines
+//	                        # (sequential vs worker pool) and write the
+//	                        # machine-readable performance report
 package main
 
 import (
@@ -27,14 +31,19 @@ func main() {
 
 func run() error {
 	var (
-		id     = flag.String("exp", "", "experiment id (E1…E11, A1…A3); empty = all")
-		seed   = flag.Int64("seed", 1, "root seed")
-		trials = flag.Int("trials", 5, "trials per table row")
-		scale  = flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
-		csv    = flag.Bool("csv", false, "also write CSV files")
-		outDir = flag.String("o", ".", "directory for CSV output")
+		id        = flag.String("exp", "", "experiment id (E1…E11, A1…A3); empty = all")
+		seed      = flag.Int64("seed", 1, "root seed")
+		trials    = flag.Int("trials", 5, "trials per table row")
+		scale     = flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
+		csv       = flag.Bool("csv", false, "also write CSV files")
+		outDir    = flag.String("o", ".", "directory for CSV output")
+		benchJSON = flag.String("bench-json", "", "benchmark the core engines and write this JSON report instead of running experiments")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, *scale)
+	}
 
 	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale}
 	var suite []exp.Experiment

@@ -98,7 +98,9 @@ type Solution struct {
 	FractionalObjective float64
 	// CertifiedLowerBound is a proven lower bound on the optimal
 	// fractional solution, extracted from Algorithm 1's dual certificate
-	// via weak duality (general graphs only, 0 otherwise).
+	// via weak duality. Only the unweighted general-graph pipeline
+	// (SolveKMDS) builds a dual certificate; the weighted and UDG solvers
+	// leave this 0.
 	CertifiedLowerBound float64
 	// Algorithm names the algorithm that produced the solution.
 	Algorithm string
@@ -113,6 +115,7 @@ type config struct {
 	seed       int64
 	localDelta bool
 	fanOut     int
+	workers    int
 }
 
 // Option customizes a solve call.
@@ -136,6 +139,13 @@ func WithLocalDelta() Option { return func(c *config) { c.localDelta = true } }
 // Part II (default k). Ignored by the general-graph solver.
 func WithFanOut(f int) Option { return func(c *config) { c.fanOut = f } }
 
+// WithWorkers distributes the in-memory engines' per-round sweeps over w
+// goroutines (default 1, sequential); runtime.GOMAXPROCS(0) is the natural
+// choice on multicore machines. Results are bit-identical to the
+// sequential execution for equal seeds, whatever the worker count.
+// Ignored by the UDG solver.
+func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
 // SolveKMDS computes a k-fold dominating set of g with the general-graph
 // pipeline (Algorithms 1 and 2). The result satisfies the ClosedPP
 // convention (which implies Standard) with per-node demands capped at
@@ -153,6 +163,7 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 		T:          c.t,
 		Seed:       c.seed,
 		LocalDelta: c.localDelta,
+		Workers:    c.workers,
 	})
 	if err != nil {
 		return nil, err
@@ -193,9 +204,13 @@ func SolveUDGKMDS(pts []Point, k int, opts ...Option) (*Solution, *Graph, error)
 
 // Verify checks that sol is a k-fold dominating set of g under the given
 // convention; it returns nil on success and a descriptive error naming the
-// first violated node otherwise.
+// first violated node otherwise. Per-node demands are capped at
+// closed-neighborhood sizes with the same EffectiveDemands vector the
+// solvers optimize against, so a solution a solver reports as feasible
+// always verifies — even on graphs with nodes of degree < k, where the
+// raw demand k is unsatisfiable.
 func Verify(g *Graph, sol *Solution, k int, conv Convention) error {
-	return verify.CheckKFold(g, sol.InSet, float64(k), conv)
+	return verify.CheckKFoldVector(g, sol.InSet, core.EffectiveDemands(g, float64(k)), conv)
 }
 
 // SolveWeightedKMDS computes a k-fold dominating set minimizing total node
@@ -210,15 +225,19 @@ func SolveWeightedKMDS(g *Graph, k int, costs []float64, opts ...Option) (*Solut
 		o(&c)
 	}
 	res, err := core.SolveWeighted(g, core.WeightedOptions{
-		K: float64(k), T: c.t, Seed: c.seed, Costs: costs,
+		K: float64(k), T: c.t, Seed: c.seed, Costs: costs, Workers: c.workers,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Solution{
-		InSet:               res.InSet,
-		Members:             verify.SetFromMask(res.InSet),
-		Rounds:              2*c.t*c.t + 4,
+		InSet:   res.InSet,
+		Members: verify.SetFromMask(res.InSet),
+		// Engine-reported double-loop rounds plus the four fixed rounds of
+		// the guarantee sweep and rounding, matching SolveKMDS's
+		// accounting. CertifiedLowerBound stays 0: the weighted engine
+		// builds no dual certificate (see core.SolveWeighted).
+		Rounds:              res.LoopRounds + 4,
 		FractionalObjective: res.FractionalCost,
 		Algorithm:           "weighted general-graph (Alg 1W+2W)",
 	}, nil

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ftclust/internal/graph"
+)
+
+// Performance benchmarks for the three in-memory engines across graph
+// families and sizes, each in sequential and worker-pool form. Run with
+//
+//	go test ./internal/core -bench 'Solve|Round' -benchmem
+//
+// cmd/ftbench -bench-json produces the machine-readable BENCH_core.json
+// (ns/op, allocs/op, parallel speedup) from the same configurations.
+
+func benchGraph(b *testing.B, family string, n int) *graph.Graph {
+	b.Helper()
+	switch family {
+	case "gnp":
+		return graph.GnpAvgDegree(n, 12, 3)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side)
+	case "powerlaw":
+		return graph.PreferentialAttachment(n, 4, 5)
+	default:
+		b.Fatalf("unknown family %q", family)
+		return nil
+	}
+}
+
+func benchWorkerCounts() []int {
+	w := runtime.GOMAXPROCS(0)
+	if w <= 1 {
+		return []int{1}
+	}
+	return []int{1, w}
+}
+
+func BenchmarkSolveFractional(b *testing.B) {
+	for _, family := range []string{"gnp", "grid", "powerlaw"} {
+		for _, n := range []int{1000, 5000} {
+			g := benchGraph(b, family, n)
+			k := EffectiveDemands(g, 2)
+			for _, workers := range benchWorkerCounts() {
+				name := fmt.Sprintf("%s/n=%d/workers=%d", family, n, workers)
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := SolveFractional(g, k, FractionalOptions{T: 3, Workers: workers}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkRoundSolution(b *testing.B) {
+	for _, family := range []string{"gnp", "powerlaw"} {
+		for _, n := range []int{1000, 5000} {
+			g := benchGraph(b, family, n)
+			k := EffectiveDemands(g, 2)
+			frac, err := SolveFractional(g, k, FractionalOptions{T: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, workers := range benchWorkerCounts() {
+				name := fmt.Sprintf("%s/n=%d/workers=%d", family, n, workers)
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := RoundSolution(g, k, frac.X, frac.Delta,
+							RoundingOptions{Seed: int64(i), Workers: workers}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkSolveWeighted(b *testing.B) {
+	for _, family := range []string{"gnp", "powerlaw"} {
+		for _, n := range []int{1000, 5000} {
+			g := benchGraph(b, family, n)
+			costs := make([]float64, g.NumNodes())
+			for v := range costs {
+				costs[v] = 1 + float64(v%9)
+			}
+			for _, workers := range benchWorkerCounts() {
+				name := fmt.Sprintf("%s/n=%d/workers=%d", family, n, workers)
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := SolveWeighted(g, WeightedOptions{
+							K: 2, T: 3, Seed: int64(i), Costs: costs, Workers: workers,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkSolveEndToEnd(b *testing.B) {
+	g := benchGraph(b, "gnp", 5000)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(g, Options{K: 3, T: 3, Seed: int64(i), Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNewLayout(b *testing.B) {
+	g := benchGraph(b, "gnp", 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lay := newLayout(g)
+		if lay.n != 5000 {
+			b.Fatal("bad layout")
+		}
+	}
+}

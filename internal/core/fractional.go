@@ -10,6 +10,13 @@
 // sim.Program (program.go) that runs on the message-passing simulator with
 // bit-level message accounting. Tests assert the two produce identical
 // results for identical seeds.
+//
+// The in-memory engine stores all per-node state in flat contiguous
+// arrays over a shared closed-neighborhood CSR layout (layout.go) and can
+// distribute each per-round sweep over a worker pool (FractionalOptions.
+// Workers). Every sweep touches only the state of the node it iterates,
+// so the deterministic chunk-by-node-ID split keeps results bit-identical
+// to the sequential execution — and therefore to the sim.Program.
 package core
 
 import (
@@ -18,6 +25,7 @@ import (
 	"sort"
 
 	"ftclust/internal/graph"
+	"ftclust/internal/par"
 )
 
 // FractionalOptions configure Algorithm 1.
@@ -29,6 +37,10 @@ type FractionalOptions struct {
 	// with each node's maximum degree within two hops (the relaxation the
 	// paper's final remark points to via [16, 11]).
 	LocalDelta bool
+	// Workers distributes the per-round sweeps over this many goroutines.
+	// Values ≤ 1 run sequentially. Results are bit-identical for every
+	// worker count and equal seeds.
+	Workers int
 }
 
 // FractionalResult carries the primal solution, the dual certificate, and
@@ -42,7 +54,18 @@ type FractionalResult struct {
 	// BetaSum is Σ_i Σ_{j∈N_i} β_{i,j}; Lemma 4.3 states it equals the
 	// dual objective Σ (k_i·y_i − z_i).
 	BetaSum float64
-	// Kappa is t·(Δ+1)^{1/t}, the dual infeasibility factor of Lemma 4.4.
+	// Kappa is t·(Δ+1)^{1/t}, the dual infeasibility factor of Lemma 4.4,
+	// always computed from the global Δ — even under LocalDelta. This is
+	// sound because Lemma 4.4 bounds each dual constraint Σ_{i∈N_j} y_i
+	// per outer phase p: the neighbors of j covered while threshold level
+	// p was active contribute y_i = 1/(Δ_i+1)^{p/t} against β-mass
+	// accrued at the same per-node rate, and the overshoot of the last
+	// x-increase before c_i reaches k_i is at most a factor
+	// (Δ_i+1)^{1/t}. Each local Δ_i is a maximum over a 2-hop ball, so
+	// Δ_i ≤ Δ and (Δ_i+1)^{1/t} ≤ (Δ+1)^{1/t}; summing over the t phases
+	// gives a per-constraint violation of at most t·(Δ+1)^{1/t} = κ. The
+	// claims test TestClaimLocalDeltaDualCertificate asserts this bound
+	// empirically with LocalDelta enabled.
 	Kappa float64
 	// Delta is the maximum degree used (global Δ unless LocalDelta).
 	Delta int
@@ -91,6 +114,12 @@ func LowerBoundRatio(t, delta int) float64 {
 // is an exact, deterministic emulation of the synchronous algorithm; the
 // sim.Program in program.go reproduces it bit for bit.
 func SolveFractional(g *graph.Graph, k []float64, opts FractionalOptions) (FractionalResult, error) {
+	return solveFractionalWithLayout(g, newLayout(g), k, opts)
+}
+
+// solveFractionalWithLayout is SolveFractional on a precomputed layout, so
+// Solve can share one layout between the fractional and rounding phases.
+func solveFractionalWithLayout(g *graph.Graph, lay *layout, k []float64, opts FractionalOptions) (FractionalResult, error) {
 	t := opts.T
 	if t < 1 {
 		return FractionalResult{}, fmt.Errorf("core: t must be ≥ 1, got %d", t)
@@ -101,17 +130,12 @@ func SolveFractional(g *graph.Graph, k []float64, opts FractionalOptions) (Fract
 	}
 
 	globalDelta := g.MaxDegree()
-	deltas := make([]int, n) // per-node Δ the node believes in
+	var deltas []int // per-node Δ the node believes in; nil = global
 	if opts.LocalDelta {
-		local := g.MaxDegreeWithinHops(2)
-		copy(deltas, local)
-	} else {
-		for v := range deltas {
-			deltas[v] = globalDelta
-		}
+		deltas = g.MaxDegreeWithinHops(2)
 	}
 
-	st := newFracState(g, k, deltas, t)
+	st := newFracState(lay, k, deltas, globalDelta, t, opts.Workers)
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
 			st.innerIteration(p, q)
@@ -131,144 +155,188 @@ func SolveFractional(g *graph.Graph, k []float64, opts FractionalOptions) (Fract
 	}, nil
 }
 
-// fracState is the global emulation of Algorithm 1's per-node state.
+// fracState is the global emulation of Algorithm 1's per-node state. All
+// per-neighborhood quantities live in flat arrays aligned with the shared
+// CSR layout: alpha[s], beta[s] hold α_{j,v}, β_{j,v} where v is the node
+// owning slot s and j = lay.adj[s] — the share of neighbor j's x-increase
+// attributed to covering v.
 type fracState struct {
-	g      *graph.Graph
-	n      int
-	t      int
-	k      []float64 // effective demands (capped)
-	x      []float64
-	xPlus  []float64
-	dyn    []int // dynamic degrees δ̃_i (white nodes in closed neighborhood)
-	white  []bool
-	c      []float64
-	y, z   []float64
-	thresh [][]float64 // thresh[v][p] = (Δ_v+1)^{p/t}
-	inc    [][]float64 // inc[v][q]    = 1/(Δ_v+1)^{q/t}
-	// closed[v] is the closed neighborhood of v in ascending ID order;
-	// pos[v] maps a node ID to its slot in closed[v].
-	closed [][]graph.NodeID
-	pos    []map[graph.NodeID]int
-	// alpha[v][s], beta[v][s]: α_{j,v}, β_{j,v} where j = closed[v][s] —
-	// the share of neighbor j's x-increase attributed to covering v.
-	alpha [][]float64
-	beta  [][]float64
+	lay     *layout
+	mir     []int32 // mirror slots for finishDuals
+	n       int
+	t       int
+	workers int
+	k       []float64 // effective demands (capped)
+	x       []float64
+	xPlus   []float64
+	dyn     []int32 // dynamic degrees δ̃_i (white nodes in closed neighborhood)
+	white   []bool
+	turned  []bool // scratch: nodes whose color flipped this iteration
+	c       []float64
+	y, z    []float64
+	// Threshold tables (Δ_v+1)^{p/t} and their reciprocals. With a global
+	// Δ every node shares one t-entry table (perNode=false); under
+	// LocalDelta the tables are per-node, flattened as thresh[v*t+p].
+	thresh  []float64
+	inc     []float64
+	perNode bool
+	alpha   []float64
+	beta    []float64
 }
 
-func newFracState(g *graph.Graph, k []float64, deltas []int, t int) *fracState {
-	n := g.NumNodes()
+func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, workers int) *fracState {
+	n := lay.n
 	st := &fracState{
-		g: g, n: n, t: t,
+		lay: lay, mir: lay.mirror(), n: n, t: t, workers: workers,
 		k:      make([]float64, n),
 		x:      make([]float64, n),
 		xPlus:  make([]float64, n),
-		dyn:    make([]int, n),
+		dyn:    make([]int32, n),
 		white:  make([]bool, n),
+		turned: make([]bool, n),
 		c:      make([]float64, n),
 		y:      make([]float64, n),
 		z:      make([]float64, n),
-		thresh: make([][]float64, n),
-		inc:    make([][]float64, n),
-		closed: make([][]graph.NodeID, n),
-		pos:    make([]map[graph.NodeID]int, n),
-		alpha:  make([][]float64, n),
-		beta:   make([][]float64, n),
+		alpha:  make([]float64, len(lay.adj)),
+		beta:   make([]float64, len(lay.adj)),
+	}
+	fillTables := func(dst, rec []float64, delta int) {
+		d1 := float64(delta + 1)
+		for e := 0; e < t; e++ {
+			dst[e] = math.Pow(d1, float64(e)/float64(t))
+			rec[e] = 1 / dst[e]
+		}
+	}
+	if deltas == nil {
+		st.thresh = make([]float64, t)
+		st.inc = make([]float64, t)
+		fillTables(st.thresh, st.inc, globalDelta)
+	} else {
+		st.perNode = true
+		st.thresh = make([]float64, n*t)
+		st.inc = make([]float64, n*t)
+		par.For(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				fillTables(st.thresh[v*t:(v+1)*t], st.inc[v*t:(v+1)*t], deltas[v])
+			}
+		})
 	}
 	for v := 0; v < n; v++ {
-		st.closed[v] = ClosedNeighborhood(g, graph.NodeID(v))
-		st.pos[v] = make(map[graph.NodeID]int, len(st.closed[v]))
-		for s, w := range st.closed[v] {
-			st.pos[v][w] = s
-		}
-		st.alpha[v] = make([]float64, len(st.closed[v]))
-		st.beta[v] = make([]float64, len(st.closed[v]))
-		st.k[v] = math.Min(k[v], float64(len(st.closed[v])))
+		size := lay.size(v)
+		st.k[v] = math.Min(k[v], float64(size))
 		st.white[v] = true
-		st.dyn[v] = len(st.closed[v])
-		d1 := float64(deltas[v] + 1)
-		st.thresh[v] = make([]float64, t)
-		st.inc[v] = make([]float64, t)
-		for e := 0; e < t; e++ {
-			st.thresh[v][e] = math.Pow(d1, float64(e)/float64(t))
-			st.inc[v][e] = 1 / st.thresh[v][e]
-		}
+		st.dyn[v] = int32(size)
 	}
 	return st
 }
 
+// threshAt returns (Δ_v+1)^{e/t}; incAt its reciprocal.
+func (st *fracState) threshAt(v, e int) float64 {
+	if st.perNode {
+		return st.thresh[v*st.t+e]
+	}
+	return st.thresh[e]
+}
+
+func (st *fracState) incAt(v, e int) float64 {
+	if st.perNode {
+		return st.inc[v*st.t+e]
+	}
+	return st.inc[e]
+}
+
 // innerIteration performs one (p, q) iteration for every node — two
-// communication rounds in the distributed execution.
+// communication rounds in the distributed execution. Rounds A and B touch
+// only per-node state and parallelize; the dynamic-degree maintenance is
+// incremental (each node turning black decrements its closed neighbors'
+// counters once, O(Δ) amortized per color flip), replacing the original
+// full O(n·Δ) neighborhood rescan per iteration.
 func (st *fracState) innerIteration(p, q int) {
 	// Round A: raise x-values (Lines 5–8).
-	for v := 0; v < st.n; v++ {
-		st.xPlus[v] = 0
-		if st.x[v] < 1 && float64(st.dyn[v]) >= st.thresh[v][p] {
-			xp := math.Min(st.inc[v][q], 1-st.x[v])
-			st.xPlus[v] = xp
-			st.x[v] += xp
-		}
-	}
-	// Round B part 1: white nodes account coverage and duals (Lines 10–21).
-	for v := 0; v < st.n; v++ {
-		if !st.white[v] {
-			continue
-		}
-		cPlus := 0.0
-		for _, w := range st.closed[v] {
-			cPlus += st.xPlus[w]
-		}
-		lambda := 1.0
-		if cPlus > 0 {
-			lambda = math.Min(1, (st.k[v]-st.c[v])/cPlus)
-		}
-		st.c[v] += cPlus
-		for s, w := range st.closed[v] {
-			st.beta[v][s] += lambda * st.xPlus[w] / st.thresh[v][p]
-			st.alpha[v][s] += lambda * st.xPlus[w]
-		}
-		if st.c[v] >= st.k[v] {
-			st.white[v] = false
-			st.y[v] = 1 / st.thresh[v][p]
-		}
-	}
-	// Round B part 2: refresh dynamic degrees (Line 24).
-	for v := 0; v < st.n; v++ {
-		d := 0
-		for _, w := range st.closed[v] {
-			if st.white[w] {
-				d++
+	par.For(st.n, st.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			st.xPlus[v] = 0
+			if st.x[v] < 1 && float64(st.dyn[v]) >= st.threshAt(v, p) {
+				xp := math.Min(st.incAt(v, q), 1-st.x[v])
+				st.xPlus[v] = xp
+				st.x[v] += xp
 			}
 		}
-		st.dyn[v] = d
+	})
+	// Round B part 1: white nodes account coverage and duals (Lines 10–21).
+	par.For(st.n, st.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if !st.white[v] {
+				continue
+			}
+			closed := st.lay.closed(v)
+			cPlus := 0.0
+			for _, w := range closed {
+				cPlus += st.xPlus[w]
+			}
+			lambda := 1.0
+			if cPlus > 0 {
+				lambda = math.Min(1, (st.k[v]-st.c[v])/cPlus)
+			}
+			st.c[v] += cPlus
+			base := int(st.lay.off[v])
+			// Division (not a precomputed reciprocal) to stay bit-identical
+			// with the sim.Program's per-node arithmetic.
+			th := st.threshAt(v, p)
+			for s, w := range closed {
+				st.beta[base+s] += lambda * st.xPlus[w] / th
+				st.alpha[base+s] += lambda * st.xPlus[w]
+			}
+			if st.c[v] >= st.k[v] {
+				st.white[v] = false
+				st.turned[v] = true
+				st.y[v] = 1 / th
+			}
+		}
+	})
+	// Round B part 2: maintain dynamic degrees (Line 24) incrementally.
+	// Sequential on purpose: total cost over the whole run is one O(Δ)
+	// decrement sweep per node, which is dwarfed by Round B part 1.
+	for v := 0; v < st.n; v++ {
+		if !st.turned[v] {
+			continue
+		}
+		st.turned[v] = false
+		for _, w := range st.lay.closed(v) {
+			st.dyn[w]--
+		}
 	}
 }
 
 // finishDuals computes z_i = Σ_{j∈N_i} (α_{i,j}·y_j − β_{i,j}) (Line 27).
 // α_{i,j} and β_{i,j} are stored at node j (the covered side), so the
-// distributed execution needs one extra exchange round here.
+// distributed execution needs one extra exchange round here; the engine
+// reads them through the precomputed mirror slots.
 func (st *fracState) finishDuals() {
-	for v := 0; v < st.n; v++ {
-		sum := 0.0
-		for _, w := range st.closed[v] {
-			s := st.pos[w][graph.NodeID(v)]
-			sum += st.alpha[w][s]*st.y[w] - st.beta[w][s]
+	par.For(st.n, st.workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sum := 0.0
+			for s := st.lay.off[v]; s < st.lay.off[v+1]; s++ {
+				w := st.lay.adj[s]
+				m := st.mir[s]
+				sum += st.alpha[m]*st.y[w] - st.beta[m]
+			}
+			st.z[v] = sum
 		}
-		st.z[v] = sum
-	}
+	})
 }
 
 func (st *fracState) betaSum() float64 {
 	total := 0.0
-	for v := 0; v < st.n; v++ {
-		for _, b := range st.beta[v] {
-			total += b
-		}
+	for _, b := range st.beta {
+		total += b
 	}
 	return total
 }
 
 // ClosedNeighborhood returns N_v = {v} ∪ neighbors(v) in ascending ID
-// order, the paper's N_i.
+// order, the paper's N_i. The solvers use the shared flat layout instead;
+// this helper remains for one-off queries and tests.
 func ClosedNeighborhood(g *graph.Graph, v graph.NodeID) []graph.NodeID {
 	ns := g.Neighbors(v)
 	out := make([]graph.NodeID, 0, len(ns)+1)

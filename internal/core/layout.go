@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+
+	"ftclust/internal/graph"
+)
+
+// layout is the flat CSR representation of all closed neighborhoods of a
+// graph, shared by the fractional engine, the rounding engine and the
+// weighted solver. closed(v) = adj[off[v]:off[v+1]] holds N_v = {v} ∪
+// neighbors(v) in ascending ID order, built by merging v into the graph's
+// already-sorted adjacency — no per-node allocation, no sort. It replaces
+// the per-node ClosedNeighborhood slices (allocate + sort each) and the
+// map[NodeID]int position indices of the original engine.
+type layout struct {
+	n   int
+	off []int32
+	adj []graph.NodeID
+}
+
+func newLayout(g *graph.Graph) *layout {
+	n := g.NumNodes()
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(g.Degree(graph.NodeID(v))+1)
+	}
+	adj := make([]graph.NodeID, off[n])
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(graph.NodeID(v))
+		s := off[v]
+		self := graph.NodeID(v)
+		placed := false
+		for _, w := range ns {
+			if !placed && self < w {
+				adj[s] = self
+				s++
+				placed = true
+			}
+			adj[s] = w
+			s++
+		}
+		if !placed {
+			adj[s] = self
+		}
+	}
+	return &layout{n: n, off: off, adj: adj}
+}
+
+// closed returns N_v as a view into the shared backing array.
+func (l *layout) closed(v int) []graph.NodeID {
+	return l.adj[l.off[v]:l.off[v+1]]
+}
+
+// size returns |N_v|.
+func (l *layout) size(v int) int {
+	return int(l.off[v+1] - l.off[v])
+}
+
+// maxSize returns max_v |N_v| (0 for the empty graph); used to size
+// per-worker scratch buffers.
+func (l *layout) maxSize() int {
+	m := 0
+	for v := 0; v < l.n; v++ {
+		if s := l.size(v); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// mirror returns, for every slot s holding the pair (v, w) with
+// w = adj[s] ∈ N_v, the slot index of the reverse pair (w, v) in N_w. The
+// dual-finishing step needs α_{v,w}/β_{v,w} stored on the covered side w,
+// and this index array replaces the per-node position maps with one binary
+// search per edge at build time.
+func (l *layout) mirror() []int32 {
+	m := make([]int32, len(l.adj))
+	for v := 0; v < l.n; v++ {
+		for s := l.off[v]; s < l.off[v+1]; s++ {
+			w := int(l.adj[s])
+			cw := l.closed(w)
+			i := sort.Search(len(cw), func(i int) bool { return cw[i] >= graph.NodeID(v) })
+			m[s] = l.off[w] + int32(i)
+		}
+	}
+	return m
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"ftclust/internal/graph"
+)
+
+// Equivalence tests for the worker-pool execution of the in-memory
+// engines: for every graph family, seed, and worker count, the parallel
+// run must be byte-for-byte identical to the sequential one (X, Y, Z,
+// InSet, and all counters). Run under -race these tests also guard the
+// sweeps against data races.
+
+func parallelTestGraphs(tb testing.TB, n int) map[string]*graph.Graph {
+	tb.Helper()
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return map[string]*graph.Graph{
+		"gnp":      graph.GnpAvgDegree(n, 10, 3),
+		"grid":     graph.Grid(side, side),
+		"powerlaw": graph.PreferentialAttachment(n, 3, 5),
+	}
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] { // bitwise: the engines promise exact equality
+			return false
+		}
+	}
+	return true
+}
+
+func sameBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	for name, g := range parallelTestGraphs(t, 400) {
+		for _, seed := range []int64{1, 7, 42} {
+			for _, workers := range []int{2, 4, 7} {
+				seq, err := Solve(g, Options{K: 3, T: 3, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s seed=%d: sequential: %v", name, seed, err)
+				}
+				par, err := Solve(g, Options{K: 3, T: 3, Seed: seed, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s seed=%d w=%d: parallel: %v", name, seed, workers, err)
+				}
+				if !sameFloats(seq.Fractional.X, par.Fractional.X) {
+					t.Errorf("%s seed=%d w=%d: X diverges", name, seed, workers)
+				}
+				if !sameFloats(seq.Fractional.Y, par.Fractional.Y) {
+					t.Errorf("%s seed=%d w=%d: Y diverges", name, seed, workers)
+				}
+				if !sameFloats(seq.Fractional.Z, par.Fractional.Z) {
+					t.Errorf("%s seed=%d w=%d: Z diverges", name, seed, workers)
+				}
+				if seq.Fractional.BetaSum != par.Fractional.BetaSum {
+					t.Errorf("%s seed=%d w=%d: BetaSum diverges", name, seed, workers)
+				}
+				if !sameBools(seq.InSet, par.InSet) {
+					t.Errorf("%s seed=%d w=%d: InSet diverges", name, seed, workers)
+				}
+				if seq.Rounding.Sampled != par.Rounding.Sampled ||
+					seq.Rounding.Repaired != par.Rounding.Repaired {
+					t.Errorf("%s seed=%d w=%d: rounding counters diverge", name, seed, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveFractionalParallelLocalDelta(t *testing.T) {
+	g := graph.PreferentialAttachment(300, 2, 9) // heavy degree spread
+	k := EffectiveDemands(g, 2)
+	seq, err := SolveFractional(g, k, FractionalOptions{T: 3, LocalDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveFractional(g, k, FractionalOptions{T: 3, LocalDelta: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(seq.X, par.X) || !sameFloats(seq.Y, par.Y) || !sameFloats(seq.Z, par.Z) {
+		t.Error("LocalDelta parallel run diverges from sequential")
+	}
+}
+
+func TestRoundSolutionParallelMatchesSequential(t *testing.T) {
+	g := graph.GnpAvgDegree(500, 8, 11)
+	k := EffectiveDemands(g, 2)
+	frac, err := SolveFractional(g, k, FractionalOptions{T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{0, 3, 19} {
+		seq, err := RoundSolution(g, k, frac.X, frac.Delta, RoundingOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RoundSolution(g, k, frac.X, frac.Delta, RoundingOptions{Seed: seed, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameBools(seq.InSet, par.InSet) {
+			t.Errorf("seed %d: InSet diverges", seed)
+		}
+		if seq.Sampled != par.Sampled || seq.Repaired != par.Repaired {
+			t.Errorf("seed %d: counters diverge", seed)
+		}
+	}
+}
+
+func TestSolveWeightedParallelMatchesSequential(t *testing.T) {
+	for name, g := range parallelTestGraphs(t, 300) {
+		costs := make([]float64, g.NumNodes())
+		for v := range costs {
+			costs[v] = 1 + float64(v%7)
+		}
+		seq, err := SolveWeighted(g, WeightedOptions{K: 2, T: 3, Seed: 5, Costs: costs})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		par, err := SolveWeighted(g, WeightedOptions{K: 2, T: 3, Seed: 5, Costs: costs, Workers: 4})
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", name, err)
+		}
+		if !sameFloats(seq.X, par.X) {
+			t.Errorf("%s: weighted X diverges", name)
+		}
+		if !sameBools(seq.InSet, par.InSet) {
+			t.Errorf("%s: weighted InSet diverges", name)
+		}
+		if seq.Cost != par.Cost || seq.FractionalCost != par.FractionalCost {
+			t.Errorf("%s: weighted costs diverge", name)
+		}
+		if seq.LoopRounds != 2*3*3 || par.LoopRounds != seq.LoopRounds {
+			t.Errorf("%s: LoopRounds = %d/%d, want 18", name, seq.LoopRounds, par.LoopRounds)
+		}
+	}
+}
+
+func TestLayoutMatchesClosedNeighborhood(t *testing.T) {
+	for name, g := range parallelTestGraphs(t, 120) {
+		lay := newLayout(g)
+		mir := lay.mirror()
+		for v := 0; v < g.NumNodes(); v++ {
+			want := ClosedNeighborhood(g, graph.NodeID(v))
+			got := lay.closed(v)
+			if len(got) != len(want) {
+				t.Fatalf("%s node %d: size %d, want %d", name, v, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s node %d: closed[%d] = %d, want %d", name, v, i, got[i], want[i])
+				}
+			}
+			for s := lay.off[v]; s < lay.off[v+1]; s++ {
+				w := lay.adj[s]
+				if back := lay.adj[mir[s]]; back != graph.NodeID(v) {
+					t.Fatalf("%s: mirror of (%d,%d) points at %d", name, v, w, back)
+				}
+			}
+		}
+	}
+}

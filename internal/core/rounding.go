@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ftclust/internal/graph"
+	"ftclust/internal/par"
 	"ftclust/internal/rng"
 )
 
@@ -19,6 +21,10 @@ type RoundingOptions struct {
 	// experiment that demonstrates the repair step is what guarantees
 	// feasibility.
 	SkipRepair bool
+	// Workers distributes the sampling and repair sweeps over this many
+	// goroutines (≤ 1 = sequential). Each node consumes only its own
+	// random stream, so results are bit-identical for every worker count.
+	Workers int
 }
 
 // RoundingResult is the outcome of Algorithm 2.
@@ -58,57 +64,81 @@ func RoundSolution(g *graph.Graph, k []float64, x []float64, delta int, opts Rou
 	if len(x) != n || len(k) != n {
 		return RoundingResult{}, fmt.Errorf("core: x/k length mismatch with graph (%d nodes)", n)
 	}
+	return roundWithLayout(newLayout(g), k, x, delta, opts), nil
+}
+
+// roundWithLayout is RoundSolution over a precomputed closed-neighborhood
+// layout (shared with the fractional phase by Solve), so no per-node
+// neighborhood slices are allocated or sorted.
+func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts RoundingOptions) RoundingResult {
+	n := lay.n
 	lnD := math.Log(float64(delta + 1))
 
+	// Sampling (Line 2). Seeding a per-node stream is the expensive part
+	// (rand.NewSource initializes a large state), so the sweep is worth
+	// parallelizing even before any graph work happens.
 	inSet := make([]bool, n)
-	sampled := 0
 	rnds := make([]*rand.Rand, n)
+	sampled := 0
+	par.For(n, opts.Workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			rnds[v] = rng.NewStream(opts.Seed, uint64(v)+1)
+			p := math.Min(1, x[v]*lnD)
+			if rnds[v].Float64() < p {
+				inSet[v] = true
+			}
+		}
+	})
 	for v := 0; v < n; v++ {
-		rnds[v] = rng.NewStream(opts.Seed, uint64(v)+1)
-		p := math.Min(1, x[v]*lnD)
-		if rnds[v].Float64() < p {
-			inSet[v] = true
+		if inSet[v] {
 			sampled++
 		}
 	}
 	if opts.SkipRepair {
-		return RoundingResult{InSet: inSet, Sampled: sampled}, nil
+		return RoundingResult{InSet: inSet, Sampled: sampled}
 	}
 
 	// REQ step: deficits are computed against the sampled set only (the
-	// algorithm is one-shot; concurrent REQs may overlap, which only helps).
-	recruit := make([]bool, n)
-	for v := 0; v < n; v++ {
-		closed := ClosedNeighborhood(g, graph.NodeID(v))
-		kv := math.Min(k[v], float64(len(closed)))
-		cov := 0.0
-		for _, w := range closed {
-			if inSet[w] {
-				cov++
+	// algorithm is one-shot; concurrent REQs may overlap, which only
+	// helps). inSet is frozen here, every node reads its own stream, and
+	// recruit slots only ever receive the value 1, so the sweep is
+	// order-independent; atomic stores keep the parallel path race-free.
+	recruit := make([]uint32, n)
+	maxClosed := lay.maxSize()
+	par.For(n, opts.Workers, func(lo, hi int) {
+		candidates := make([]graph.NodeID, 0, maxClosed)
+		for v := lo; v < hi; v++ {
+			closed := lay.closed(v)
+			kv := math.Min(k[v], float64(len(closed)))
+			cov := 0.0
+			for _, w := range closed {
+				if inSet[w] {
+					cov++
+				}
+			}
+			deficit := int(math.Ceil(kv - cov - 1e-12))
+			if deficit <= 0 {
+				continue
+			}
+			candidates = candidates[:0]
+			for _, w := range closed {
+				if !inSet[w] {
+					candidates = append(candidates, w)
+				}
+			}
+			// |N_v| ≥ k_v guarantees enough candidates.
+			perm := rnds[v].Perm(len(candidates))
+			for i := 0; i < deficit && i < len(candidates); i++ {
+				atomic.StoreUint32(&recruit[candidates[perm[i]]], 1)
 			}
 		}
-		deficit := int(math.Ceil(kv - cov - 1e-12))
-		if deficit <= 0 {
-			continue
-		}
-		var candidates []graph.NodeID
-		for _, w := range closed {
-			if !inSet[w] {
-				candidates = append(candidates, w)
-			}
-		}
-		// |N_v| ≥ k_v guarantees enough candidates.
-		perm := rnds[v].Perm(len(candidates))
-		for i := 0; i < deficit && i < len(candidates); i++ {
-			recruit[candidates[perm[i]]] = true
-		}
-	}
+	})
 	repaired := 0
 	for v := 0; v < n; v++ {
-		if recruit[v] && !inSet[v] {
+		if recruit[v] == 1 && !inSet[v] {
 			inSet[v] = true
 			repaired++
 		}
 	}
-	return RoundingResult{InSet: inSet, Sampled: sampled, Repaired: repaired}, nil
+	return RoundingResult{InSet: inSet, Sampled: sampled, Repaired: repaired}
 }

@@ -23,6 +23,10 @@ type Options struct {
 	// SkipRepair disables Algorithm 2's REQ step (ablation only; the
 	// result may then be infeasible and Solve will report it).
 	SkipRepair bool
+	// Workers distributes both phases' per-round sweeps over this many
+	// goroutines (≤ 1 = sequential). Results are bit-identical to the
+	// sequential execution for equal seeds, whatever the worker count.
+	Workers int
 }
 
 // Result is the full outcome of the combined solver.
@@ -59,17 +63,20 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("core: t must be ≥ 1, got %d", opts.T)
 	}
 	k := EffectiveDemands(g, opts.K)
-	frac, err := SolveFractional(g, k, FractionalOptions{T: opts.T, LocalDelta: opts.LocalDelta})
-	if err != nil {
-		return Result{}, err
-	}
-	rounded, err := RoundSolution(g, k, frac.X, frac.Delta, RoundingOptions{
-		Seed:       opts.Seed,
-		SkipRepair: opts.SkipRepair,
+	lay := newLayout(g) // one closed-neighborhood layout shared by both phases
+	frac, err := solveFractionalWithLayout(g, lay, k, FractionalOptions{
+		T:          opts.T,
+		LocalDelta: opts.LocalDelta,
+		Workers:    opts.Workers,
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	rounded := roundWithLayout(lay, k, frac.X, frac.Delta, RoundingOptions{
+		Seed:       opts.Seed,
+		SkipRepair: opts.SkipRepair,
+		Workers:    opts.Workers,
+	})
 	res := Result{
 		InSet:      rounded.InSet,
 		Fractional: frac,

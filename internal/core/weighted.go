@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"ftclust/internal/graph"
+	"ftclust/internal/par"
 	"ftclust/internal/rng"
 	"ftclust/internal/verify"
 )
@@ -26,8 +28,14 @@ import (
 //     available neighbors instead of random ones.
 //
 // No approximation factor is claimed for the weighted variant (the paper
-// only sketches it); experiment E12 measures its cost against the weighted
-// LP optimum and the weighted greedy.
+// only sketches it), and it builds no dual certificate — callers get the
+// fractional cost as a reference point, not a certified lower bound.
+// Experiment E12 measures its cost against the weighted LP optimum and the
+// weighted greedy.
+//
+// Like the unit-cost engine, the hot sweeps run over the shared flat
+// closed-neighborhood layout, maintain dynamic degrees incrementally, and
+// optionally fan out over a worker pool with bit-identical results.
 
 // WeightedOptions configure SolveWeighted.
 type WeightedOptions struct {
@@ -39,6 +47,9 @@ type WeightedOptions struct {
 	Seed int64
 	// Costs[v] > 0 is node v's cost (e.g. inverse battery level).
 	Costs []float64
+	// Workers distributes the per-round sweeps over this many goroutines
+	// (≤ 1 = sequential); results are bit-identical for equal seeds.
+	Workers int
 }
 
 // WeightedResult is the outcome of the weighted solver.
@@ -53,6 +64,11 @@ type WeightedResult struct {
 	Cost float64
 	// K echoes the effective demands.
 	K []float64
+	// LoopRounds is the communication-round count of the fractional
+	// phase's double loop, exactly 2t² — the weighted analogue of
+	// FractionalResult.LoopRounds, reported by the engine so callers do
+	// not re-derive it from t.
+	LoopRounds int
 }
 
 // SolveWeighted runs the weighted pipeline on g.
@@ -76,15 +92,16 @@ func SolveWeighted(g *graph.Graph, opts WeightedOptions) (WeightedResult, error)
 		cMax = math.Max(cMax, c)
 	}
 	if n == 0 {
-		return WeightedResult{K: []float64{}}, nil
+		return WeightedResult{K: []float64{}, LoopRounds: 2 * opts.T * opts.T}, nil
 	}
 
 	k := EffectiveDemands(g, opts.K)
 	delta := g.MaxDegree()
-	x := weightedFractional(g, k, opts.Costs, opts.T, delta, cMin, cMax)
-	inSet := weightedRound(g, k, x, opts.Costs, delta, opts.Seed)
+	lay := newLayout(g)
+	x, loopRounds := weightedFractional(lay, k, opts.Costs, opts.T, delta, cMin, cMax, opts.Workers)
+	inSet := weightedRound(lay, k, x, opts.Costs, delta, opts.Seed, opts.Workers)
 
-	res := WeightedResult{InSet: inSet, X: x, K: k}
+	res := WeightedResult{InSet: inSet, X: x, K: k, LoopRounds: loopRounds}
 	for v := 0; v < n; v++ {
 		res.FractionalCost += opts.Costs[v] * x[v]
 		if inSet[v] {
@@ -98,18 +115,18 @@ func SolveWeighted(g *graph.Graph, opts WeightedOptions) (WeightedResult, error)
 }
 
 // weightedFractional is Algorithm 1 with the cost-effectiveness threshold.
-func weightedFractional(g *graph.Graph, k, costs []float64, t, delta int, cMin, cMax float64) []float64 {
-	n := g.NumNodes()
+// It returns the fractional solution and the double loop's round count.
+func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMax float64, workers int) ([]float64, int) {
+	n := lay.n
 	x := make([]float64, n)
 	xPlus := make([]float64, n)
 	white := make([]bool, n)
-	dyn := make([]int, n)
+	turned := make([]bool, n)
+	dyn := make([]int32, n)
 	cov := make([]float64, n)
-	closed := make([][]graph.NodeID, n)
 	for v := 0; v < n; v++ {
-		closed[v] = ClosedNeighborhood(g, graph.NodeID(v))
 		white[v] = true
-		dyn[v] = len(closed[v])
+		dyn[v] = int32(lay.size(v))
 	}
 	d1 := float64(delta + 1)
 	// Effectiveness sweep S_p = (1/cMax)·R^{p/t}, R = (Δ+1)·cMax/cMin.
@@ -124,95 +141,112 @@ func weightedFractional(g *graph.Graph, k, costs []float64, t, delta int, cMin, 
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
 			thresholdS := sP(p)
-			for v := 0; v < n; v++ {
-				xPlus[v] = 0
-				if x[v] < 1 && float64(dyn[v])/costs[v] >= thresholdS {
-					xp := math.Min(inc(q), 1-x[v])
-					xPlus[v] = xp
-					x[v] += xp
-				}
-			}
-			for v := 0; v < n; v++ {
-				if !white[v] {
-					continue
-				}
-				for _, w := range closed[v] {
-					cov[v] += xPlus[w]
-				}
-				if cov[v] >= k[v] {
-					white[v] = false
-				}
-			}
-			for v := 0; v < n; v++ {
-				d := 0
-				for _, w := range closed[v] {
-					if white[w] {
-						d++
+			incQ := inc(q)
+			par.For(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					xPlus[v] = 0
+					if x[v] < 1 && float64(dyn[v])/costs[v] >= thresholdS {
+						xp := math.Min(incQ, 1-x[v])
+						xPlus[v] = xp
+						x[v] += xp
 					}
 				}
-				dyn[v] = d
+			})
+			par.For(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if !white[v] {
+						continue
+					}
+					for _, w := range lay.closed(v) {
+						cov[v] += xPlus[w]
+					}
+					if cov[v] >= k[v] {
+						white[v] = false
+						turned[v] = true
+					}
+				}
+			})
+			// Incremental dynamic-degree maintenance, amortized O(Δ) per
+			// color flip over the whole run (replaces the per-iteration
+			// O(n·Δ) rescan).
+			for v := 0; v < n; v++ {
+				if !turned[v] {
+					continue
+				}
+				turned[v] = false
+				for _, w := range lay.closed(v) {
+					dyn[w]--
+				}
 			}
 		}
 	}
 	// Final guarantee sweep: anyone still white after the loop is covered
 	// by its closed neighborhood raising x to 1, mirroring the unit-cost
 	// algorithm's p=q=0 behaviour for nodes whose cost kept them below
-	// every threshold.
+	// every threshold. Sequential: several nodes may write the same slot.
 	for v := 0; v < n; v++ {
 		if !white[v] {
 			continue
 		}
-		for _, w := range closed[v] {
+		for _, w := range lay.closed(v) {
 			x[w] = 1
 		}
 	}
-	return x
+	return x, 2 * t * t
 }
 
 // weightedRound samples like Algorithm 2 and repairs deficits with the
 // cheapest candidates.
-func weightedRound(g *graph.Graph, k, x, costs []float64, delta int, seed int64) []bool {
-	n := g.NumNodes()
+func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, workers int) []bool {
+	n := lay.n
 	lnD := math.Log(float64(delta + 1))
 	inSet := make([]bool, n)
-	for v := 0; v < n; v++ {
-		p := math.Min(1, x[v]*lnD)
-		if rng.NewStream(seed, uint64(v)+1).Float64() < p {
-			inSet[v] = true
-		}
-	}
-	recruit := make([]bool, n)
-	for v := 0; v < n; v++ {
-		closed := ClosedNeighborhood(g, graph.NodeID(v))
-		covV := 0.0
-		for _, w := range closed {
-			if inSet[w] {
-				covV++
+	par.For(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			p := math.Min(1, x[v]*lnD)
+			if rng.NewStream(seed, uint64(v)+1).Float64() < p {
+				inSet[v] = true
 			}
 		}
-		deficit := int(math.Ceil(k[v] - covV - 1e-12))
-		if deficit <= 0 {
-			continue
-		}
-		var candidates []graph.NodeID
-		for _, w := range closed {
-			if !inSet[w] {
-				candidates = append(candidates, w)
+	})
+	// Cheapest-candidate repair: inSet is frozen, recruit slots only ever
+	// receive 1, so the sweep is order-independent (see roundWithLayout).
+	recruit := make([]uint32, n)
+	maxClosed := lay.maxSize()
+	par.For(n, workers, func(lo, hi int) {
+		candidates := make([]graph.NodeID, 0, maxClosed)
+		for v := lo; v < hi; v++ {
+			closed := lay.closed(v)
+			covV := 0.0
+			for _, w := range closed {
+				if inSet[w] {
+					covV++
+				}
+			}
+			deficit := int(math.Ceil(k[v] - covV - 1e-12))
+			if deficit <= 0 {
+				continue
+			}
+			candidates = candidates[:0]
+			for _, w := range closed {
+				if !inSet[w] {
+					candidates = append(candidates, w)
+				}
+			}
+			sort.Slice(candidates, func(i, j int) bool {
+				ci, cj := costs[candidates[i]], costs[candidates[j]]
+				if ci != cj {
+					return ci < cj
+				}
+				return candidates[i] < candidates[j]
+			})
+			for i := 0; i < deficit && i < len(candidates); i++ {
+				atomic.StoreUint32(&recruit[candidates[i]], 1)
 			}
 		}
-		sort.Slice(candidates, func(i, j int) bool {
-			ci, cj := costs[candidates[i]], costs[candidates[j]]
-			if ci != cj {
-				return ci < cj
-			}
-			return candidates[i] < candidates[j]
-		})
-		for i := 0; i < deficit && i < len(candidates); i++ {
-			recruit[candidates[i]] = true
-		}
-	}
+	})
 	for v := 0; v < n; v++ {
-		if recruit[v] {
+		if recruit[v] == 1 {
 			inSet[v] = true
 		}
 	}

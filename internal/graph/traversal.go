@@ -1,6 +1,11 @@
 package graph
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+
+	"ftclust/internal/par"
+)
 
 // BFS runs a breadth-first search from src and returns the distance (in
 // hops) to every node, with -1 for unreachable nodes.
@@ -121,13 +126,17 @@ func (g *Graph) MaxDegreeWithinHops(k int) []int {
 	for i := 0; i < k; i++ {
 		next := make([]int, g.n)
 		copy(next, cur)
-		for v := 0; v < g.n; v++ {
-			for _, w := range g.Neighbors(NodeID(v)) {
-				if cur[w] > next[v] {
-					next[v] = cur[w]
+		// Each relaxation round only reads cur and writes next[v], so the
+		// sweep fans out over the worker pool; max is order-independent.
+		par.For(g.n, runtime.GOMAXPROCS(0), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				for _, w := range g.Neighbors(NodeID(v)) {
+					if cur[w] > next[v] {
+						next[v] = cur[w]
+					}
 				}
 			}
-		}
+		})
 		cur = next
 	}
 	return cur

@@ -1,0 +1,51 @@
+// Package par provides the deterministic worker-pool primitive shared by
+// the in-memory engines (internal/core) and the message-passing simulator
+// (internal/sim): a parallel for over index chunks whose boundaries depend
+// only on (n, workers) — never on completion order — so any body that
+// touches only per-index state produces bit-identical results for every
+// worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn over contiguous chunks covering [0, n). workers ≤ 1 runs
+// fn(0, n) inline with no goroutines; worker counts above n, or above
+// 4×GOMAXPROCS (where extra goroutines only add scheduling overhead), are
+// clamped. Chunking is static, so clamping never changes which indices a
+// chunk contains relative to a larger machine — only how many run at once.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

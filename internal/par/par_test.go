@@ -1,0 +1,40 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1000} {
+		for _, w := range []int{-1, 0, 1, 2, 3, 16, 2000} {
+			hit := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Fatalf("n=%d w=%d: bad chunk [%d,%d)", n, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hit[i], 1)
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSequentialIsInline(t *testing.T) {
+	calls := 0
+	For(10, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("chunk [%d,%d), want [0,10)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("workers=1 made %d calls, want 1 inline call", calls)
+	}
+}

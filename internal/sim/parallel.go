@@ -3,9 +3,9 @@ package sim
 import (
 	"math/rand"
 	"runtime"
-	"sync"
 
 	"ftclust/internal/graph"
+	"ftclust/internal/par"
 )
 
 // stepAll executes one round of Step calls across a worker pool. Programs
@@ -14,37 +14,11 @@ import (
 // because the merge order in run() is by node ID, not completion order.
 func (nw *Network) stepAll(progs []Program, rnds []*rand.Rand,
 	inboxes [][]Envelope, done []bool, outs [][]delivery, round int) {
-	n := len(progs)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for v := 0; v < n; v++ {
+	par.For(len(progs), runtime.GOMAXPROCS(0), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
 			nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // Crashes is a convenience constructor for WithCrashes: it crashes each
