@@ -1,0 +1,99 @@
+// Command ftserved runs the fault-tolerant clustering service: an HTTP
+// JSON API over the k-MDS solver with a bounded solver pool, an LRU
+// solution cache, stateful cluster sessions with local failure repair,
+// and a metrics endpoint.
+//
+// Usage:
+//
+//	ftserved [-addr :8080] [-workers N] [-queue 64] [-cache 128]
+//	         [-timeout 60s] [-max-body 16777216] [-max-nodes 1048576]
+//	         [-solve-threads 1] [-drain 30s]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
+// accepting, in-flight requests and queued solves drain (bounded by
+// -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftclust/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "max queued solves before 503")
+		cacheSize    = flag.Int("cache", 128, "LRU solution-cache entries (-1 disables)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request solve deadline")
+		maxBody      = flag.Int64("max-body", 16<<20, "max request body bytes")
+		maxNodes     = flag.Int("max-nodes", 1<<20, "max nodes per instance")
+		solveThreads = flag.Int("solve-threads", 1, "parallel sweep workers per solve")
+		drain        = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheSize:    *cacheSize,
+		SolveTimeout: *timeout,
+		MaxBodyBytes: *maxBody,
+		MaxNodes:     *maxNodes,
+		SolveThreads: *solveThreads,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ftserved: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // bind failure etc.; ErrServerClosed only follows Shutdown
+	case <-ctx.Done():
+	}
+
+	log.Printf("ftserved: signal received, draining (deadline %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Listener first (stops new connections, waits for in-flight
+	// handlers), then the solver pool (drains queued jobs).
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("pool drain: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("ftserved: drained, bye")
+	return nil
+}

@@ -5,14 +5,20 @@
 //
 //	kmds -in instance.graph -k 3 -algo kmds -t 3 -seed 1 [-sol out.sol]
 //	kmds -points field.points -k 3 -algo udg [-sol out.sol]
+//	kmds -in instance.graph -k 3 -json        # one JSON object on stdout
 //
 // Algorithms: kmds (Algorithms 1+2), greedy, jrs, random, mis (layered
 // Luby MIS), udg (Algorithm 3, requires -points), cellgrid (requires
 // -points).
+//
+// -json emits the solution in the same wire format the ftserved service
+// returns from /v1/solve (service.SolutionJSON), so scripts and the
+// service smoke test share one schema.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,7 @@ import (
 	"ftclust/internal/geom"
 	"ftclust/internal/graph"
 	"ftclust/internal/render"
+	"ftclust/internal/service"
 	"ftclust/internal/udg"
 	"ftclust/internal/verify"
 )
@@ -43,6 +50,7 @@ func run() error {
 		seed   = flag.Int64("seed", 1, "random seed")
 		solOut = flag.String("sol", "", "write the solution (one node ID per line)")
 		svgOut = flag.String("svg", "", "render deployment + solution as SVG (needs -points)")
+		asJSON = flag.Bool("json", false, "emit the result as one JSON object (service schema) instead of text")
 	)
 	flag.Parse()
 	if *k < 1 {
@@ -79,27 +87,54 @@ func run() error {
 		return fmt.Errorf("need -in or -points")
 	}
 
-	mask, rounds, err := solve(g, pts, *algo, *k, *t, *seed)
+	res, err := solve(g, pts, *algo, *k, *t, *seed)
 	if err != nil {
 		return err
 	}
+	mask := res.mask
 
 	size := verify.SetSize(mask)
-	fmt.Printf("algorithm : %s\n", *algo)
-	fmt.Printf("nodes     : %d  edges: %d  Δ: %d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
-	fmt.Printf("k         : %d\n", *k)
-	fmt.Printf("|S|       : %d (%.1f%% of nodes)\n", size, 100*float64(size)/float64(max(1, g.NumNodes())))
-	if rounds > 0 {
-		fmt.Printf("rounds    : %d\n", rounds)
-	}
 	conv := verify.ClosedPP
 	if *algo == "cellgrid" || *algo == "mis" {
 		conv = verify.Standard
 	}
-	if err := verify.CheckKFold(g, mask, float64(*k), conv); err != nil {
-		fmt.Printf("verified  : FAILED (%v)\n", err)
+	verifyErr := verify.CheckKFold(g, mask, float64(*k), conv)
+
+	if *asJSON {
+		members := make([]int, 0, size)
+		for _, v := range verify.SetFromMask(mask) {
+			members = append(members, int(v))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&service.SolutionJSON{
+			Algorithm:           *algo,
+			N:                   g.NumNodes(),
+			Edges:               g.NumEdges(),
+			K:                   *k,
+			Size:                size,
+			Members:             members,
+			Rounds:              res.rounds,
+			Kappa:               res.kappa,
+			FractionalObjective: res.fracObj,
+			CertifiedLowerBound: res.lowerBound,
+			Verified:            verifyErr == nil,
+		}); err != nil {
+			return err
+		}
 	} else {
-		fmt.Printf("verified  : ok (%s convention)\n", conv)
+		fmt.Printf("algorithm : %s\n", *algo)
+		fmt.Printf("nodes     : %d  edges: %d  Δ: %d\n", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+		fmt.Printf("k         : %d\n", *k)
+		fmt.Printf("|S|       : %d (%.1f%% of nodes)\n", size, 100*float64(size)/float64(max(1, g.NumNodes())))
+		if res.rounds > 0 {
+			fmt.Printf("rounds    : %d\n", res.rounds)
+		}
+		if verifyErr != nil {
+			fmt.Printf("verified  : FAILED (%v)\n", verifyErr)
+		} else {
+			fmt.Printf("verified  : ok (%s convention)\n", conv)
+		}
 	}
 
 	if *solOut != "" {
@@ -132,42 +167,59 @@ func run() error {
 	return nil
 }
 
-func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64) ([]bool, int, error) {
+// solveOut carries the mask plus the certificate fields only some
+// algorithms produce (kmds fills kappa and the dual lower bound; the
+// baselines and udg leave them 0).
+type solveOut struct {
+	mask       []bool
+	rounds     int
+	kappa      float64
+	fracObj    float64
+	lowerBound float64
+}
+
+func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64) (solveOut, error) {
 	switch algo {
 	case "kmds":
 		res, err := core.Solve(g, core.Options{K: float64(k), T: t, Seed: seed})
 		if err != nil {
-			return nil, 0, err
+			return solveOut{}, err
 		}
-		return res.InSet, res.Fractional.LoopRounds + 4, nil
+		return solveOut{
+			mask:       res.InSet,
+			rounds:     res.Fractional.LoopRounds + 4,
+			kappa:      res.Fractional.Kappa,
+			fracObj:    res.Fractional.Objective(),
+			lowerBound: res.Fractional.DualObjective(res.K) / res.Fractional.Kappa,
+		}, nil
 	case "greedy":
-		return baseline.GreedyKMDS(g, float64(k)), 0, nil
+		return solveOut{mask: baseline.GreedyKMDS(g, float64(k))}, nil
 	case "jrs":
 		res := baseline.JRS(g, float64(k), seed)
-		return res.InSet, res.Phases * 4, nil
+		return solveOut{mask: res.InSet, rounds: res.Phases * 4}, nil
 	case "random":
-		return baseline.RandomRepair(g, float64(k), 0.15, seed), 3, nil
+		return solveOut{mask: baseline.RandomRepair(g, float64(k), 0.15, seed), rounds: 3}, nil
 	case "mis":
 		res := baseline.LayeredMIS(g, k, seed)
-		return res.InSet, res.Rounds * 2, nil
+		return solveOut{mask: res.InSet, rounds: res.Rounds * 2}, nil
 	case "udg":
 		if pts == nil {
-			return nil, 0, fmt.Errorf("udg algorithm needs -points")
+			return solveOut{}, fmt.Errorf("udg algorithm needs -points")
 		}
 		_, idx := geom.UnitUDG(pts)
 		res, err := udg.Solve(pts, g, idx, udg.Options{K: k, Seed: seed})
 		if err != nil {
-			return nil, 0, err
+			return solveOut{}, err
 		}
-		return res.Leader, 2*res.PartIRounds + 3*res.PartIIIters + 1, nil
+		return solveOut{mask: res.Leader, rounds: 2*res.PartIRounds + 3*res.PartIIIters + 1}, nil
 	case "cellgrid":
 		if pts == nil {
-			return nil, 0, fmt.Errorf("cellgrid needs -points")
+			return solveOut{}, fmt.Errorf("cellgrid needs -points")
 		}
 		mask, err := baseline.CellGrid(pts, k)
-		return mask, 1, err
+		return solveOut{mask: mask, rounds: 1}, err
 	default:
-		return nil, 0, fmt.Errorf("unknown algorithm %q", algo)
+		return solveOut{}, fmt.Errorf("unknown algorithm %q", algo)
 	}
 }
 

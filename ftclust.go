@@ -25,6 +25,8 @@
 package ftclust
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ftclust/internal/cds"
@@ -34,6 +36,35 @@ import (
 	"ftclust/internal/udg"
 	"ftclust/internal/verify"
 )
+
+// Sentinel errors returned by the solvers' input validation; match them
+// with errors.Is. Wrapped variants carry the offending values.
+var (
+	// ErrBadK reports an out-of-range fault-tolerance parameter: k < 1,
+	// or k larger than the number of nodes (no graph can supply more than
+	// n dominators, even under the capped-demand convention).
+	ErrBadK = errors.New("ftclust: invalid k")
+	// ErrEmptyGraph reports a nil graph, a graph with zero nodes, or an
+	// empty deployment.
+	ErrEmptyGraph = errors.New("ftclust: nil or empty graph")
+	// ErrCanceled reports that a solve was abandoned because the context
+	// installed with WithContext was canceled or its deadline expired.
+	ErrCanceled = core.ErrCanceled
+)
+
+// validateInstance applies the common solver preconditions.
+func validateInstance(n, k int) error {
+	if n == 0 {
+		return ErrEmptyGraph
+	}
+	if k < 1 {
+		return fmt.Errorf("%w: k must be ≥ 1, got %d", ErrBadK, k)
+	}
+	if k > n {
+		return fmt.Errorf("%w: k = %d exceeds the node count %d", ErrBadK, k, n)
+	}
+	return nil
+}
 
 // Re-exported aliases so callers outside this module can name the types
 // returned by the API without importing internal packages.
@@ -102,6 +133,10 @@ type Solution struct {
 	// (SolveKMDS) builds a dual certificate; the weighted and UDG solvers
 	// leave this 0.
 	CertifiedLowerBound float64
+	// Kappa is Algorithm 1's dual infeasibility factor t·(Δ+1)^{1/t}
+	// (Lemma 4.4), the divisor already applied to CertifiedLowerBound.
+	// Like the lower bound it is only set by SolveKMDS.
+	Kappa float64
 	// Algorithm names the algorithm that produced the solution.
 	Algorithm string
 }
@@ -116,6 +151,7 @@ type config struct {
 	localDelta bool
 	fanOut     int
 	workers    int
+	ctx        context.Context
 }
 
 // Option customizes a solve call.
@@ -146,13 +182,24 @@ func WithFanOut(f int) Option { return func(c *config) { c.fanOut = f } }
 // Ignored by the UDG solver.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
 
+// WithContext makes the solve honor ctx: the engines check it between
+// communication rounds and abandon the run with an error matching
+// ErrCanceled once ctx is done. A live context never changes the result.
+// Honored by SolveKMDS and SolveWeightedKMDS; the UDG solver runs in
+// O(log log n) rounds and ignores it.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
 // SolveKMDS computes a k-fold dominating set of g with the general-graph
 // pipeline (Algorithms 1 and 2). The result satisfies the ClosedPP
 // convention (which implies Standard) with per-node demands capped at
-// closed-neighborhood sizes, so it exists for every graph and k.
+// closed-neighborhood sizes, so it exists for every graph and 1 ≤ k ≤ n.
+// Invalid inputs return errors matching ErrEmptyGraph or ErrBadK.
 func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("ftclust: k must be ≥ 1, got %d", k)
+	if g == nil {
+		return nil, ErrEmptyGraph
+	}
+	if err := validateInstance(g.NumNodes(), k); err != nil {
+		return nil, err
 	}
 	c := config{t: 3, seed: 1}
 	for _, o := range opts {
@@ -164,6 +211,7 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 		Seed:       c.seed,
 		LocalDelta: c.localDelta,
 		Workers:    c.workers,
+		Ctx:        c.ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -174,6 +222,7 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 		Rounds:              res.Fractional.LoopRounds + 4,
 		FractionalObjective: res.Fractional.Objective(),
 		CertifiedLowerBound: res.Fractional.DualObjective(res.K) / res.Fractional.Kappa,
+		Kappa:               res.Fractional.Kappa,
 		Algorithm:           "general-graph (Alg 1+2)",
 	}, nil
 }
@@ -182,8 +231,8 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 // induced by pts using Algorithm 3 (O(log log n) rounds, expected O(1)
 // approximation). It returns the solution and the induced graph.
 func SolveUDGKMDS(pts []Point, k int, opts ...Option) (*Solution, *Graph, error) {
-	if k < 1 {
-		return nil, nil, fmt.Errorf("ftclust: k must be ≥ 1, got %d", k)
+	if err := validateInstance(len(pts), k); err != nil {
+		return nil, nil, err
 	}
 	c := config{seed: 1}
 	for _, o := range opts {
@@ -217,15 +266,18 @@ func Verify(g *Graph, sol *Solution, k int, conv Convention) error {
 // cost (e.g. inverse battery level) with the weighted extension of
 // Algorithm 1 the paper sketches in Section 4.1. costs[v] must be positive.
 func SolveWeightedKMDS(g *Graph, k int, costs []float64, opts ...Option) (*Solution, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("ftclust: k must be ≥ 1, got %d", k)
+	if g == nil {
+		return nil, ErrEmptyGraph
+	}
+	if err := validateInstance(g.NumNodes(), k); err != nil {
+		return nil, err
 	}
 	c := config{t: 3, seed: 1}
 	for _, o := range opts {
 		o(&c)
 	}
 	res, err := core.SolveWeighted(g, core.WeightedOptions{
-		K: float64(k), T: c.t, Seed: c.seed, Costs: costs, Workers: c.workers,
+		K: float64(k), T: c.t, Seed: c.seed, Costs: costs, Workers: c.workers, Ctx: c.ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ftclust/internal/graph"
+)
+
+// A done context must abort every engine entry point with ErrCanceled and
+// no partial result.
+func TestSolveCanceledContext(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyGnp, 200, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := Solve(g, Options{K: 3, T: 3, Seed: 1, Ctx: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Solve with canceled ctx: got %v, want ErrCanceled", err)
+	}
+	k := EffectiveDemands(g, 3)
+	if _, err := SolveFractional(g, k, FractionalOptions{T: 3, Ctx: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveFractional with canceled ctx: got %v, want ErrCanceled", err)
+	}
+	frac, err := SolveFractional(g, k, FractionalOptions{T: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RoundSolution(g, k, frac.X, frac.Delta, RoundingOptions{Seed: 1, Ctx: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RoundSolution with canceled ctx: got %v, want ErrCanceled", err)
+	}
+	costs := make([]float64, g.NumNodes())
+	for i := range costs {
+		costs[i] = 1 + float64(i%5)
+	}
+	if _, err := SolveWeighted(g, WeightedOptions{K: 2, T: 3, Seed: 1, Costs: costs, Ctx: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("SolveWeighted with canceled ctx: got %v, want ErrCanceled", err)
+	}
+}
+
+// A live context must not change results: nil-Ctx and Background-Ctx runs
+// are bit-identical.
+func TestSolveContextNoEffectWhenLive(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyGnp, 120, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Solve(g, Options{K: 2, T: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, Options{K: 2, T: 3, Seed: 7, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatalf("context changed result: %d vs %d members", a.Size(), b.Size())
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatalf("context changed membership at node %d", v)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is returned (wrapped) when a solve is abandoned because its
+// context was canceled or its deadline expired. The engines check the
+// context between communication rounds, so cancellation latency is one
+// round's worth of work, not the whole O(t²) loop.
+var ErrCanceled = errors.New("core: solve canceled")
+
+// checkCtx translates a done context into a wrapped ErrCanceled; a nil
+// context never cancels, preserving the zero-value behaviour of the
+// options structs.
+func checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -33,6 +34,10 @@ type FractionalOptions struct {
 	// T is the trade-off parameter t ≥ 1: time O(t²), approximation
 	// O(t·Δ^{2/t}·…).
 	T int
+	// Ctx, when non-nil, is checked between inner iterations (i.e. every
+	// two communication rounds); a done context aborts the solve with a
+	// wrapped ErrCanceled.
+	Ctx context.Context
 	// LocalDelta, when true, replaces the globally known maximum degree Δ
 	// with each node's maximum degree within two hops (the relaxation the
 	// paper's final remark points to via [16, 11]).
@@ -138,6 +143,9 @@ func solveFractionalWithLayout(g *graph.Graph, lay *layout, k []float64, opts Fr
 	st := newFracState(lay, k, deltas, globalDelta, t, opts.Workers)
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
+			if err := checkCtx(opts.Ctx); err != nil {
+				return FractionalResult{}, err
+			}
 			st.innerIteration(p, q)
 		}
 	}

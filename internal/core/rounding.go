@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,6 +26,10 @@ type RoundingOptions struct {
 	// goroutines (≤ 1 = sequential). Each node consumes only its own
 	// random stream, so results are bit-identical for every worker count.
 	Workers int
+	// Ctx, when non-nil, is checked before the sampling round and again
+	// before the REQ round; a done context aborts with a wrapped
+	// ErrCanceled.
+	Ctx context.Context
 }
 
 // RoundingResult is the outcome of Algorithm 2.
@@ -64,15 +69,18 @@ func RoundSolution(g *graph.Graph, k []float64, x []float64, delta int, opts Rou
 	if len(x) != n || len(k) != n {
 		return RoundingResult{}, fmt.Errorf("core: x/k length mismatch with graph (%d nodes)", n)
 	}
-	return roundWithLayout(newLayout(g), k, x, delta, opts), nil
+	return roundWithLayout(newLayout(g), k, x, delta, opts)
 }
 
 // roundWithLayout is RoundSolution over a precomputed closed-neighborhood
 // layout (shared with the fractional phase by Solve), so no per-node
 // neighborhood slices are allocated or sorted.
-func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts RoundingOptions) RoundingResult {
+func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts RoundingOptions) (RoundingResult, error) {
 	n := lay.n
 	lnD := math.Log(float64(delta + 1))
+	if err := checkCtx(opts.Ctx); err != nil {
+		return RoundingResult{}, err
+	}
 
 	// Sampling (Line 2). Seeding a per-node stream is the expensive part
 	// (rand.NewSource initializes a large state), so the sweep is worth
@@ -95,7 +103,10 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 		}
 	}
 	if opts.SkipRepair {
-		return RoundingResult{InSet: inSet, Sampled: sampled}
+		return RoundingResult{InSet: inSet, Sampled: sampled}, nil
+	}
+	if err := checkCtx(opts.Ctx); err != nil {
+		return RoundingResult{}, err
 	}
 
 	// REQ step: deficits are computed against the sampled set only (the
@@ -140,5 +151,5 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 			repaired++
 		}
 	}
-	return RoundingResult{InSet: inSet, Sampled: sampled, Repaired: repaired}
+	return RoundingResult{InSet: inSet, Sampled: sampled, Repaired: repaired}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ftclust/internal/graph"
@@ -27,6 +28,10 @@ type Options struct {
 	// goroutines (≤ 1 = sequential). Results are bit-identical to the
 	// sequential execution for equal seeds, whatever the worker count.
 	Workers int
+	// Ctx, when non-nil, is checked between communication rounds of both
+	// phases; a done context aborts the solve with a wrapped ErrCanceled.
+	// Cancellation never yields a partial Result.
+	Ctx context.Context
 }
 
 // Result is the full outcome of the combined solver.
@@ -68,15 +73,20 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		T:          opts.T,
 		LocalDelta: opts.LocalDelta,
 		Workers:    opts.Workers,
+		Ctx:        opts.Ctx,
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	rounded := roundWithLayout(lay, k, frac.X, frac.Delta, RoundingOptions{
+	rounded, err := roundWithLayout(lay, k, frac.X, frac.Delta, RoundingOptions{
 		Seed:       opts.Seed,
 		SkipRepair: opts.SkipRepair,
 		Workers:    opts.Workers,
+		Ctx:        opts.Ctx,
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		InSet:      rounded.InSet,
 		Fractional: frac,

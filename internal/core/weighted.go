@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -50,6 +51,9 @@ type WeightedOptions struct {
 	// Workers distributes the per-round sweeps over this many goroutines
 	// (≤ 1 = sequential); results are bit-identical for equal seeds.
 	Workers int
+	// Ctx, when non-nil, is checked between communication rounds of both
+	// phases; a done context aborts with a wrapped ErrCanceled.
+	Ctx context.Context
 }
 
 // WeightedResult is the outcome of the weighted solver.
@@ -98,8 +102,14 @@ func SolveWeighted(g *graph.Graph, opts WeightedOptions) (WeightedResult, error)
 	k := EffectiveDemands(g, opts.K)
 	delta := g.MaxDegree()
 	lay := newLayout(g)
-	x, loopRounds := weightedFractional(lay, k, opts.Costs, opts.T, delta, cMin, cMax, opts.Workers)
-	inSet := weightedRound(lay, k, x, opts.Costs, delta, opts.Seed, opts.Workers)
+	x, loopRounds, err := weightedFractional(lay, k, opts.Costs, opts.T, delta, cMin, cMax, opts.Workers, opts.Ctx)
+	if err != nil {
+		return WeightedResult{}, err
+	}
+	inSet, err := weightedRound(lay, k, x, opts.Costs, delta, opts.Seed, opts.Workers, opts.Ctx)
+	if err != nil {
+		return WeightedResult{}, err
+	}
 
 	res := WeightedResult{InSet: inSet, X: x, K: k, LoopRounds: loopRounds}
 	for v := 0; v < n; v++ {
@@ -116,7 +126,7 @@ func SolveWeighted(g *graph.Graph, opts WeightedOptions) (WeightedResult, error)
 
 // weightedFractional is Algorithm 1 with the cost-effectiveness threshold.
 // It returns the fractional solution and the double loop's round count.
-func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMax float64, workers int) ([]float64, int) {
+func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMax float64, workers int, ctx context.Context) ([]float64, int, error) {
 	n := lay.n
 	x := make([]float64, n)
 	xPlus := make([]float64, n)
@@ -140,6 +150,9 @@ func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMa
 
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
+			if err := checkCtx(ctx); err != nil {
+				return nil, 0, err
+			}
 			thresholdS := sP(p)
 			incQ := inc(q)
 			par.For(n, workers, func(lo, hi int) {
@@ -192,14 +205,17 @@ func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMa
 			x[w] = 1
 		}
 	}
-	return x, 2 * t * t
+	return x, 2 * t * t, nil
 }
 
 // weightedRound samples like Algorithm 2 and repairs deficits with the
 // cheapest candidates.
-func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, workers int) []bool {
+func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, workers int, ctx context.Context) ([]bool, error) {
 	n := lay.n
 	lnD := math.Log(float64(delta + 1))
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	inSet := make([]bool, n)
 	par.For(n, workers, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
@@ -211,6 +227,9 @@ func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, wo
 	})
 	// Cheapest-candidate repair: inSet is frozen, recruit slots only ever
 	// receive 1, so the sweep is order-independent (see roundWithLayout).
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 	recruit := make([]uint32, n)
 	maxClosed := lay.maxSize()
 	par.For(n, workers, func(lo, hi int) {
@@ -250,5 +269,5 @@ func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, wo
 			inSet[v] = true
 		}
 	}
-	return inSet
+	return inSet, nil
 }

@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// CanonicalHash returns a hex-encoded SHA-256 digest of the graph's
+// canonical structure encoding: the node count, the edge count, and every
+// undirected edge (u, v) with u < v in ascending order — the same order
+// the text codec emits. Two graphs get the same hash iff they have the
+// same node count and edge set, regardless of construction order, so the
+// digest is a sound cache key for solver results (together with the
+// solver parameters).
+func (g *Graph) CanonicalHash() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(g.n)
+	put(g.m)
+	g.Edges(func(u, v NodeID) {
+		put(int(u))
+		put(int(v))
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,40 @@
+package graph
+
+import "testing"
+
+func TestCanonicalHashInsertionOrderIndependent(t *testing.T) {
+	a := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	b := MustFromEdges(4, []Edge{{0, 3}, {2, 3}, {0, 1}, {1, 2}})
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatal("same edge set in different insertion order hashed differently")
+	}
+}
+
+func TestCanonicalHashDistinguishesGraphs(t *testing.T) {
+	base := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	cases := map[string]*Graph{
+		"extra edge":       MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}}),
+		"different edge":   MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {1, 3}}),
+		"extra iso node":   MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}}),
+		"fewer edges":      MustFromEdges(4, []Edge{{0, 1}, {1, 2}}),
+		"relabeledancestr": MustFromEdges(4, []Edge{{0, 2}, {1, 2}, {1, 3}}),
+	}
+	for name, g := range cases {
+		if g.CanonicalHash() == base.CanonicalHash() {
+			t.Errorf("%s: hash collides with base graph", name)
+		}
+	}
+}
+
+func TestCanonicalHashStableAndEmptyGraph(t *testing.T) {
+	var empty Graph
+	h1 := empty.CanonicalHash()
+	h2 := empty.CanonicalHash()
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("empty-graph hash not stable 64-hex: %q vs %q", h1, h2)
+	}
+	g := MustFromEdges(3, []Edge{{0, 1}})
+	if g.CanonicalHash() == h1 {
+		t.Fatal("non-empty graph hashes like the empty graph")
+	}
+}

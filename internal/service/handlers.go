@@ -1,0 +1,377 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ftclust"
+	"ftclust/internal/graph"
+	"ftclust/internal/verify"
+)
+
+// GraphSpec is an explicit graph in a request body.
+type GraphSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// FamilySpec asks the server to generate a graph from a named family
+// (gnp, regular, grid, tree, powerlaw, ring) — handy for smoke tests and
+// load generation without shipping edge lists.
+type FamilySpec struct {
+	Name   string  `json:"name"`
+	N      int     `json:"n"`
+	Degree float64 `json:"degree"`
+	Seed   int64   `json:"seed"`
+}
+
+// SolveRequest is the body of POST /v1/solve and POST /v1/session.
+// Exactly one of Graph and Family must be set.
+type SolveRequest struct {
+	Graph  *GraphSpec  `json:"graph,omitempty"`
+	Family *FamilySpec `json:"family,omitempty"`
+	K      int         `json:"k"`
+	T      int         `json:"t,omitempty"`    // default 3
+	Seed   int64       `json:"seed,omitempty"` // default 1
+	Local  bool        `json:"local_delta,omitempty"`
+}
+
+// SolutionJSON is the wire form of a solve result, shared by the service
+// and `kmds -json` so scripts and the smoke test consume one format.
+type SolutionJSON struct {
+	Algorithm           string  `json:"algorithm"`
+	N                   int     `json:"n"`
+	Edges               int     `json:"edges"`
+	K                   int     `json:"k"`
+	Size                int     `json:"size"`
+	Members             []int   `json:"members"`
+	Rounds              int     `json:"rounds"`
+	Kappa               float64 `json:"kappa,omitempty"`
+	FractionalObjective float64 `json:"fractional_objective,omitempty"`
+	CertifiedLowerBound float64 `json:"certified_lower_bound,omitempty"`
+	Verified            bool    `json:"verified"`
+}
+
+// SolveResponse is the body of a successful /v1/solve. It is exactly the
+// shared solution format — deliberately free of timing or cache fields so
+// identical requests get byte-identical bodies (cache status travels in
+// the X-Cache header instead).
+type SolveResponse = SolutionJSON
+
+// NewSolutionJSON converts a library solution to the wire form.
+func NewSolutionJSON(g *graph.Graph, sol *ftclust.Solution, k int) *SolutionJSON {
+	members := make([]int, 0, len(sol.Members))
+	for _, v := range sol.Members {
+		members = append(members, int(v))
+	}
+	return &SolutionJSON{
+		Algorithm:           sol.Algorithm,
+		N:                   g.NumNodes(),
+		Edges:               g.NumEdges(),
+		K:                   k,
+		Size:                sol.Size(),
+		Members:             members,
+		Rounds:              sol.Rounds,
+		Kappa:               sol.Kappa,
+		FractionalObjective: sol.FractionalObjective,
+		CertifiedLowerBound: sol.CertifiedLowerBound,
+		Verified:            ftclust.Verify(g, sol, k, ftclust.ClosedPP) == nil,
+	}
+}
+
+// VerifyRequest is the body of POST /v1/verify.
+type VerifyRequest struct {
+	Graph      *GraphSpec  `json:"graph,omitempty"`
+	Family     *FamilySpec `json:"family,omitempty"`
+	K          int         `json:"k"`
+	Members    []int       `json:"members"`
+	Convention string      `json:"convention,omitempty"` // "closed-pp" (default) | "standard"
+}
+
+// VerifyResponse is the body of POST /v1/verify.
+type VerifyResponse struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// SessionCreateResponse is the body of POST /v1/session.
+type SessionCreateResponse struct {
+	SessionID string        `json:"session_id"`
+	Solution  *SolutionJSON `json:"solution"`
+}
+
+// FailRequest is the body of POST /v1/session/{id}/fail.
+type FailRequest struct {
+	Nodes []int `json:"nodes"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeJSON reads a size-capped, strictly-validated JSON body into dst.
+// It writes the error response itself and reports success.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %v", err))
+		}
+		return false
+	}
+	return true
+}
+
+// buildGraph materializes the instance a request describes.
+func (s *Server) buildGraph(gs *GraphSpec, fs *FamilySpec) (*graph.Graph, error) {
+	switch {
+	case gs != nil && fs != nil:
+		return nil, errors.New("give either graph or family, not both")
+	case gs != nil:
+		if gs.N < 0 || gs.N > s.cfg.MaxNodes {
+			return nil, fmt.Errorf("n = %d out of range [0, %d]", gs.N, s.cfg.MaxNodes)
+		}
+		edges := make([]graph.Edge, 0, len(gs.Edges))
+		for _, e := range gs.Edges {
+			edges = append(edges, graph.Edge{U: graph.NodeID(e[0]), V: graph.NodeID(e[1])})
+		}
+		return graph.FromEdges(gs.N, edges)
+	case fs != nil:
+		if fs.N < 0 || fs.N > s.cfg.MaxNodes {
+			return nil, fmt.Errorf("n = %d out of range [0, %d]", fs.N, s.cfg.MaxNodes)
+		}
+		return graph.Generate(graph.Family(fs.Name), fs.N, fs.Degree, fs.Seed)
+	default:
+		return nil, errors.New("need a graph or a family")
+	}
+}
+
+// solve is the shared engine behind /v1/solve and session creation:
+// build the instance, consult the cache, otherwise run the solver on the
+// bounded worker pool under the request deadline. It returns the graph so
+// session creation can keep it.
+func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, *graph.Graph, bool, int, error) {
+	g, err := s.buildGraph(req.Graph, req.Family)
+	if err != nil {
+		return nil, nil, false, http.StatusBadRequest, err
+	}
+	if req.T == 0 {
+		req.T = 3
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.T < 1 || req.T > 64 {
+		return nil, nil, false, http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
+	}
+
+	key := solveCacheKey(g.CanonicalHash(), req.K, req.T, req.Seed, req.Local)
+	if resp, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return resp, g, true, http.StatusOK, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+
+	var (
+		resp     *SolveResponse
+		solveErr error
+	)
+	start := time.Now()
+	err = s.queue.Do(ctx, func(jobCtx context.Context) {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		solveOpts := []ftclust.Option{
+			ftclust.WithT(req.T),
+			ftclust.WithSeed(req.Seed),
+			ftclust.WithWorkers(s.cfg.SolveThreads),
+			ftclust.WithContext(jobCtx),
+		}
+		if req.Local {
+			solveOpts = append(solveOpts, ftclust.WithLocalDelta())
+		}
+		sol, err := ftclust.SolveKMDS(g, req.K, solveOpts...)
+		if err != nil {
+			solveErr = err
+			return
+		}
+		resp = NewSolutionJSON(g, sol, req.K)
+	})
+	switch {
+	case errors.Is(err, errQueueFull), errors.Is(err, errDraining):
+		s.metrics.queueRejected.Add(1)
+		return nil, nil, false, http.StatusServiceUnavailable, err
+	case err != nil: // request context fired while waiting
+		s.metrics.canceled.Add(1)
+		return nil, nil, false, http.StatusGatewayTimeout, fmt.Errorf("solve abandoned: %w", err)
+	}
+	switch {
+	case errors.Is(solveErr, ftclust.ErrCanceled):
+		s.metrics.canceled.Add(1)
+		return nil, nil, false, http.StatusGatewayTimeout, solveErr
+	case errors.Is(solveErr, ftclust.ErrBadK), errors.Is(solveErr, ftclust.ErrEmptyGraph):
+		return nil, nil, false, http.StatusBadRequest, solveErr
+	case solveErr != nil:
+		s.metrics.solveErrors.Add(1)
+		return nil, nil, false, http.StatusInternalServerError, solveErr
+	}
+	s.metrics.solves.Add(1)
+	s.metrics.lat.observe(time.Since(start))
+	s.cache.Put(key, resp)
+	return resp, g, false, http.StatusOK, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	resp, _, cached, status, err := s.solve(r.Context(), &req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	g, err := s.buildGraph(req.Graph, req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be ≥ 1, got %d", req.K))
+		return
+	}
+	conv := verify.ClosedPP
+	switch req.Convention {
+	case "", "closed-pp":
+	case "standard":
+		conv = verify.Standard
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown convention %q (want closed-pp or standard)", req.Convention))
+		return
+	}
+	mask := make([]bool, g.NumNodes())
+	for _, v := range req.Members {
+		if v < 0 || v >= g.NumNodes() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("member %d out of range [0,%d)", v, g.NumNodes()))
+			return
+		}
+		mask[v] = true
+	}
+	s.metrics.verifies.Add(1)
+	resp := VerifyResponse{OK: true}
+	if err := verify.CheckKFold(g, mask, float64(req.K), conv); err != nil {
+		resp = VerifyResponse{OK: false, Reason: err.Error()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	resp, g, _, status, err := s.solve(r.Context(), &req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	mask := make([]bool, g.NumNodes())
+	for _, v := range resp.Members {
+		mask[v] = true
+	}
+	sess, err := s.sessions.create(g, req.K, mask)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.metrics.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, SessionCreateResponse{
+		SessionID: sess.id,
+		Solution:  resp,
+	})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.state())
+}
+
+func (s *Server) handleSessionFail(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req FailRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Nodes) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("nodes must be non-empty"))
+		return
+	}
+	resp, err := sess.fail(req.Nodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.repairs.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.delete(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

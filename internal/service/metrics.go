@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service's expvar-style counters and the solve-latency
+// window behind /debug/metrics. All counters are atomics; the latency
+// window has its own mutex. Gauges that belong to other components (queue
+// depth, active sessions) are read through callbacks installed by the
+// server so this file needs no references back.
+type metrics struct {
+	start time.Time
+
+	solves        atomic.Int64 // completed cold solves (cache misses that ran)
+	solveErrors   atomic.Int64 // solves that returned an error
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	verifies      atomic.Int64
+	queueRejected atomic.Int64 // 503s from a full queue or drain
+	canceled      atomic.Int64 // solves lost to deadline/disconnect
+	inFlight      atomic.Int64 // requests currently inside a solve job
+
+	sessionsCreated atomic.Int64
+	repairs         atomic.Int64
+
+	queueDepth     func() int // installed by the server
+	activeSessions func() int
+
+	lat latencyWindow
+}
+
+func newMetrics(now time.Time) *metrics {
+	return &metrics{
+		start:          now,
+		queueDepth:     func() int { return 0 },
+		activeSessions: func() int { return 0 },
+		lat:            latencyWindow{samples: make([]float64, 0, latencyWindowSize)},
+	}
+}
+
+// latencyWindowSize bounds the solve-latency ring buffer; 1024 samples
+// keep the quantiles honest for recent traffic without unbounded growth.
+const latencyWindowSize = 1024
+
+// latencyWindow is a fixed-size ring of recent solve latencies in
+// milliseconds; quantiles are computed on demand from a sorted copy.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int
+	total   int64
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	w.mu.Lock()
+	if len(w.samples) < latencyWindowSize {
+		w.samples = append(w.samples, ms)
+	} else {
+		w.samples[w.next] = ms
+		w.next = (w.next + 1) % latencyWindowSize
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// quantiles returns (p50, p99, lifetime sample count). With no samples it
+// returns zeros.
+func (w *latencyWindow) quantiles() (p50, p99 float64, total int64) {
+	w.mu.Lock()
+	sorted := append([]float64(nil), w.samples...)
+	total = w.total
+	w.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0, total
+	}
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.99), total
+}
+
+// MetricsSnapshot is the JSON shape of /debug/metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Solves          int64   `json:"solves"`
+	SolveErrors     int64   `json:"solve_errors"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Verifies        int64   `json:"verifies"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueRejected   int64   `json:"queue_rejected"`
+	Canceled        int64   `json:"canceled"`
+	InFlight        int64   `json:"in_flight"`
+	SessionsActive  int     `json:"sessions_active"`
+	SessionsCreated int64   `json:"sessions_created"`
+	Repairs         int64   `json:"repairs"`
+	SolveLatencyP50 float64 `json:"solve_latency_p50_ms"`
+	SolveLatencyP99 float64 `json:"solve_latency_p99_ms"`
+	LatencySamples  int64   `json:"latency_samples"`
+}
+
+func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
+	p50, p99, samples := m.lat.quantiles()
+	return MetricsSnapshot{
+		UptimeSeconds:   now.Sub(m.start).Seconds(),
+		Solves:          m.solves.Load(),
+		SolveErrors:     m.solveErrors.Load(),
+		CacheHits:       m.cacheHits.Load(),
+		CacheMisses:     m.cacheMisses.Load(),
+		Verifies:        m.verifies.Load(),
+		QueueDepth:      m.queueDepth(),
+		QueueRejected:   m.queueRejected.Load(),
+		Canceled:        m.canceled.Load(),
+		InFlight:        m.inFlight.Load(),
+		SessionsActive:  m.activeSessions(),
+		SessionsCreated: m.sessionsCreated.Load(),
+		Repairs:         m.repairs.Load(),
+		SolveLatencyP50: p50,
+		SolveLatencyP99: p99,
+		LatencySamples:  samples,
+	}
+}
+
+func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.snapshot(time.Now()))
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsJobs(t *testing.T) {
+	q := newJobQueue(2, 16) // capacity ≥ job count: no legitimate rejections
+	defer q.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := q.Do(context.Background(), func(context.Context) { ran.Add(1) }); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d jobs, want 10", ran.Load())
+	}
+}
+
+// With one worker pinned and the single queue slot occupied, the next
+// submission must be rejected synchronously.
+func TestQueueFullRejects(t *testing.T) {
+	q := newJobQueue(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	go q.Do(context.Background(), func(context.Context) { // occupies the worker
+		close(started)
+		<-release
+	})
+	<-started
+	// Occupy the single backlog slot.
+	go q.Do(context.Background(), func(context.Context) {})
+	// Wait until the slot is actually taken.
+	deadline := time.After(2 * time.Second)
+	for q.Depth() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("backlog slot never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := q.Do(context.Background(), func(context.Context) {}); !errors.Is(err, errQueueFull) {
+		t.Fatalf("overflow submission: got %v, want errQueueFull", err)
+	}
+	close(release)
+	q.Close()
+}
+
+// Close must reject new jobs but let queued ones finish.
+func TestQueueCloseDrains(t *testing.T) {
+	q := newJobQueue(1, 8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var done atomic.Int64
+
+	go q.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+		done.Add(1)
+	})
+	<-started
+	for i := 0; i < 3; i++ { // backlog behind the pinned worker
+		go q.Do(context.Background(), func(context.Context) { done.Add(1) })
+	}
+	deadline := time.After(2 * time.Second)
+	for q.Depth() < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("backlog never reached 3 (depth %d)", q.Depth())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		close(release)
+		q.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if done.Load() != 4 {
+		t.Fatalf("drained %d jobs, want 4", done.Load())
+	}
+	if err := q.Do(context.Background(), func(context.Context) {}); !errors.Is(err, errDraining) {
+		t.Fatalf("post-close submission: got %v, want errDraining", err)
+	}
+}
+
+// A caller whose context fires while waiting gets the context error; the
+// job itself still runs with the canceled context (and is expected to
+// abort at its first checkpoint).
+func TestQueueCallerContextCancel(t *testing.T) {
+	q := newJobQueue(1, 4)
+	defer q.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go q.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := q.Do(ctx, func(context.Context) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	close(release)
+}

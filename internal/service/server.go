@@ -1,0 +1,144 @@
+// Package service exposes the k-MDS machinery as a long-running HTTP JSON
+// service — the serving layer the ROADMAP's production north star asks
+// for. Callers no longer link the library and pay a cold solve per query:
+//
+//   - POST /v1/solve          — k-MDS on a posted graph or generated family
+//   - POST /v1/verify         — feasibility check of a proposed set
+//   - POST /v1/session        — solve + register a stateful cluster session
+//   - GET  /v1/session/{id}   — session status
+//   - POST /v1/session/{id}/fail — inject failures; repaired locally with
+//     maintain.Repair, never a full re-solve
+//   - DELETE /v1/session/{id} — drop a session
+//   - GET  /debug/metrics     — counters, queue depth, p50/p99 solve latency
+//   - GET  /healthz           — liveness
+//
+// Behind the handlers sit a bounded job queue with a fixed solver-worker
+// pool (overload returns 503 instead of queueing unboundedly), an LRU
+// solution cache keyed by the canonical graph hash plus solver options
+// (deterministic solver ⇒ a hit is byte-identical to a re-solve), and
+// per-request deadlines threaded into the solver's round loop via
+// ftclust.WithContext. Shutdown drains in-flight solves before returning.
+package service
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the solver pool size: at most this many solves run
+	// concurrently (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-started solves
+	// (default 64); beyond it /v1/solve returns 503.
+	QueueDepth int
+	// CacheSize is the LRU solution-cache capacity in entries
+	// (default 128; ≤ -1 disables caching, 0 selects the default).
+	CacheSize int
+	// MaxBodyBytes caps request bodies (default 16 MiB); larger bodies
+	// get 413.
+	MaxBodyBytes int64
+	// MaxNodes caps the node count of posted or generated instances
+	// (default 1<<20).
+	MaxNodes int
+	// SolveTimeout is the per-request solve deadline (default 60s;
+	// negative disables).
+	SolveTimeout time.Duration
+	// SolveThreads is the per-solve worker count handed to the engine's
+	// parallel sweeps (default 1: with a pool of concurrent solves,
+	// one thread per solve is the throughput-optimal default).
+	SolveThreads int
+	// MaxSessions bounds live sessions (default 1024).
+	MaxSessions int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 1 << 20
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = 60 * time.Second
+	}
+	if c.SolveThreads <= 0 {
+		c.SolveThreads = 1
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+}
+
+// Server is the clustering service. Create with New, mount Handler on an
+// http.Server (or httptest), and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	queue    *jobQueue
+	cache    *lruCache
+	metrics  *metrics
+	sessions *sessionStore
+}
+
+// New builds a Server from cfg (zero value = all defaults).
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		queue:    newJobQueue(cfg.Workers, cfg.QueueDepth),
+		cache:    newLRUCache(cfg.CacheSize),
+		metrics:  newMetrics(time.Now()),
+		sessions: newSessionStore(cfg.MaxSessions),
+	}
+	s.metrics.queueDepth = s.queue.Depth
+	s.metrics.activeSessions = s.sessions.len
+
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/session/{id}/fail", s.handleSessionFail)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(time.Now()) }
+
+// Shutdown drains the solver pool: new jobs are rejected with 503 while
+// every accepted solve runs to completion (in-flight HTTP handlers are
+// the listener's responsibility — call http.Server.Shutdown first, then
+// this). The context bounds the wait; on expiry the pool keeps draining
+// in the background but Shutdown returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.queue.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

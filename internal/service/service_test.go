@@ -1,0 +1,458 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+const gnpSolveBody = `{"family":{"name":"gnp","n":120,"degree":6,"seed":5},"k":2}`
+
+func TestSolveEndpointAndCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", gnpSolveBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold solve X-Cache = %q, want miss", got)
+	}
+	var sol SolutionJSON
+	if err := json.Unmarshal(body, &sol); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !sol.Verified || sol.Size == 0 || sol.Size != len(sol.Members) || sol.N != 120 {
+		t.Fatalf("implausible solution: %+v", sol)
+	}
+	if sol.Rounds != 2*3*3+4 {
+		t.Fatalf("rounds = %d, want %d", sol.Rounds, 2*3*3+4)
+	}
+	if sol.Kappa == 0 || sol.CertifiedLowerBound <= 0 {
+		t.Fatalf("certificate missing: kappa=%v lb=%v", sol.Kappa, sol.CertifiedLowerBound)
+	}
+
+	// Identical request: cache hit, byte-identical body.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/solve", gnpSolveBody)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat solve: status %d, X-Cache %q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("cache hit body differs from cold-solve body")
+	}
+	// Different seed: miss.
+	resp3, _ := postJSON(t, ts.URL+"/v1/solve",
+		`{"family":{"name":"gnp","n":120,"degree":6,"seed":6},"k":2}`)
+	if resp3.Header.Get("X-Cache") != "miss" {
+		t.Fatal("different seed must miss the cache")
+	}
+
+	m := s.Metrics()
+	if m.CacheHits < 1 || m.CacheMisses < 2 || m.Solves < 2 {
+		t.Fatalf("metrics after solves: %+v", m)
+	}
+	if m.LatencySamples < 2 || m.SolveLatencyP99 < m.SolveLatencyP50 {
+		t.Fatalf("latency metrics: %+v", m)
+	}
+}
+
+func TestSolveExplicitGraph(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// 5-cycle, k=1.
+	body := `{"graph":{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4],[0,4]]},"k":1}`
+	resp, b := postJSON(t, ts.URL+"/v1/solve", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var sol SolutionJSON
+	if err := json.Unmarshal(b, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Verified || sol.N != 5 || sol.Edges != 5 {
+		t.Fatalf("bad solution: %+v", sol)
+	}
+}
+
+func TestSolveBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxNodes: 1000})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed json", `{"family":`, http.StatusBadRequest},
+		{"unknown field", `{"fam":{"name":"gnp"},"k":2}`, http.StatusBadRequest},
+		{"no instance", `{"k":2}`, http.StatusBadRequest},
+		{"both instances", `{"graph":{"n":2,"edges":[[0,1]]},"family":{"name":"gnp","n":5,"degree":2,"seed":1},"k":1}`, http.StatusBadRequest},
+		{"k zero", `{"family":{"name":"gnp","n":50,"degree":4,"seed":1},"k":0}`, http.StatusBadRequest},
+		{"k negative", `{"family":{"name":"gnp","n":50,"degree":4,"seed":1},"k":-2}`, http.StatusBadRequest},
+		{"k exceeds n", `{"family":{"name":"gnp","n":50,"degree":4,"seed":1},"k":51}`, http.StatusBadRequest},
+		{"unknown family", `{"family":{"name":"hypercube","n":50,"degree":4,"seed":1},"k":2}`, http.StatusBadRequest},
+		{"n over limit", `{"family":{"name":"gnp","n":100000,"degree":4,"seed":1},"k":2}`, http.StatusBadRequest},
+		{"self loop", `{"graph":{"n":3,"edges":[[1,1]]},"k":1}`, http.StatusBadRequest},
+		{"edge out of range", `{"graph":{"n":3,"edges":[[0,7]]},"k":1}`, http.StatusBadRequest},
+		{"t out of range", `{"family":{"name":"gnp","n":50,"degree":4,"seed":1},"k":2,"t":200}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON with error field: %s", tc.name, body)
+		}
+	}
+}
+
+func TestSolveOversizedPayload(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := fmt.Sprintf(`{"graph":{"n":4,"edges":[[0,1]]},"k":1,"t":3,"seed":%s1}`,
+		strings.Repeat(" ", 500))
+	resp, body := postJSON(t, ts.URL+"/v1/solve", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %s)", resp.StatusCode, body)
+	}
+}
+
+func TestVerifyEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// A star: center 0 dominates under k=1 with S={0}.
+	star := `"graph":{"n":5,"edges":[[0,1],[0,2],[0,3],[0,4]]}`
+	resp, body := postJSON(t, ts.URL+"/v1/verify",
+		`{`+star+`,"k":1,"members":[0],"convention":"standard"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body, &vr); err != nil || !vr.OK {
+		t.Fatalf("star with S={0} must verify: %s", body)
+	}
+
+	// Leaf-only set fails standard domination of the other leaves.
+	_, body = postJSON(t, ts.URL+"/v1/verify", `{`+star+`,"k":1,"members":[1]}`)
+	if err := json.Unmarshal(body, &vr); err != nil || vr.OK || vr.Reason == "" {
+		t.Fatalf("leaf-only set must fail with a reason: %s", body)
+	}
+
+	for name, bad := range map[string]string{
+		"k zero":         `{` + star + `,"k":0,"members":[0]}`,
+		"bad convention": `{` + star + `,"k":1,"members":[0],"convention":"open"}`,
+		"member range":   `{` + star + `,"k":1,"members":[9]}`,
+		"no instance":    `{"k":1,"members":[0]}`,
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/verify", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if s.Metrics().Verifies < 2 {
+		t.Fatalf("verify counter: %+v", s.Metrics())
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d, body %s", resp.StatusCode, body)
+	}
+	var created SessionCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.SessionID == "" || created.Solution == nil || !created.Solution.Verified {
+		t.Fatalf("bad create response: %s", body)
+	}
+	coldSolves := s.Metrics().Solves
+
+	// Status.
+	resp, body = postJSON(t, ts.URL+"/v1/session/"+created.SessionID+"/fail",
+		fmt.Sprintf(`{"nodes":[%d,%d]}`, created.Solution.Members[0], created.Solution.Members[1]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail: status %d, body %s", resp.StatusCode, body)
+	}
+	var fr FailResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.LostHeads != 2 || fr.FailedTotal != 2 || !fr.Feasible {
+		t.Fatalf("fail response: %+v", fr)
+	}
+	// The session survived via local repair: no additional full solve ran.
+	if got := s.Metrics().Solves; got != coldSolves {
+		t.Fatalf("failure injection triggered a full re-solve (%d -> %d)", coldSolves, got)
+	}
+	if s.Metrics().Repairs != 1 {
+		t.Fatalf("repairs counter: %+v", s.Metrics())
+	}
+
+	// Status reflects the damage and the repair.
+	getResp, err := http.Get(ts.URL + "/v1/session/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	var st SessionState
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadNodes != 2 || st.Repairs != 1 || !st.Feasible || st.N != 120 {
+		t.Fatalf("session state: %+v", st)
+	}
+
+	// Bad failure payloads.
+	resp, _ = postJSON(t, ts.URL+"/v1/session/"+created.SessionID+"/fail", `{"nodes":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty nodes: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/session/"+created.SessionID+"/fail", `{"nodes":[5000]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range node: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown session.
+	resp, _ = postJSON(t, ts.URL+"/v1/session/nope/fail", `{"nodes":[1]}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session fail: status %d, want 404", resp.StatusCode)
+	}
+
+	// Delete, then everything 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+created.SessionID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d, want 204", delResp.StatusCode)
+	}
+	getResp2, err := http.Get(ts.URL + "/v1/session/" + created.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp2.Body.Close()
+	if getResp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", getResp2.StatusCode)
+	}
+	if s.Metrics().SessionsActive != 0 {
+		t.Fatalf("sessions_active after delete: %+v", s.Metrics())
+	}
+}
+
+// Sessions keep absorbing waves of failures with local repair only.
+func TestSessionRepeatedFailureWaves(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/session",
+		`{"family":{"name":"gnp","n":200,"degree":10,"seed":11},"k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var created SessionCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	coldSolves := s.Metrics().Solves
+	members := created.Solution.Members
+	for wave := 0; wave < 4; wave++ {
+		resp, body := postJSON(t, ts.URL+"/v1/session/"+created.SessionID+"/fail",
+			fmt.Sprintf(`{"nodes":[%d,%d]}`, members[2*wave], members[2*wave+1]))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("wave %d: %d %s", wave, resp.StatusCode, body)
+		}
+		var fr FailResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if !fr.Feasible {
+			t.Fatalf("wave %d left the session infeasible: %+v", wave, fr)
+		}
+	}
+	if s.Metrics().Solves != coldSolves {
+		t.Fatal("failure waves must not trigger full re-solves")
+	}
+	if s.Metrics().Repairs != 4 {
+		t.Fatalf("repairs = %d, want 4", s.Metrics().Repairs)
+	}
+}
+
+// 32 concurrent identical solves must all succeed with byte-identical
+// bodies (deterministic solver + header-only cache status).
+func TestConcurrentSolvesDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	const parallel = 32
+	bodies := make([][]byte, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+				strings.NewReader(gnpSolveBody))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < parallel; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// A request deadline shorter than the solve aborts with 504 and bumps the
+// canceled counter; the server stays healthy.
+func TestSolveDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{SolveTimeout: time.Nanosecond})
+	resp, body := postJSON(t, ts.URL+"/v1/solve",
+		`{"family":{"name":"gnp","n":2000,"degree":8,"seed":1},"k":3,"t":6}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", resp.StatusCode, body)
+	}
+	if s.Metrics().Canceled < 1 {
+		t.Fatalf("canceled counter: %+v", s.Metrics())
+	}
+}
+
+// Shutdown must let an in-flight solve finish (and serve its response)
+// while rejecting new work with 503.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		// grid generates in O(n) (gnp is O(n²)), so the request reaches
+		// the solver quickly and the solve itself is the slow part.
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+			strings.NewReader(`{"family":{"name":"grid","n":40000,"degree":4,"seed":3},"k":3,"t":6}`))
+		if err != nil {
+			resCh <- result{status: -1}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resCh <- result{status: resp.StatusCode, body: b}
+	}()
+
+	// Wait until the solve is actually in flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().InFlight == 0 && s.Metrics().Solves == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("solve never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	res := <-resCh
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight solve during shutdown: status %d, body %s", res.status, res.body)
+	}
+	var sol SolutionJSON
+	if err := json.Unmarshal(res.body, &sol); err != nil || !sol.Verified {
+		t.Fatalf("drained solve returned a bad body: %s", res.body)
+	}
+
+	// After the drain, new solves are rejected crisply.
+	resp, _ := postJSON(t, ts.URL+"/v1/solve", gnpSolveBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain solve: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/solve", gnpSolveBody)
+	resp, err := http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if snap.Solves < 1 || snap.LatencySamples < 1 {
+		t.Fatalf("metrics snapshot: %+v", snap)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", hz.StatusCode)
+	}
+}
+
+// Sessions are capped; the cap reports 503, not a crash.
+func TestSessionLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 1})
+	resp, _ := postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first session: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit session: status %d, want 503", resp.StatusCode)
+	}
+}

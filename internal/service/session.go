@@ -1,0 +1,188 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/maintain"
+)
+
+// Session errors.
+var (
+	errNoSession       = errors.New("service: no such session")
+	errTooManySessions = errors.New("service: session limit reached")
+)
+
+// session is a stateful cluster: the graph a solve ran on, the current
+// dominator mask, and the accumulated failure set. Failures are repaired
+// with maintain.Repair — local promotions proportional to the damage —
+// never a full re-solve, which is the paper's own story: a k-fold
+// dominating set absorbs up to k−1 local failures outright and repair
+// replenishes the budget.
+type session struct {
+	mu sync.Mutex
+
+	id   string
+	g    *graph.Graph
+	k    int
+	mask []bool
+	dead map[graph.NodeID]bool
+
+	repairs       int
+	promotedTotal int
+}
+
+// sessionStore is the in-memory registry of live sessions. IDs are
+// monotonic ("s1", "s2", …): deterministic, log-friendly, and unique for
+// the process lifetime.
+type sessionStore struct {
+	mu   sync.Mutex
+	m    map[string]*session
+	next int64
+	max  int
+}
+
+func newSessionStore(max int) *sessionStore {
+	return &sessionStore{m: make(map[string]*session), max: max}
+}
+
+func (st *sessionStore) create(g *graph.Graph, k int, mask []bool) (*session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.m) >= st.max {
+		return nil, errTooManySessions
+	}
+	st.next++
+	s := &session{
+		id:   fmt.Sprintf("s%d", st.next),
+		g:    g,
+		k:    k,
+		mask: append([]bool(nil), mask...),
+		dead: make(map[graph.NodeID]bool),
+	}
+	st.m[s.id] = s
+	return s, nil
+}
+
+func (st *sessionStore) get(id string) (*session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if !ok {
+		return nil, errNoSession
+	}
+	return s, nil
+}
+
+func (st *sessionStore) delete(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[id]; !ok {
+		return errNoSession
+	}
+	delete(st.m, id)
+	return nil
+}
+
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// SessionState is the JSON shape of a session status.
+type SessionState struct {
+	SessionID string `json:"session_id"`
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+	Size      int    `json:"size"`
+	LiveNodes int    `json:"live_nodes"`
+	DeadNodes int    `json:"dead_nodes"`
+	Repairs   int    `json:"repairs"`
+	Promoted  int    `json:"promoted_total"`
+	Feasible  bool   `json:"feasible"`
+}
+
+// FailResponse is the JSON result of injecting failures into a session.
+type FailResponse struct {
+	SessionID       string `json:"session_id"`
+	Failed          int    `json:"failed"`
+	FailedTotal     int    `json:"failed_total"`
+	LostHeads       int    `json:"lost_heads"`
+	DeficientBefore int    `json:"deficient_before"`
+	Promoted        int    `json:"promoted"`
+	Iterations      int    `json:"iterations"`
+	Size            int    `json:"size"`
+	Feasible        bool   `json:"feasible"`
+}
+
+// state snapshots the session under its lock.
+func (s *session) state() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionState{
+		SessionID: s.id,
+		N:         s.g.NumNodes(),
+		K:         s.k,
+		Size:      maskSize(s.mask),
+		LiveNodes: s.g.NumNodes() - len(s.dead),
+		DeadNodes: len(s.dead),
+		Repairs:   s.repairs,
+		Promoted:  s.promotedTotal,
+		Feasible:  s.feasibleLocked(),
+	}
+}
+
+// fail marks nodes dead and restores k-coverage with a local repair.
+func (s *session) fail(nodes []int) (FailResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.g.NumNodes()
+	newlyDead := 0
+	for _, v := range nodes {
+		if v < 0 || v >= n {
+			return FailResponse{}, fmt.Errorf("node %d out of range [0,%d)", v, n)
+		}
+		if !s.dead[graph.NodeID(v)] {
+			s.dead[graph.NodeID(v)] = true
+			newlyDead++
+		}
+	}
+	dmg := maintain.Assess(s.g, s.mask, s.dead, s.k)
+	rep, err := maintain.Repair(s.g, s.mask, s.dead, s.k)
+	if err != nil {
+		return FailResponse{}, err
+	}
+	s.mask = rep.InSet
+	s.repairs++
+	s.promotedTotal += rep.Promoted
+	return FailResponse{
+		SessionID:       s.id,
+		Failed:          newlyDead,
+		FailedTotal:     len(s.dead),
+		LostHeads:       dmg.LostHeads,
+		DeficientBefore: dmg.DeficientNodes,
+		Promoted:        rep.Promoted,
+		Iterations:      rep.Iterations,
+		Size:            maskSize(s.mask),
+		Feasible:        s.feasibleLocked(),
+	}, nil
+}
+
+// feasibleLocked reports whether every live node has its capped live
+// demand covered. Callers hold s.mu.
+func (s *session) feasibleLocked() bool {
+	return maintain.Assess(s.g, s.mask, s.dead, s.k).DeficientNodes == 0
+}
+
+func maskSize(mask []bool) int {
+	n := 0
+	for _, in := range mask {
+		if in {
+			n++
+		}
+	}
+	return n
+}
