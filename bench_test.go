@@ -149,6 +149,37 @@ func BenchmarkPublicAPISolve(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline covers the request→solution pipeline the service runs
+// per cold query through the public API: generate the instance, hash it
+// for the cache key, solve. The scratch variant reuses one arena across
+// iterations — the allocs/op gap against fresh is the pooled-scratch
+// payoff. CI smokes these with -bench=Pipeline -benchtime=1x.
+func BenchmarkPipeline(b *testing.B) {
+	const n, d, k = 2000, 8, 2
+	run := func(b *testing.B, opts ...Option) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := GenerateGraph("gnp", n, d, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.CanonicalHash()
+			sol, err := SolveKMDS(g, k, append([]Option{WithSeed(1)}, opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Size() == 0 {
+				b.Fatal("empty solution")
+			}
+		}
+	}
+	b.Run("fresh", func(b *testing.B) { run(b) })
+	b.Run("scratch", func(b *testing.B) {
+		sc := NewScratch()
+		run(b, WithScratch(sc))
+	})
+}
+
 func BenchmarkPublicAPISolveParallel(b *testing.B) {
 	g, err := GenerateGraph("gnp", 4096, 14, 4)
 	if err != nil {

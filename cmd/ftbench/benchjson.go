@@ -21,13 +21,18 @@ import (
 
 // benchReport is the top-level BENCH_core.json document.
 type benchReport struct {
-	Schema      string        `json:"schema"`
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	NumCPU      int           `json:"num_cpu"`
-	Scale       float64       `json:"scale"`
-	Benchmarks  []benchRecord `json:"benchmarks"`
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	// GnpGenerator records which Gnp implementation produced the bench
+	// graphs (graph.GnpGenerator); the geometric-skip rewrite changed the
+	// per-seed edge sets, so reports across generator versions are not
+	// instance-for-instance comparable.
+	GnpGenerator string        `json:"gnp_generator"`
+	Scale        float64       `json:"scale"`
+	Benchmarks   []benchRecord `json:"benchmarks"`
 }
 
 // benchRecord is one measured configuration.
@@ -42,9 +47,10 @@ type benchRecord struct {
 	AllocsOp int64  `json:"allocs_op"`
 	BytesOp  int64  `json:"bytes_op"`
 	// SpeedupVsSequential is ns_op(workers=1)/ns_op for the same
-	// (op, family, n); 0 on the sequential record itself. On a
-	// single-core machine this hovers around 1 — the worker pool can
-	// only pay off with GOMAXPROCS ≥ 2.
+	// (op, family, n); 0 on the sequential record itself. Only emitted on
+	// machines with more than one CPU — on a single core the ratio
+	// measures worker-pool overhead, not speedup, and readers kept
+	// mistaking it for a regression.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 }
 
@@ -82,12 +88,13 @@ func runBenchJSON(path string, scale float64) error {
 	workerCounts := []int{1, par}
 
 	rep := benchReport{
-		Schema:      "ftclust-bench-core/v1",
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
-		Scale:       scale,
+		Schema:       "ftclust-bench-core/v1",
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		GnpGenerator: graph.GnpGenerator,
+		Scale:        scale,
 	}
 
 	for _, family := range []string{"gnp", "grid", "powerlaw"} {
@@ -158,7 +165,7 @@ func runBenchJSON(path string, scale float64) error {
 					}
 					if workers == 1 {
 						seqNs = r.NsPerOp()
-					} else if seqNs > 0 && r.NsPerOp() > 0 {
+					} else if seqNs > 0 && r.NsPerOp() > 0 && runtime.NumCPU() > 1 {
 						rec.SpeedupVsSequential = float64(seqNs) / float64(r.NsPerOp())
 					}
 					rep.Benchmarks = append(rep.Benchmarks, rec)

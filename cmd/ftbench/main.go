@@ -10,6 +10,10 @@
 //	                        # instead: benchmark the core engines
 //	                        # (sequential vs worker pool) and write the
 //	                        # machine-readable performance report
+//	ftbench -pipeline-json BENCH_pipeline.json
+//	                        # instead: benchmark the request→solution
+//	                        # pipeline (generate, hash, solve with and
+//	                        # without scratch, HTTP service QPS)
 package main
 
 import (
@@ -37,12 +41,16 @@ func run() error {
 		scale     = flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
 		csv       = flag.Bool("csv", false, "also write CSV files")
 		outDir    = flag.String("o", ".", "directory for CSV output")
-		benchJSON = flag.String("bench-json", "", "benchmark the core engines and write this JSON report instead of running experiments")
+		benchJSON    = flag.String("bench-json", "", "benchmark the core engines and write this JSON report instead of running experiments")
+		pipelineJSON = flag.String("pipeline-json", "", "benchmark the request→solution pipeline and write this JSON report instead of running experiments")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		return runBenchJSON(*benchJSON, *scale)
+	}
+	if *pipelineJSON != "" {
+		return runPipelineJSON(*pipelineJSON, *scale)
 	}
 
 	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale}

@@ -144,6 +144,25 @@ type Solution struct {
 // Size returns |S|.
 func (s *Solution) Size() int { return verify.SetSize(s.InSet) }
 
+// Scratch is a reusable solver arena for SolveKMDS: it preallocates every
+// working array of Algorithms 1 and 2 and is refilled in place on each
+// solve, so a caller that solves many instances in a loop (a benchmark
+// harness, a service worker) allocates nothing in steady state. Create one
+// with NewScratch and pass it via WithScratch.
+//
+// A Scratch is NOT safe for concurrent use — give each worker goroutine
+// its own. A scratch-backed Solution's InSet aliases the arena and is
+// overwritten by the next solve through the same Scratch; Members is
+// always a fresh copy, so keep that (or copy InSet) if the mask must
+// outlive the next call.
+type Scratch struct {
+	s *core.Scratch
+}
+
+// NewScratch returns an empty arena; it grows to fit the first instances
+// it sees and is reused thereafter.
+func NewScratch() *Scratch { return &Scratch{s: core.NewScratch()} }
+
 // config collects options for both solvers.
 type config struct {
 	t          int
@@ -152,6 +171,7 @@ type config struct {
 	fanOut     int
 	workers    int
 	ctx        context.Context
+	scratch    *Scratch
 }
 
 // Option customizes a solve call.
@@ -182,6 +202,12 @@ func WithFanOut(f int) Option { return func(c *config) { c.fanOut = f } }
 // Ignored by the UDG solver.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
 
+// WithScratch makes SolveKMDS draw its working arrays from the reusable
+// arena s instead of allocating fresh ones; see Scratch for the aliasing
+// and concurrency contract. The solution is bit-identical either way.
+// Ignored by the weighted and UDG solvers.
+func WithScratch(s *Scratch) Option { return func(c *config) { c.scratch = s } }
+
 // WithContext makes the solve honor ctx: the engines check it between
 // communication rounds and abandon the run with an error matching
 // ErrCanceled once ctx is done. A live context never changes the result.
@@ -205,14 +231,18 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 	for _, o := range opts {
 		o(&c)
 	}
-	res, err := core.Solve(g, core.Options{
+	coreOpts := core.Options{
 		K:          float64(k),
 		T:          c.t,
 		Seed:       c.seed,
 		LocalDelta: c.localDelta,
 		Workers:    c.workers,
 		Ctx:        c.ctx,
-	})
+	}
+	if c.scratch != nil {
+		coreOpts.Scratch = c.scratch.s
+	}
+	res, err := core.Solve(g, coreOpts)
 	if err != nil {
 		return nil, err
 	}

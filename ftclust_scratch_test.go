@@ -1,0 +1,55 @@
+package ftclust
+
+import (
+	"reflect"
+	"testing"
+)
+
+// WithScratch must not change results: scratch-backed solves are
+// bit-identical to plain ones, across instances reusing one arena.
+func TestWithScratchBitIdentical(t *testing.T) {
+	sc := NewScratch()
+	for _, seed := range []int64{1, 2, 3} {
+		g, err := GenerateGraph("gnp", 200, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := SolveKMDS(g, 2, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := SolveKMDS(g, 2, WithSeed(seed), WithScratch(sc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.Members, pooled.Members) {
+			t.Errorf("seed %d: members differ with scratch", seed)
+		}
+		if plain.FractionalObjective != pooled.FractionalObjective ||
+			plain.CertifiedLowerBound != pooled.CertifiedLowerBound {
+			t.Errorf("seed %d: objective/bound differ with scratch", seed)
+		}
+		if err := Verify(g, pooled, 2, ClosedPP); err != nil {
+			t.Errorf("seed %d: scratch solution infeasible: %v", seed, err)
+		}
+	}
+}
+
+// Members survives arena reuse (it is a fresh copy), while InSet is
+// documented to alias the scratch.
+func TestWithScratchMembersSurviveReuse(t *testing.T) {
+	sc := NewScratch()
+	g1, _ := GenerateGraph("gnp", 150, 8, 1)
+	g2, _ := GenerateGraph("grid", 144, 4, 0)
+	s1, err := SolveKMDS(g1, 2, WithSeed(1), WithScratch(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]NodeID(nil), s1.Members...)
+	if _, err := SolveKMDS(g2, 3, WithSeed(2), WithScratch(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(saved, s1.Members) {
+		t.Error("Members must be a fresh copy unaffected by arena reuse")
+	}
+}

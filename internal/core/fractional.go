@@ -46,6 +46,11 @@ type FractionalOptions struct {
 	// Values ≤ 1 run sequentially. Results are bit-identical for every
 	// worker count and equal seeds.
 	Workers int
+	// Scratch, when non-nil, supplies every working array from a reusable
+	// arena: repeated solves on same-shape graphs allocate nothing in
+	// steady state. The returned X/Y/Z vectors then alias the arena and
+	// are overwritten by the next solve using it; see Scratch.
+	Scratch *Scratch
 }
 
 // FractionalResult carries the primal solution, the dual certificate, and
@@ -119,7 +124,7 @@ func LowerBoundRatio(t, delta int) float64 {
 // is an exact, deterministic emulation of the synchronous algorithm; the
 // sim.Program in program.go reproduces it bit for bit.
 func SolveFractional(g *graph.Graph, k []float64, opts FractionalOptions) (FractionalResult, error) {
-	return solveFractionalWithLayout(g, newLayout(g), k, opts)
+	return solveFractionalWithLayout(g, layoutFor(g, opts.Scratch), k, opts)
 }
 
 // solveFractionalWithLayout is SolveFractional on a precomputed layout, so
@@ -140,7 +145,7 @@ func solveFractionalWithLayout(g *graph.Graph, lay *layout, k []float64, opts Fr
 		deltas = g.MaxDegreeWithinHops(2)
 	}
 
-	st := newFracState(lay, k, deltas, globalDelta, t, opts.Workers)
+	st := newFracState(lay, k, deltas, globalDelta, t, opts.Workers, opts.Scratch)
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
 			if err := checkCtx(opts.Ctx); err != nil {
@@ -192,22 +197,31 @@ type fracState struct {
 	beta    []float64
 }
 
-func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, workers int) *fracState {
+// newFracState initializes the emulation state. With a non-nil scratch it
+// reuses the arena's embedded state and array capacities (every slot is
+// either zeroed or overwritten below), so repeated solves allocate
+// nothing; with scratch == nil it allocates fresh arrays as before.
+func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, workers int, scratch *Scratch) *fracState {
 	n := lay.n
-	st := &fracState{
-		lay: lay, mir: lay.mirror(), n: n, t: t, workers: workers,
-		k:      make([]float64, n),
-		x:      make([]float64, n),
-		xPlus:  make([]float64, n),
-		dyn:    make([]int32, n),
-		white:  make([]bool, n),
-		turned: make([]bool, n),
-		c:      make([]float64, n),
-		y:      make([]float64, n),
-		z:      make([]float64, n),
-		alpha:  make([]float64, len(lay.adj)),
-		beta:   make([]float64, len(lay.adj)),
+	var st *fracState
+	if scratch != nil {
+		st = &scratch.frac
+	} else {
+		st = new(fracState)
 	}
+	st.lay, st.n, st.t, st.workers = lay, n, t, workers
+	st.mir = lay.mirrorInto(st.mir)
+	st.k = growNoClear(st.k, n)
+	st.x = growZero(st.x, n)
+	st.xPlus = growZero(st.xPlus, n)
+	st.dyn = growNoClear(st.dyn, n)
+	st.white = growNoClear(st.white, n)
+	st.turned = growZero(st.turned, n)
+	st.c = growZero(st.c, n)
+	st.y = growZero(st.y, n)
+	st.z = growZero(st.z, n)
+	st.alpha = growZero(st.alpha, len(lay.adj))
+	st.beta = growZero(st.beta, len(lay.adj))
 	fillTables := func(dst, rec []float64, delta int) {
 		d1 := float64(delta + 1)
 		for e := 0; e < t; e++ {
@@ -216,13 +230,14 @@ func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, worker
 		}
 	}
 	if deltas == nil {
-		st.thresh = make([]float64, t)
-		st.inc = make([]float64, t)
+		st.perNode = false
+		st.thresh = growNoClear(st.thresh, t)
+		st.inc = growNoClear(st.inc, t)
 		fillTables(st.thresh, st.inc, globalDelta)
 	} else {
 		st.perNode = true
-		st.thresh = make([]float64, n*t)
-		st.inc = make([]float64, n*t)
+		st.thresh = growNoClear(st.thresh, n*t)
+		st.inc = growNoClear(st.inc, n*t)
 		par.For(n, workers, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				fillTables(st.thresh[v*t:(v+1)*t], st.inc[v*t:(v+1)*t], deltas[v])
@@ -259,49 +274,21 @@ func (st *fracState) incAt(v, e int) float64 {
 // incremental (each node turning black decrements its closed neighbors'
 // counters once, O(Δ) amortized per color flip), replacing the original
 // full O(n·Δ) neighborhood rescan per iteration.
+//
+// The closure literals handed to par.For live in the workers > 1 branch
+// only: par.For's fn parameter reaches a goroutine, so every such literal
+// is heap-allocated at creation even when it ends up running inline —
+// creating them unconditionally cost ~2 allocations per inner iteration
+// and kept scratch-backed sequential solves from reaching zero
+// steady-state allocations.
 func (st *fracState) innerIteration(p, q int) {
-	// Round A: raise x-values (Lines 5–8).
-	par.For(st.n, st.workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			st.xPlus[v] = 0
-			if st.x[v] < 1 && float64(st.dyn[v]) >= st.threshAt(v, p) {
-				xp := math.Min(st.incAt(v, q), 1-st.x[v])
-				st.xPlus[v] = xp
-				st.x[v] += xp
-			}
-		}
-	})
-	// Round B part 1: white nodes account coverage and duals (Lines 10–21).
-	par.For(st.n, st.workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if !st.white[v] {
-				continue
-			}
-			closed := st.lay.closed(v)
-			cPlus := 0.0
-			for _, w := range closed {
-				cPlus += st.xPlus[w]
-			}
-			lambda := 1.0
-			if cPlus > 0 {
-				lambda = math.Min(1, (st.k[v]-st.c[v])/cPlus)
-			}
-			st.c[v] += cPlus
-			base := int(st.lay.off[v])
-			// Division (not a precomputed reciprocal) to stay bit-identical
-			// with the sim.Program's per-node arithmetic.
-			th := st.threshAt(v, p)
-			for s, w := range closed {
-				st.beta[base+s] += lambda * st.xPlus[w] / th
-				st.alpha[base+s] += lambda * st.xPlus[w]
-			}
-			if st.c[v] >= st.k[v] {
-				st.white[v] = false
-				st.turned[v] = true
-				st.y[v] = 1 / th
-			}
-		}
-	})
+	if st.workers > 1 {
+		par.For(st.n, st.workers, func(lo, hi int) { st.roundA(lo, hi, p, q) })
+		par.For(st.n, st.workers, func(lo, hi int) { st.roundB(lo, hi, p) })
+	} else {
+		st.roundA(0, st.n, p, q)
+		st.roundB(0, st.n, p)
+	}
 	// Round B part 2: maintain dynamic degrees (Line 24) incrementally.
 	// Sequential on purpose: total cost over the whole run is one O(Δ)
 	// decrement sweep per node, which is dwarfed by Round B part 1.
@@ -316,22 +303,73 @@ func (st *fracState) innerIteration(p, q int) {
 	}
 }
 
+// roundA raises x-values (Lines 5–8) for nodes in [lo, hi).
+func (st *fracState) roundA(lo, hi, p, q int) {
+	for v := lo; v < hi; v++ {
+		st.xPlus[v] = 0
+		if st.x[v] < 1 && float64(st.dyn[v]) >= st.threshAt(v, p) {
+			xp := math.Min(st.incAt(v, q), 1-st.x[v])
+			st.xPlus[v] = xp
+			st.x[v] += xp
+		}
+	}
+}
+
+// roundB is Round B part 1: white nodes in [lo, hi) account coverage and
+// duals (Lines 10–21).
+func (st *fracState) roundB(lo, hi, p int) {
+	for v := lo; v < hi; v++ {
+		if !st.white[v] {
+			continue
+		}
+		closed := st.lay.closed(v)
+		cPlus := 0.0
+		for _, w := range closed {
+			cPlus += st.xPlus[w]
+		}
+		lambda := 1.0
+		if cPlus > 0 {
+			lambda = math.Min(1, (st.k[v]-st.c[v])/cPlus)
+		}
+		st.c[v] += cPlus
+		base := int(st.lay.off[v])
+		// Division (not a precomputed reciprocal) to stay bit-identical
+		// with the sim.Program's per-node arithmetic.
+		th := st.threshAt(v, p)
+		for s, w := range closed {
+			st.beta[base+s] += lambda * st.xPlus[w] / th
+			st.alpha[base+s] += lambda * st.xPlus[w]
+		}
+		if st.c[v] >= st.k[v] {
+			st.white[v] = false
+			st.turned[v] = true
+			st.y[v] = 1 / th
+		}
+	}
+}
+
 // finishDuals computes z_i = Σ_{j∈N_i} (α_{i,j}·y_j − β_{i,j}) (Line 27).
 // α_{i,j} and β_{i,j} are stored at node j (the covered side), so the
 // distributed execution needs one extra exchange round here; the engine
 // reads them through the precomputed mirror slots.
 func (st *fracState) finishDuals() {
-	par.For(st.n, st.workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			sum := 0.0
-			for s := st.lay.off[v]; s < st.lay.off[v+1]; s++ {
-				w := st.lay.adj[s]
-				m := st.mir[s]
-				sum += st.alpha[m]*st.y[w] - st.beta[m]
-			}
-			st.z[v] = sum
+	if st.workers > 1 {
+		par.For(st.n, st.workers, st.finishRange)
+	} else {
+		st.finishRange(0, st.n)
+	}
+}
+
+func (st *fracState) finishRange(lo, hi int) {
+	for v := lo; v < hi; v++ {
+		sum := 0.0
+		for s := st.lay.off[v]; s < st.lay.off[v+1]; s++ {
+			w := st.lay.adj[s]
+			m := st.mir[s]
+			sum += st.alpha[m]*st.y[w] - st.beta[m]
 		}
-	})
+		st.z[v] = sum
+	}
 }
 
 func (st *fracState) betaSum() float64 {

@@ -20,12 +20,26 @@ type layout struct {
 }
 
 func newLayout(g *graph.Graph) *layout {
+	l := &layout{}
+	l.rebuild(g)
+	return l
+}
+
+// rebuild refills the layout for g, reusing the off/adj capacity from a
+// previous build (every slot is overwritten, so no clearing is needed).
+// It is the scratch-reuse entry point; newLayout calls it on a fresh
+// layout.
+func (l *layout) rebuild(g *graph.Graph) {
 	n := g.NumNodes()
-	off := make([]int32, n+1)
+	l.n = n
+	l.off = growNoClear(l.off, n+1)
+	off := l.off
+	off[0] = 0
 	for v := 0; v < n; v++ {
 		off[v+1] = off[v] + int32(g.Degree(graph.NodeID(v))+1)
 	}
-	adj := make([]graph.NodeID, off[n])
+	l.adj = growNoClear(l.adj, int(off[n]))
+	adj := l.adj
 	for v := 0; v < n; v++ {
 		ns := g.Neighbors(graph.NodeID(v))
 		s := off[v]
@@ -44,7 +58,6 @@ func newLayout(g *graph.Graph) *layout {
 			adj[s] = self
 		}
 	}
-	return &layout{n: n, off: off, adj: adj}
 }
 
 // closed returns N_v as a view into the shared backing array.
@@ -75,7 +88,12 @@ func (l *layout) maxSize() int {
 // and this index array replaces the per-node position maps with one binary
 // search per edge at build time.
 func (l *layout) mirror() []int32 {
-	m := make([]int32, len(l.adj))
+	return l.mirrorInto(nil)
+}
+
+// mirrorInto is mirror writing into a reusable buffer.
+func (l *layout) mirrorInto(buf []int32) []int32 {
+	m := growNoClear(buf, len(l.adj))
 	for v := 0; v < l.n; v++ {
 		for s := l.off[v]; s < l.off[v+1]; s++ {
 			w := int(l.adj[s])

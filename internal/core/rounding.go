@@ -9,7 +9,6 @@ import (
 
 	"ftclust/internal/graph"
 	"ftclust/internal/par"
-	"ftclust/internal/rng"
 )
 
 // RoundingOptions configure Algorithm 2.
@@ -30,6 +29,11 @@ type RoundingOptions struct {
 	// before the REQ round; a done context aborts with a wrapped
 	// ErrCanceled.
 	Ctx context.Context
+	// Scratch, when non-nil, supplies the rounding buffers and the
+	// per-node random streams from a reusable arena (streams are re-seeded
+	// in place — state-identical to fresh ones, so results never change).
+	// The returned InSet then aliases the arena; see Scratch.
+	Scratch *Scratch
 }
 
 // RoundingResult is the outcome of Algorithm 2.
@@ -69,7 +73,7 @@ func RoundSolution(g *graph.Graph, k []float64, x []float64, delta int, opts Rou
 	if len(x) != n || len(k) != n {
 		return RoundingResult{}, fmt.Errorf("core: x/k length mismatch with graph (%d nodes)", n)
 	}
-	return roundWithLayout(newLayout(g), k, x, delta, opts)
+	return roundWithLayout(layoutFor(g, opts.Scratch), k, x, delta, opts)
 }
 
 // roundWithLayout is RoundSolution over a precomputed closed-neighborhood
@@ -84,19 +88,32 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 
 	// Sampling (Line 2). Seeding a per-node stream is the expensive part
 	// (rand.NewSource initializes a large state), so the sweep is worth
-	// parallelizing even before any graph work happens.
-	inSet := make([]bool, n)
-	rnds := make([]*rand.Rand, n)
+	// parallelizing even before any graph work happens — and with a
+	// scratch the cached streams are re-seeded in place instead of
+	// reallocated, which removes the n allocations entirely.
+	scratch := opts.Scratch
+	var inSet []bool
+	var rnds []*rand.Rand
+	if scratch != nil {
+		scratch.inSet = growZero(scratch.inSet, n)
+		scratch.rnds = growKeep(scratch.rnds, n)
+		inSet, rnds = scratch.inSet, scratch.rnds
+	} else {
+		inSet = make([]bool, n)
+		rnds = make([]*rand.Rand, n)
+	}
+	// Closure literals handed to par.For heap-allocate even when they run
+	// inline (fn reaches a goroutine), so both sweeps keep them in the
+	// workers > 1 branch and call the named body directly otherwise —
+	// the sequential scratch path must not allocate at all.
 	sampled := 0
-	par.For(n, opts.Workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			rnds[v] = rng.NewStream(opts.Seed, uint64(v)+1)
-			p := math.Min(1, x[v]*lnD)
-			if rnds[v].Float64() < p {
-				inSet[v] = true
-			}
-		}
-	})
+	if opts.Workers > 1 {
+		par.For(n, opts.Workers, func(lo, hi int) {
+			sampleSweep(lo, hi, opts.Seed, lnD, x, rnds, inSet)
+		})
+	} else {
+		sampleSweep(0, n, opts.Seed, lnD, x, rnds, inSet)
+	}
 	for v := 0; v < n; v++ {
 		if inSet[v] {
 			sampled++
@@ -114,36 +131,35 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 	// helps). inSet is frozen here, every node reads its own stream, and
 	// recruit slots only ever receive the value 1, so the sweep is
 	// order-independent; atomic stores keep the parallel path race-free.
-	recruit := make([]uint32, n)
+	// The sequential scratch path reuses one candidate/permutation buffer;
+	// the parallel path allocates one pair per chunk (never per node —
+	// permInto consumes exactly rand.Perm's draws into a reused buffer).
+	var recruit []uint32
+	if scratch != nil {
+		scratch.recruit = growZero(scratch.recruit, n)
+		recruit = scratch.recruit
+	} else {
+		recruit = make([]uint32, n)
+	}
 	maxClosed := lay.maxSize()
-	par.For(n, opts.Workers, func(lo, hi int) {
-		candidates := make([]graph.NodeID, 0, maxClosed)
-		for v := lo; v < hi; v++ {
-			closed := lay.closed(v)
-			kv := math.Min(k[v], float64(len(closed)))
-			cov := 0.0
-			for _, w := range closed {
-				if inSet[w] {
-					cov++
-				}
-			}
-			deficit := int(math.Ceil(kv - cov - 1e-12))
-			if deficit <= 0 {
-				continue
-			}
-			candidates = candidates[:0]
-			for _, w := range closed {
-				if !inSet[w] {
-					candidates = append(candidates, w)
-				}
-			}
-			// |N_v| ≥ k_v guarantees enough candidates.
-			perm := rnds[v].Perm(len(candidates))
-			for i := 0; i < deficit && i < len(candidates); i++ {
-				atomic.StoreUint32(&recruit[candidates[perm[i]]], 1)
-			}
+	if opts.Workers > 1 {
+		par.For(n, opts.Workers, func(lo, hi int) {
+			reqSweep(lo, hi, lay, k, inSet, rnds, recruit,
+				make([]graph.NodeID, 0, maxClosed), make([]int, maxClosed))
+		})
+	} else {
+		var candidates []graph.NodeID
+		var permBuf []int
+		if scratch != nil {
+			scratch.cand = growNoClear(scratch.cand, maxClosed)[:0]
+			scratch.perm = growNoClear(scratch.perm, maxClosed)
+			candidates, permBuf = scratch.cand, scratch.perm
+		} else {
+			candidates = make([]graph.NodeID, 0, maxClosed)
+			permBuf = make([]int, maxClosed)
 		}
-	})
+		reqSweep(0, n, lay, k, inSet, rnds, recruit, candidates, permBuf)
+	}
 	repaired := 0
 	for v := 0; v < n; v++ {
 		if recruit[v] == 1 && !inSet[v] {
@@ -152,4 +168,47 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 		}
 	}
 	return RoundingResult{InSet: inSet, Sampled: sampled, Repaired: repaired}, nil
+}
+
+// sampleSweep runs the sampling round (Line 2) for nodes in [lo, hi).
+func sampleSweep(lo, hi int, seed int64, lnD float64, x []float64, rnds []*rand.Rand, inSet []bool) {
+	for v := lo; v < hi; v++ {
+		r := streamFor(rnds, seed, v)
+		p := math.Min(1, x[v]*lnD)
+		if r.Float64() < p {
+			inSet[v] = true
+		}
+	}
+}
+
+// reqSweep runs the REQ round (Lines 4–7) for nodes in [lo, hi), using the
+// caller-supplied candidate/permutation buffers (per chunk in the parallel
+// path, the scratch pair in the sequential path).
+func reqSweep(lo, hi int, lay *layout, k []float64, inSet []bool, rnds []*rand.Rand, recruit []uint32, candidates []graph.NodeID, permBuf []int) {
+	for v := lo; v < hi; v++ {
+		closed := lay.closed(v)
+		kv := math.Min(k[v], float64(len(closed)))
+		cov := 0.0
+		for _, w := range closed {
+			if inSet[w] {
+				cov++
+			}
+		}
+		deficit := int(math.Ceil(kv - cov - 1e-12))
+		if deficit <= 0 {
+			continue
+		}
+		candidates = candidates[:0]
+		for _, w := range closed {
+			if !inSet[w] {
+				candidates = append(candidates, w)
+			}
+		}
+		// |N_v| ≥ k_v guarantees enough candidates.
+		perm := permBuf[:len(candidates)]
+		permInto(rnds[v], perm)
+		for i := 0; i < deficit && i < len(candidates); i++ {
+			atomic.StoreUint32(&recruit[candidates[perm[i]]], 1)
+		}
+	}
 }

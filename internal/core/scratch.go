@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/rng"
+)
+
+// Scratch is a reusable solver-state arena for the general-graph pipeline.
+// A Solve (or SolveFractional / RoundSolution) call that receives one
+// through its options draws every working array — the closed-neighborhood
+// layout, the mirror slots, the fractional state, the per-node random
+// streams and the rounding buffers — from the arena instead of the heap,
+// growing it on first use and reusing it afterwards. Repeated solves on
+// same-shape graphs therefore run with zero steady-state allocations; the
+// per-node rand.Rand streams (the dominant allocation of the rounding
+// phase, one large generator state per node) are re-seeded in place, which
+// yields bit-identical results to freshly constructed streams.
+//
+// Results returned from a scratch-backed solve ALIAS the arena:
+// Result.InSet, .K and the Fractional X/Y/Z vectors are views into
+// Scratch-owned memory and are overwritten by the next solve that uses the
+// same Scratch. Callers must copy whatever they keep. A Scratch is not
+// safe for concurrent use; give each worker its own (the service's solver
+// pool does exactly that).
+type Scratch struct {
+	lay  layout
+	frac fracState
+
+	kEff []float64
+
+	// Rounding state.
+	inSet   []bool
+	rnds    []*rand.Rand
+	recruit []uint32
+	cand    []graph.NodeID
+	perm    []int
+}
+
+// NewScratch returns an empty arena; arrays are allocated lazily on first
+// use and sized to the largest (n, m) seen.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// growNoClear resizes buf to n reusing its capacity; contents are
+// unspecified — every slot must be written by the caller.
+func growNoClear[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// growZero resizes buf to n reusing its capacity and zeroes it.
+func growZero[T any](buf []T, n int) []T {
+	buf = growNoClear(buf, n)
+	clear(buf)
+	return buf
+}
+
+// growKeep resizes buf to n preserving existing elements (and, when
+// shrinking then regrowing within capacity, resurrecting earlier ones) —
+// used for the rand.Rand stream cache, where any stale non-nil pointer is
+// a reusable generator that the sampling sweep re-seeds anyway.
+func growKeep[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	nb := make([]T, n)
+	copy(nb, buf)
+	return nb
+}
+
+// layoutFor returns the closed-neighborhood layout of g, carved out of s
+// when non-nil and freshly allocated otherwise.
+func layoutFor(g *graph.Graph, s *Scratch) *layout {
+	if s == nil {
+		return newLayout(g)
+	}
+	s.lay.rebuild(g)
+	return &s.lay
+}
+
+// effectiveDemandsInto is EffectiveDemands writing into a reusable buffer.
+func effectiveDemandsInto(buf []float64, g *graph.Graph, k float64) []float64 {
+	n := g.NumNodes()
+	buf = growNoClear(buf, n)
+	for v := 0; v < n; v++ {
+		buf[v] = math.Min(k, float64(g.Degree(graph.NodeID(v))+1))
+	}
+	return buf
+}
+
+// streamFor returns the node's sampling stream: re-seeding a cached
+// generator is state-identical to constructing a fresh one, so scratch
+// reuse never changes a single random draw.
+func streamFor(rnds []*rand.Rand, seed int64, v int) *rand.Rand {
+	if rnds[v] == nil {
+		rnds[v] = rng.NewStream(seed, uint64(v)+1)
+	} else {
+		rnds[v].Seed(rng.Derive(seed, uint64(v)+1))
+	}
+	return rnds[v]
+}
+
+// permInto fills m with a uniformly random permutation of [0, len(m))
+// using exactly the draws of rand.Rand.Perm (one Intn(i+1) per position),
+// so scratch-backed rounding consumes the identical stream prefix and
+// stays bit-compatible with the allocation-per-call path and the
+// simulator.
+func permInto(r *rand.Rand, m []int) {
+	for i := range m {
+		j := r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+}

@@ -32,6 +32,13 @@ type Options struct {
 	// phases; a done context aborts the solve with a wrapped ErrCanceled.
 	// Cancellation never yields a partial Result.
 	Ctx context.Context
+	// Scratch, when non-nil, supplies every working array of both phases
+	// from a reusable arena: repeated solves on same-shape graphs run with
+	// zero steady-state allocations. The returned Result then ALIASES the
+	// arena (InSet, K, Fractional.X/Y/Z) and is overwritten by the next
+	// solve using the same Scratch; copy what you keep. Not safe for
+	// concurrent use — one Scratch per worker.
+	Scratch *Scratch
 }
 
 // Result is the full outcome of the combined solver.
@@ -67,13 +74,21 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	if opts.T < 1 {
 		return Result{}, fmt.Errorf("core: t must be ≥ 1, got %d", opts.T)
 	}
-	k := EffectiveDemands(g, opts.K)
-	lay := newLayout(g) // one closed-neighborhood layout shared by both phases
+	var k []float64
+	if opts.Scratch != nil {
+		opts.Scratch.kEff = effectiveDemandsInto(opts.Scratch.kEff, g, opts.K)
+		k = opts.Scratch.kEff
+	} else {
+		k = EffectiveDemands(g, opts.K)
+	}
+	// One closed-neighborhood layout shared by both phases.
+	lay := layoutFor(g, opts.Scratch)
 	frac, err := solveFractionalWithLayout(g, lay, k, FractionalOptions{
 		T:          opts.T,
 		LocalDelta: opts.LocalDelta,
 		Workers:    opts.Workers,
 		Ctx:        opts.Ctx,
+		Scratch:    opts.Scratch,
 	})
 	if err != nil {
 		return Result{}, err
@@ -83,6 +98,7 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		SkipRepair: opts.SkipRepair,
 		Workers:    opts.Workers,
 		Ctx:        opts.Ctx,
+		Scratch:    opts.Scratch,
 	})
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ftclust/internal/rng"
+)
+
+// timeIt reports the wall time of one call in nanoseconds.
+func timeIt(fn func()) int64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Nanoseconds()
+}
+
+// gnpQuadratic is the pre-v2 O(n²) reference generator: one Bernoulli
+// trial per upper-triangle pair. It is kept as the benchmark baseline the
+// geometric-skip implementation is measured against and as a
+// distribution-shape reference for the property tests. Note it is a
+// different (n, p, seed) → graph mapping than the v2 generator.
+func gnpQuadratic(n int, p float64, seed int64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.TryAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestGnpDeterministicPerSeed(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		seed int64
+	}{
+		{500, 0.01, 1}, {500, 0.01, 2}, {200, 0.5, 3}, {50, 0.9, 4}, {1000, 0.002, 99},
+	} {
+		a, b := Gnp(tc.n, tc.p, tc.seed), Gnp(tc.n, tc.p, tc.seed)
+		if a.CanonicalHash() != b.CanonicalHash() {
+			t.Errorf("Gnp(%d, %v, %d) not deterministic", tc.n, tc.p, tc.seed)
+		}
+	}
+	if Gnp(500, 0.01, 1).CanonicalHash() == Gnp(500, 0.01, 2).CanonicalHash() {
+		t.Error("different seeds produced the identical graph")
+	}
+}
+
+func TestGnpEdgeCases(t *testing.T) {
+	if g := Gnp(0, 0.5, 1); g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Errorf("Gnp(0): n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g := Gnp(1, 0.5, 1); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("Gnp(1): n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g := Gnp(100, 0, 1); g.NumEdges() != 0 {
+		t.Errorf("p=0 gave %d edges", g.NumEdges())
+	}
+	if g := Gnp(100, -0.5, 1); g.NumEdges() != 0 {
+		t.Errorf("p<0 gave %d edges", g.NumEdges())
+	}
+	if g := Gnp(40, 1, 1); g.NumEdges() != 40*39/2 {
+		t.Errorf("p=1 gave %d edges, want %d", g.NumEdges(), 40*39/2)
+	}
+	if g := Gnp(40, 1.7, 1); g.NumEdges() != 40*39/2 {
+		t.Errorf("p>1 gave %d edges, want %d", g.NumEdges(), 40*39/2)
+	}
+}
+
+// Property: the realized edge count concentrates around E[m] = C(n,2)·p.
+// m is Binomial(C(n,2), p), so |m − E[m]| ≤ 6σ holds with probability
+// ≈ 1−2e−18 per configuration; a failure means the generator's
+// distribution is off, not bad luck.
+func TestGnpEdgeCountConcentration(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		p    float64
+	}{
+		{2000, 0.004}, {1000, 0.05}, {300, 0.3}, {120, 0.8},
+	} {
+		total := float64(tc.n * (tc.n - 1) / 2)
+		mean := total * tc.p
+		sigma := math.Sqrt(total * tc.p * (1 - tc.p))
+		for seed := int64(1); seed <= 5; seed++ {
+			m := float64(Gnp(tc.n, tc.p, seed).NumEdges())
+			if math.Abs(m-mean) > 6*sigma+1 {
+				t.Errorf("Gnp(%d, %v, %d): m=%v, want %v ± %v",
+					tc.n, tc.p, seed, m, mean, 6*sigma)
+			}
+		}
+	}
+}
+
+// Property: the geometric-skip generator and the quadratic reference draw
+// from the same distribution — their mean edge counts over a batch of
+// seeds agree within sampling error.
+func TestGnpMatchesQuadraticDistribution(t *testing.T) {
+	const n, p, seeds = 400, 0.02, 20
+	total := float64(n * (n - 1) / 2)
+	sigmaMean := math.Sqrt(total*p*(1-p)) / math.Sqrt(seeds)
+	var sumGeo, sumQuad float64
+	for seed := int64(1); seed <= seeds; seed++ {
+		sumGeo += float64(Gnp(n, p, seed).NumEdges())
+		sumQuad += float64(gnpQuadratic(n, p, seed).NumEdges())
+	}
+	if diff := math.Abs(sumGeo-sumQuad) / seeds; diff > 8*sigmaMean {
+		t.Errorf("mean edge counts differ: geometric %v vs quadratic %v (tol %v)",
+			sumGeo/seeds, sumQuad/seeds, 8*sigmaMean)
+	}
+}
+
+// Acceptance gate: the O(n+m) generator beats the O(n²) baseline by ≥ 10×
+// at n=20000, d=8. The asymptotic gap at this size is ~3 orders of
+// magnitude, so the 10× threshold has enormous slack even under -race.
+func TestGnpGeometricFasterThanQuadratic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short")
+	}
+	const n = 20000
+	p := 8.0 / float64(n-1)
+	quadNs := timeIt(func() { gnpQuadratic(n, p, 7) })
+	geoNs := timeIt(func() { GnpAvgDegree(n, 8, 7) })
+	if geoNs*10 > quadNs {
+		t.Errorf("geometric skip %d ns vs quadratic %d ns: speedup %.1fx < 10x",
+			geoNs, quadNs, float64(quadNs)/float64(geoNs))
+	}
+}
+
+func TestGnpAvgDegreeMatchesKnob(t *testing.T) {
+	g := GnpAvgDegree(5000, 8, 3)
+	if d := g.AvgDegree(); d < 7 || d > 9 {
+		t.Errorf("avg degree %v, want ≈ 8", d)
+	}
+}
+
+func TestRandomRegularishSimpleGraphInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		const n, d = 200, 6
+		g := RandomRegularish(n, d, seed)
+		// Simple-graph invariants: sorted, deduplicated, symmetric, no
+		// self-loops — directly over the adjacency.
+		for v := 0; v < g.NumNodes(); v++ {
+			ns := g.Neighbors(NodeID(v))
+			for i, w := range ns {
+				if w == NodeID(v) {
+					t.Fatalf("seed %d: self-loop at %d", seed, v)
+				}
+				if i > 0 && ns[i-1] >= w {
+					t.Fatalf("seed %d: adjacency of %d unsorted or duplicated", seed, v)
+				}
+				if !g.HasEdge(w, NodeID(v)) {
+					t.Fatalf("seed %d: asymmetric edge (%d,%d)", seed, v, w)
+				}
+			}
+		}
+		if md := g.MaxDegree(); md > d {
+			t.Errorf("seed %d: max degree %d > %d", seed, md, d)
+		}
+		// The re-draw pairing should realize nearly all n·d/2 stub pairs.
+		if m := g.NumEdges(); float64(m) < 0.97*float64(n*d/2) {
+			t.Errorf("seed %d: only %d of %d pairs realized", seed, m, n*d/2)
+		}
+	}
+}
+
+func TestRandomRegularishDeterministic(t *testing.T) {
+	if RandomRegularish(150, 5, 9).CanonicalHash() != RandomRegularish(150, 5, 9).CanonicalHash() {
+		t.Error("RandomRegularish not deterministic per seed")
+	}
+}
+
+func BenchmarkGnpGeometric20k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GnpAvgDegree(20000, 8, 3)
+	}
+}
+
+func BenchmarkGnpQuadratic20k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gnpQuadratic(20000, 8.0/19999, 3)
+	}
+}

@@ -6,6 +6,11 @@ import (
 	"encoding/hex"
 )
 
+// hashChunk is the scratch-buffer size CanonicalHash streams through. One
+// buffer covers the header plus hundreds of edges, so the hash state sees
+// a handful of large writes instead of two small ones per edge.
+const hashChunk = 4096
+
 // CanonicalHash returns a hex-encoded SHA-256 digest of the graph's
 // canonical structure encoding: the node count, the edge count, and every
 // undirected edge (u, v) with u < v in ascending order — the same order
@@ -13,18 +18,47 @@ import (
 // same node count and edge set, regardless of construction order, so the
 // digest is a sound cache key for solver results (together with the
 // solver parameters).
+//
+// The encoding streams directly over the CSR adjacency: the rows are
+// already sorted, so the u < v halves of each row come out in canonical
+// order with no edge-list materialization and no sort. Edge endpoints are
+// packed as uint32 (the CSR offsets are int32, so node counts beyond 2³¹
+// are unrepresentable anyway) into a fixed stack buffer flushed in
+// hashChunk-sized writes; the only heap allocations are the constant-size
+// hash state and the output string, independent of m — asserted by
+// TestCanonicalHashConstantAllocs.
+//
+// Format note: the uint32 packing and chunked framing replace the
+// pre-streaming per-edge uint64 encoding, so digests differ from those
+// produced by older versions of this package. The digest is an in-process
+// cache key, never persisted, so only same-version comparisons matter.
 func (g *Graph) CanonicalHash() string {
 	h := sha256.New()
-	var buf [8]byte
-	put := func(x int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(x))
-		h.Write(buf[:])
+	var buf [hashChunk]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(g.n))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(g.m))
+	w := 16
+	for u := 0; u < g.n; u++ {
+		row := g.adj[g.off[u]:g.off[u+1]]
+		// Skip the v < u half of the row; the tail holds the canonical
+		// (u, v) pairs of row u.
+		lo := 0
+		for lo < len(row) && int(row[lo]) < u {
+			lo++
+		}
+		for _, v := range row[lo:] {
+			if w+8 > hashChunk {
+				h.Write(buf[:w])
+				w = 0
+			}
+			binary.LittleEndian.PutUint32(buf[w:w+4], uint32(u))
+			binary.LittleEndian.PutUint32(buf[w+4:w+8], uint32(v))
+			w += 8
+		}
 	}
-	put(g.n)
-	put(g.m)
-	g.Edges(func(u, v NodeID) {
-		put(int(u))
-		put(int(v))
-	})
-	return hex.EncodeToString(h.Sum(nil))
+	if w > 0 {
+		h.Write(buf[:w])
+	}
+	sum := h.Sum(buf[:0])
+	return hex.EncodeToString(sum)
 }

@@ -2,6 +2,37 @@ package graph
 
 import "testing"
 
+// CanonicalHash must allocate O(1) beyond the hash state no matter how
+// many edges it digests: the streaming encoder reuses one fixed chunk
+// buffer, so a 50k-edge graph costs the same handful of allocations as a
+// tiny one (hash state, digest, hex string — never per-edge).
+func TestCanonicalHashConstantAllocs(t *testing.T) {
+	big := GnpAvgDegree(10000, 10, 3) // ~50k edges
+	if m := big.NumEdges(); m < 40000 {
+		t.Fatalf("test graph too small: %d edges", m)
+	}
+	small := MustFromEdges(3, []Edge{{0, 1}})
+	allocsBig := testing.AllocsPerRun(10, func() { big.CanonicalHash() })
+	allocsSmall := testing.AllocsPerRun(10, func() { small.CanonicalHash() })
+	if allocsBig > allocsSmall+1 {
+		t.Errorf("50k-edge hash allocates %v vs %v for a 1-edge graph — not O(1)",
+			allocsBig, allocsSmall)
+	}
+	if allocsBig > 8 {
+		t.Errorf("hash allocates %v per op, want ≤ 8", allocsBig)
+	}
+}
+
+func BenchmarkCanonicalHash50kEdges(b *testing.B) {
+	g := GnpAvgDegree(10000, 10, 3)
+	b.ReportAllocs()
+	b.SetBytes(int64(16 + 8*g.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CanonicalHash()
+	}
+}
+
 func TestCanonicalHashInsertionOrderIndependent(t *testing.T) {
 	a := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
 	b := MustFromEdges(4, []Edge{{0, 3}, {2, 3}, {0, 1}, {1, 2}})

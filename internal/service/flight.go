@@ -1,0 +1,56 @@
+package service
+
+import "sync"
+
+// flightGroup coalesces concurrent solves of the same cache key: the first
+// request to miss the cache becomes the leader and runs the solve; every
+// request for the same key that arrives while it is in flight becomes a
+// follower and waits for the leader's result instead of occupying another
+// pool worker. The solver is deterministic and the shared result is one
+// *SolveResponse pointer, so leader and followers serialize byte-identical
+// bodies — coalescing is invisible except for the X-Cache header and the
+// coalesced counter.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-flight solve. done is closed after resp/status/err are
+// set and the flight has been removed from the group, so a follower that
+// observes done always sees the final outcome.
+type flight struct {
+	done   chan struct{}
+	resp   *SolveResponse
+	status int
+	err    error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key and whether the caller is its leader.
+// A leader MUST call finish exactly once.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and releases the followers. The
+// caller must have inserted the result into the solution cache first (on
+// success): the flight is removed from the group before done is closed, so
+// a request arriving after removal finds the cache populated and never
+// re-solves.
+func (g *flightGroup) finish(key string, f *flight, resp *SolveResponse, status int, err error) {
+	f.resp, f.status, f.err = resp, status, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

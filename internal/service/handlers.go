@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"ftclust"
@@ -81,6 +82,33 @@ func NewSolutionJSON(g *graph.Graph, sol *ftclust.Solution, k int) *SolutionJSON
 		CertifiedLowerBound: sol.CertifiedLowerBound,
 		Verified:            ftclust.Verify(g, sol, k, ftclust.ClosedPP) == nil,
 	}
+}
+
+// maxBatchItems caps the number of requests a single /v1/solvebatch may
+// carry; larger batches get 400.
+const maxBatchItems = 256
+
+// BatchSolveRequest is the body of POST /v1/solvebatch.
+type BatchSolveRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchSolveItem is one per-request outcome inside a batch response:
+// exactly one of Solution and Error is set. Status carries the HTTP status
+// the request would have received from /v1/solve; Cache mirrors the
+// X-Cache header (hit, miss or coalesced).
+type BatchSolveItem struct {
+	Solution *SolutionJSON `json:"solution,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Status   int           `json:"status"`
+	Cache    string        `json:"cache,omitempty"`
+}
+
+// BatchSolveResponse is the body of POST /v1/solvebatch; Results holds one
+// item per request, in request order. The response itself is 200 even when
+// individual items failed.
+type BatchSolveResponse struct {
+	Results []BatchSolveItem `json:"results"`
 }
 
 // VerifyRequest is the body of POST /v1/verify.
@@ -167,14 +195,25 @@ func (s *Server) buildGraph(gs *GraphSpec, fs *FamilySpec) (*graph.Graph, error)
 	}
 }
 
-// solve is the shared engine behind /v1/solve and session creation:
-// build the instance, consult the cache, otherwise run the solver on the
+// Cache-status values returned by solve and echoed in the X-Cache header:
+// a cache hit, a fresh solve, or a request coalesced onto a concurrent
+// identical solve.
+const (
+	cacheHit       = "hit"
+	cacheMiss      = "miss"
+	cacheCoalesced = "coalesced"
+)
+
+// solve is the shared engine behind /v1/solve, /v1/solvebatch and session
+// creation: build the instance, consult the cache, join an identical
+// in-flight solve if one exists, otherwise lead a fresh solve on the
 // bounded worker pool under the request deadline. It returns the graph so
-// session creation can keep it.
-func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, *graph.Graph, bool, int, error) {
+// session creation can keep it, plus the cache status for the X-Cache
+// header.
+func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, *graph.Graph, string, int, error) {
 	g, err := s.buildGraph(req.Graph, req.Family)
 	if err != nil {
-		return nil, nil, false, http.StatusBadRequest, err
+		return nil, nil, "", http.StatusBadRequest, err
 	}
 	if req.T == 0 {
 		req.T = 3
@@ -183,16 +222,44 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		req.Seed = 1
 	}
 	if req.T < 1 || req.T > 64 {
-		return nil, nil, false, http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
 	}
 
 	key := solveCacheKey(g.CanonicalHash(), req.K, req.T, req.Seed, req.Local)
 	if resp, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		return resp, g, true, http.StatusOK, nil
+		return resp, g, cacheHit, http.StatusOK, nil
+	}
+
+	// Identical request already being solved? Wait for its result instead
+	// of burning a second worker on the same deterministic computation.
+	f, leader := s.flights.join(key)
+	if !leader {
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, nil, "", f.status, f.err
+			}
+			s.metrics.coalesced.Add(1)
+			return f.resp, g, cacheCoalesced, http.StatusOK, nil
+		case <-ctx.Done():
+			s.metrics.canceled.Add(1)
+			return nil, nil, "", http.StatusGatewayTimeout,
+				fmt.Errorf("solve abandoned: %w", ctx.Err())
+		}
 	}
 	s.metrics.cacheMisses.Add(1)
+	resp, status, err := s.leadSolve(ctx, req, g, key)
+	s.flights.finish(key, f, resp, status, err)
+	if err != nil {
+		return nil, nil, "", status, err
+	}
+	return resp, g, cacheMiss, http.StatusOK, nil
+}
 
+// leadSolve runs the actual solver job for a flight leader and populates
+// the cache on success.
+func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Graph, key string) (*SolveResponse, int, error) {
 	if s.cfg.SolveTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
@@ -204,7 +271,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		solveErr error
 	)
 	start := time.Now()
-	err = s.queue.Do(ctx, func(jobCtx context.Context) {
+	err := s.queue.Do(ctx, func(jobCtx context.Context, scratch *ftclust.Scratch) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		solveOpts := []ftclust.Option{
@@ -212,6 +279,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 			ftclust.WithSeed(req.Seed),
 			ftclust.WithWorkers(s.cfg.SolveThreads),
 			ftclust.WithContext(jobCtx),
+			ftclust.WithScratch(scratch),
 		}
 		if req.Local {
 			solveOpts = append(solveOpts, ftclust.WithLocalDelta())
@@ -221,30 +289,32 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 			solveErr = err
 			return
 		}
+		// NewSolutionJSON copies everything it keeps (Members ints), so
+		// the response outlives the worker's next arena reuse.
 		resp = NewSolutionJSON(g, sol, req.K)
 	})
 	switch {
 	case errors.Is(err, errQueueFull), errors.Is(err, errDraining):
 		s.metrics.queueRejected.Add(1)
-		return nil, nil, false, http.StatusServiceUnavailable, err
+		return nil, http.StatusServiceUnavailable, err
 	case err != nil: // request context fired while waiting
 		s.metrics.canceled.Add(1)
-		return nil, nil, false, http.StatusGatewayTimeout, fmt.Errorf("solve abandoned: %w", err)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("solve abandoned: %w", err)
 	}
 	switch {
 	case errors.Is(solveErr, ftclust.ErrCanceled):
 		s.metrics.canceled.Add(1)
-		return nil, nil, false, http.StatusGatewayTimeout, solveErr
+		return nil, http.StatusGatewayTimeout, solveErr
 	case errors.Is(solveErr, ftclust.ErrBadK), errors.Is(solveErr, ftclust.ErrEmptyGraph):
-		return nil, nil, false, http.StatusBadRequest, solveErr
+		return nil, http.StatusBadRequest, solveErr
 	case solveErr != nil:
 		s.metrics.solveErrors.Add(1)
-		return nil, nil, false, http.StatusInternalServerError, solveErr
+		return nil, http.StatusInternalServerError, solveErr
 	}
 	s.metrics.solves.Add(1)
 	s.metrics.lat.observe(time.Since(start))
 	s.cache.Put(key, resp)
-	return resp, g, false, http.StatusOK, nil
+	return resp, http.StatusOK, nil
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -252,17 +322,52 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	resp, _, cached, status, err := s.solve(r.Context(), &req)
+	resp, _, cacheStatus, status, err := s.solve(r.Context(), &req)
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
-	if cached {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
+	w.Header().Set("X-Cache", cacheStatus)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSolveBatch fans a batch of solve requests across the worker pool
+// concurrently and returns the outcomes in request order. Items share the
+// solution cache and the coalescing group with every other request, so a
+// batch of identical entries costs one solve. Each item contends for the
+// same bounded queue as /v1/solve; batches far larger than the backlog
+// surface the overflow as per-item 503s rather than unbounded queueing.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSolveRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("requests must be non-empty"))
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Requests), maxBatchItems))
+		return
+	}
+	s.metrics.batches.Add(1)
+	results := make([]BatchSolveItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, cacheStatus, status, err := s.solve(r.Context(), &req.Requests[i])
+			if err != nil {
+				results[i] = BatchSolveItem{Error: err.Error(), Status: status}
+				return
+			}
+			results[i] = BatchSolveItem{Solution: resp, Status: status, Cache: cacheStatus}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchSolveResponse{Results: results})
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {

@@ -20,7 +20,9 @@ type metrics struct {
 	solves        atomic.Int64 // completed cold solves (cache misses that ran)
 	solveErrors   atomic.Int64 // solves that returned an error
 	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
+	cacheMisses   atomic.Int64 // flight leaders only; followers count as coalesced
+	coalesced     atomic.Int64 // requests served by joining an in-flight solve
+	batches       atomic.Int64 // /v1/solvebatch requests (items count individually above)
 	verifies      atomic.Int64
 	queueRejected atomic.Int64 // 503s from a full queue or drain
 	canceled      atomic.Int64 // solves lost to deadline/disconnect
@@ -95,6 +97,8 @@ type MetricsSnapshot struct {
 	SolveErrors     int64   `json:"solve_errors"`
 	CacheHits       int64   `json:"cache_hits"`
 	CacheMisses     int64   `json:"cache_misses"`
+	Coalesced       int64   `json:"coalesced"`
+	Batches         int64   `json:"batches"`
 	Verifies        int64   `json:"verifies"`
 	QueueDepth      int     `json:"queue_depth"`
 	QueueRejected   int64   `json:"queue_rejected"`
@@ -116,6 +120,8 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		SolveErrors:     m.solveErrors.Load(),
 		CacheHits:       m.cacheHits.Load(),
 		CacheMisses:     m.cacheMisses.Load(),
+		Coalesced:       m.coalesced.Load(),
+		Batches:         m.batches.Load(),
 		Verifies:        m.verifies.Load(),
 		QueueDepth:      m.queueDepth(),
 		QueueRejected:   m.queueRejected.Load(),

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"ftclust"
 )
 
 // Queue errors, surfaced to clients as 503s.
@@ -31,7 +33,7 @@ type jobQueue struct {
 
 type job struct {
 	ctx  context.Context
-	fn   func(context.Context)
+	fn   func(context.Context, *ftclust.Scratch)
 	done chan struct{}
 }
 
@@ -48,20 +50,26 @@ func newJobQueue(workers, capacity int) *jobQueue {
 
 func (q *jobQueue) work() {
 	defer q.workers.Done()
+	// One solver arena per worker goroutine, reused across all jobs the
+	// worker ever runs: steady-state solves allocate nothing. Safe because
+	// a worker runs one job at a time and every job converts its solution
+	// to wire form (fresh copies) before the next job reuses the arena.
+	scratch := ftclust.NewScratch()
 	for j := range q.jobs {
 		// fn is responsible for honoring j.ctx (the solver checks it
 		// between rounds); a job whose client is already gone returns
 		// almost immediately.
-		j.fn(j.ctx)
+		j.fn(j.ctx, scratch)
 		close(j.done)
 	}
 }
 
-// Do submits fn and blocks until it completes or ctx is done. A full
-// queue or a draining server is reported synchronously. When ctx fires
-// first the job may still run (the worker will pass it the canceled
-// context, so the solver aborts at its next checkpoint).
-func (q *jobQueue) Do(ctx context.Context, fn func(context.Context)) error {
+// Do submits fn and blocks until it completes or ctx is done. fn receives
+// the executing worker's private solver arena. A full queue or a draining
+// server is reported synchronously. When ctx fires first the job may
+// still run (the worker will pass it the canceled context, so the solver
+// aborts at its next checkpoint).
+func (q *jobQueue) Do(ctx context.Context, fn func(context.Context, *ftclust.Scratch)) error {
 	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
 	q.mu.Lock()
 	if q.closed {

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ftclust"
 )
 
 func TestQueueRunsJobs(t *testing.T) {
@@ -18,7 +20,7 @@ func TestQueueRunsJobs(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := q.Do(context.Background(), func(context.Context) { ran.Add(1) }); err != nil {
+			if err := q.Do(context.Background(), func(context.Context, *ftclust.Scratch) { ran.Add(1) }); err != nil {
 				t.Errorf("Do: %v", err)
 			}
 		}()
@@ -36,13 +38,13 @@ func TestQueueFullRejects(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 
-	go q.Do(context.Background(), func(context.Context) { // occupies the worker
+	go q.Do(context.Background(), func(context.Context, *ftclust.Scratch) { // occupies the worker
 		close(started)
 		<-release
 	})
 	<-started
 	// Occupy the single backlog slot.
-	go q.Do(context.Background(), func(context.Context) {})
+	go q.Do(context.Background(), func(context.Context, *ftclust.Scratch) {})
 	// Wait until the slot is actually taken.
 	deadline := time.After(2 * time.Second)
 	for q.Depth() == 0 {
@@ -53,7 +55,7 @@ func TestQueueFullRejects(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}
-	if err := q.Do(context.Background(), func(context.Context) {}); !errors.Is(err, errQueueFull) {
+	if err := q.Do(context.Background(), func(context.Context, *ftclust.Scratch) {}); !errors.Is(err, errQueueFull) {
 		t.Fatalf("overflow submission: got %v, want errQueueFull", err)
 	}
 	close(release)
@@ -67,14 +69,14 @@ func TestQueueCloseDrains(t *testing.T) {
 	started := make(chan struct{})
 	var done atomic.Int64
 
-	go q.Do(context.Background(), func(context.Context) {
+	go q.Do(context.Background(), func(context.Context, *ftclust.Scratch) {
 		close(started)
 		<-release
 		done.Add(1)
 	})
 	<-started
 	for i := 0; i < 3; i++ { // backlog behind the pinned worker
-		go q.Do(context.Background(), func(context.Context) { done.Add(1) })
+		go q.Do(context.Background(), func(context.Context, *ftclust.Scratch) { done.Add(1) })
 	}
 	deadline := time.After(2 * time.Second)
 	for q.Depth() < 3 {
@@ -100,7 +102,7 @@ func TestQueueCloseDrains(t *testing.T) {
 	if done.Load() != 4 {
 		t.Fatalf("drained %d jobs, want 4", done.Load())
 	}
-	if err := q.Do(context.Background(), func(context.Context) {}); !errors.Is(err, errDraining) {
+	if err := q.Do(context.Background(), func(context.Context, *ftclust.Scratch) {}); !errors.Is(err, errDraining) {
 		t.Fatalf("post-close submission: got %v, want errDraining", err)
 	}
 }
@@ -113,14 +115,14 @@ func TestQueueCallerContextCancel(t *testing.T) {
 	defer q.Close()
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go q.Do(context.Background(), func(context.Context) {
+	go q.Do(context.Background(), func(context.Context, *ftclust.Scratch) {
 		close(started)
 		<-release
 	})
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := q.Do(ctx, func(context.Context) {})
+	err := q.Do(ctx, func(context.Context, *ftclust.Scratch) {})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}

@@ -3,6 +3,8 @@
 // for. Callers no longer link the library and pay a cold solve per query:
 //
 //   - POST /v1/solve          — k-MDS on a posted graph or generated family
+//   - POST /v1/solvebatch     — an array of solve requests fanned across
+//     the pool, results in request order
 //   - POST /v1/verify         — feasibility check of a proposed set
 //   - POST /v1/session        — solve + register a stateful cluster session
 //   - GET  /v1/session/{id}   — session status
@@ -13,11 +15,15 @@
 //   - GET  /healthz           — liveness
 //
 // Behind the handlers sit a bounded job queue with a fixed solver-worker
-// pool (overload returns 503 instead of queueing unboundedly), an LRU
-// solution cache keyed by the canonical graph hash plus solver options
-// (deterministic solver ⇒ a hit is byte-identical to a re-solve), and
-// per-request deadlines threaded into the solver's round loop via
-// ftclust.WithContext. Shutdown drains in-flight solves before returning.
+// pool (overload returns 503 instead of queueing unboundedly; each worker
+// owns a reusable solver arena, so steady-state solves allocate nothing),
+// an LRU solution cache keyed by the canonical graph hash plus solver
+// options (deterministic solver ⇒ a hit is byte-identical to a re-solve),
+// in-flight coalescing of identical requests (concurrent duplicates wait
+// for the one running solve instead of occupying more workers; X-Cache:
+// coalesced), and per-request deadlines threaded into the solver's round
+// loop via ftclust.WithContext. Shutdown drains in-flight solves before
+// returning.
 package service
 
 import (
@@ -89,6 +95,7 @@ type Server struct {
 	mux      *http.ServeMux
 	queue    *jobQueue
 	cache    *lruCache
+	flights  *flightGroup
 	metrics  *metrics
 	sessions *sessionStore
 }
@@ -101,6 +108,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		queue:    newJobQueue(cfg.Workers, cfg.QueueDepth),
 		cache:    newLRUCache(cfg.CacheSize),
+		flights:  newFlightGroup(),
 		metrics:  newMetrics(time.Now()),
 		sessions: newSessionStore(cfg.MaxSessions),
 	}
@@ -108,6 +116,7 @@ func New(cfg Config) *Server {
 	s.metrics.activeSessions = s.sessions.len
 
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solvebatch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)

@@ -309,18 +309,23 @@ func TestSessionRepeatedFailureWaves(t *testing.T) {
 }
 
 // 32 concurrent identical solves must all succeed with byte-identical
-// bodies (deterministic solver + header-only cache status).
+// bodies, and exactly ONE of them may actually run the solver: the first
+// becomes the flight leader, overlapping duplicates coalesce onto it, and
+// stragglers arriving after completion hit the cache. The instance is big
+// enough (n=2000, t=4) that the requests genuinely overlap the solve.
 func TestConcurrentSolvesDeterministic(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
 	const parallel = 32
+	const body = `{"family":{"name":"gnp","n":2000,"degree":8,"seed":5},"k":2,"t":4}`
 	bodies := make([][]byte, parallel)
+	caches := make([]string, parallel)
 	var wg sync.WaitGroup
 	for i := 0; i < parallel; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
-				strings.NewReader(gnpSolveBody))
+				strings.NewReader(body))
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
@@ -330,6 +335,7 @@ func TestConcurrentSolvesDeterministic(t *testing.T) {
 				t.Errorf("request %d: status %d", i, resp.StatusCode)
 				return
 			}
+			caches[i] = resp.Header.Get("X-Cache")
 			b, err := io.ReadAll(resp.Body)
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
@@ -344,6 +350,92 @@ func TestConcurrentSolvesDeterministic(t *testing.T) {
 			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
 		}
 	}
+	for i, c := range caches {
+		if c != "miss" && c != "hit" && c != "coalesced" {
+			t.Errorf("request %d: X-Cache = %q", i, c)
+		}
+	}
+	m := s.Metrics()
+	if m.Solves != 1 {
+		t.Errorf("solves = %d, want exactly 1 (coalescing + cache must absorb the rest)", m.Solves)
+	}
+	if m.Coalesced < 1 {
+		t.Errorf("coalesced = %d, want ≥ 1 of %d overlapping duplicates", m.Coalesced, parallel)
+	}
+	if got := m.CacheMisses + m.CacheHits + m.Coalesced; got != parallel {
+		t.Errorf("misses+hits+coalesced = %d, want %d", got, parallel)
+	}
+}
+
+// Coalesced followers and the leader serialize the same *SolveResponse:
+// one deterministic body, one solve, whatever the interleaving.
+func TestSolveBatchEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	item := `{"family":{"name":"gnp","n":800,"degree":8,"seed":9},"k":2}`
+	distinct := `{"family":{"name":"gnp","n":800,"degree":8,"seed":10},"k":2}`
+	invalid := `{"family":{"name":"gnp","n":50,"degree":4,"seed":1},"k":0}`
+	resp, body := postJSON(t, ts.URL+"/v1/solvebatch",
+		`{"requests":[`+item+`,`+distinct+`,`+item+`,`+invalid+`,`+item+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchSolveResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(br.Results))
+	}
+	for i, idx := range []int{0, 1, 2, 4} {
+		r := br.Results[idx]
+		if r.Error != "" || r.Status != http.StatusOK || r.Solution == nil || !r.Solution.Verified {
+			t.Fatalf("item %d (result %d): %+v", i, idx, r)
+		}
+		if c := r.Cache; c != "miss" && c != "hit" && c != "coalesced" {
+			t.Fatalf("result %d: cache = %q", idx, c)
+		}
+	}
+	if r := br.Results[3]; r.Error == "" || r.Status != http.StatusBadRequest || r.Solution != nil {
+		t.Fatalf("invalid item must fail with 400 in place: %+v", r)
+	}
+	// The three identical items share one solve via cache + coalescing and
+	// must be equal; the distinct seed is a different instance.
+	a, _ := json.Marshal(br.Results[0].Solution)
+	b2, _ := json.Marshal(br.Results[2].Solution)
+	c, _ := json.Marshal(br.Results[4].Solution)
+	if !bytes.Equal(a, b2) || !bytes.Equal(a, c) {
+		t.Fatal("identical batch items returned different solutions")
+	}
+	if bytes.Equal(a, mustMarshal(t, br.Results[1].Solution)) {
+		t.Fatal("distinct-seed item returned the duplicate's solution")
+	}
+	m := s.Metrics()
+	if m.Batches != 1 {
+		t.Errorf("batches = %d, want 1", m.Batches)
+	}
+	if m.Solves != 2 {
+		t.Errorf("solves = %d, want 2 (three duplicates coalesce/hit)", m.Solves)
+	}
+
+	// Validation: empty and oversized batches are rejected whole.
+	resp, _ = postJSON(t, ts.URL+"/v1/solvebatch", `{"requests":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	big := `{"requests":[` + item + strings.Repeat(`,`+item, maxBatchItems) + `]}`
+	resp, _ = postJSON(t, ts.URL+"/v1/solvebatch", big)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 // A request deadline shorter than the solve aborts with 504 and bumps the
@@ -371,10 +463,11 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	}
 	resCh := make(chan result, 1)
 	go func() {
-		// grid generates in O(n) (gnp is O(n²)), so the request reaches
-		// the solver quickly and the solve itself is the slow part.
+		// gnp generates in O(n+m) expected time since the geometric-skip
+		// rewrite, so the request reaches the solver quickly and the solve
+		// itself (t=6 ⇒ 72 rounds over 40k nodes) is the slow part.
 		resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
-			strings.NewReader(`{"family":{"name":"grid","n":40000,"degree":4,"seed":3},"k":3,"t":6}`))
+			strings.NewReader(`{"family":{"name":"gnp","n":40000,"degree":6,"seed":3},"k":3,"t":6}`))
 		if err != nil {
 			resCh <- result{status: -1}
 			return
