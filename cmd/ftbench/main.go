@@ -13,7 +13,10 @@
 //	ftbench -pipeline-json BENCH_pipeline.json
 //	                        # instead: benchmark the request→solution
 //	                        # pipeline (generate, hash, solve with and
-//	                        # without scratch, HTTP service QPS)
+//	                        # without scratch, HTTP service QPS, observer
+//	                        # overhead)
+//	ftbench -trace          # instead: one instrumented solve, printed as
+//	                        # a per-phase span breakdown
 package main
 
 import (
@@ -23,7 +26,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"ftclust"
 	"ftclust/internal/exp"
+	"ftclust/internal/graph"
+	"ftclust/internal/trace"
 )
 
 func main() {
@@ -35,14 +41,15 @@ func main() {
 
 func run() error {
 	var (
-		id        = flag.String("exp", "", "experiment id (E1…E11, A1…A3); empty = all")
-		seed      = flag.Int64("seed", 1, "root seed")
-		trials    = flag.Int("trials", 5, "trials per table row")
-		scale     = flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
-		csv       = flag.Bool("csv", false, "also write CSV files")
-		outDir    = flag.String("o", ".", "directory for CSV output")
+		id           = flag.String("exp", "", "experiment id (E1…E11, A1…A3); empty = all")
+		seed         = flag.Int64("seed", 1, "root seed")
+		trials       = flag.Int("trials", 5, "trials per table row")
+		scale        = flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
+		csv          = flag.Bool("csv", false, "also write CSV files")
+		outDir       = flag.String("o", ".", "directory for CSV output")
 		benchJSON    = flag.String("bench-json", "", "benchmark the core engines and write this JSON report instead of running experiments")
 		pipelineJSON = flag.String("pipeline-json", "", "benchmark the request→solution pipeline and write this JSON report instead of running experiments")
+		doTrace      = flag.Bool("trace", false, "run one instrumented solve and print its per-phase span breakdown instead of experiments")
 	)
 	flag.Parse()
 
@@ -51,6 +58,9 @@ func run() error {
 	}
 	if *pipelineJSON != "" {
 		return runPipelineJSON(*pipelineJSON, *scale)
+	}
+	if *doTrace {
+		return runTrace(*seed, *scale)
 	}
 
 	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale}
@@ -65,6 +75,38 @@ func run() error {
 		suite = []exp.Experiment{e}
 	}
 
+	return runSuite(suite, cfg, *csv, *outDir)
+}
+
+// runTrace solves one representative instance with the observer armed and
+// prints the per-phase breakdown — the CLI view of the span tree the
+// service stores at /debug/trace/{id}.
+func runTrace(seed int64, scale float64) error {
+	n := int(2000 * scale)
+	if n < 10 {
+		n = 10
+	}
+	const k, t, deg = 2, 3, 8
+	g := graph.GnpAvgDegree(n, deg, seed)
+	var (
+		phases []ftclust.SolvePhaseInfo
+		stats  ftclust.SolveStats
+	)
+	observer := &ftclust.SolveObserver{
+		OnPhase: func(p ftclust.SolvePhaseInfo) { phases = append(phases, p) },
+		OnDone:  func(s ftclust.SolveStats) { stats = s },
+	}
+	sol, err := ftclust.SolveKMDS(g, k, ftclust.WithT(t), ftclust.WithSeed(seed),
+		ftclust.WithObserver(observer))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gnp n=%d m=%d k=%d t=%d seed=%d  |S|=%d\n\n",
+		n, g.NumEdges(), k, t, seed, sol.Size())
+	return trace.PhaseTable(phases, stats).WriteText(os.Stdout)
+}
+
+func runSuite(suite []exp.Experiment, cfg exp.Config, csv bool, outDir string) error {
 	for _, e := range suite {
 		start := time.Now()
 		tb, err := e.Run(cfg)
@@ -75,8 +117,8 @@ func run() error {
 			return err
 		}
 		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		if *csv {
-			path := filepath.Join(*outDir, e.ID+".csv")
+		if csv {
+			path := filepath.Join(outDir, e.ID+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				return err

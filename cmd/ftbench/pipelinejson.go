@@ -39,7 +39,11 @@ type pipelineReport struct {
 	GnpGenerator string           `json:"gnp_generator"`
 	Scale        float64          `json:"scale"`
 	Stages       []pipelineRecord `json:"stages"`
-	Service      serviceRecord    `json:"service"`
+	// ObserverOverheadPct is the warm-solve cost of full observer
+	// instrumentation: (solve/scratch+observer − solve/scratch) divided by
+	// solve/scratch, in percent. The acceptance bar is < 3%.
+	ObserverOverheadPct float64       `json:"observer_overhead_pct"`
+	Service             serviceRecord `json:"service"`
 }
 
 // pipelineRecord is one measured pipeline stage.
@@ -151,6 +155,37 @@ func runPipelineJSON(path string, scale float64) error {
 		return err
 	}); err != nil {
 		return err
+	}
+
+	// Stage 3b: the same warm solve with every observer hook armed — the
+	// per-phase clocks, alloc counters and summary callback the service
+	// attaches to each cold solve. The delta against solve/scratch is the
+	// instrumentation tax (reported as observer_overhead_pct).
+	obsSc := ftclust.NewScratch()
+	var phaseSink int
+	observer := &ftclust.SolveObserver{
+		OnPhase: func(p ftclust.SolvePhaseInfo) { phaseSink += p.Rounds },
+		OnDone:  func(s ftclust.SolveStats) { phaseSink += s.LPRounds },
+	}
+	if err := measure("solve/scratch+observer", solveN, solveG.NumEdges(), k, t, func() error {
+		_, err := ftclust.SolveKMDS(solveG, k, ftclust.WithT(t), ftclust.WithSeed(1),
+			ftclust.WithScratch(obsSc), ftclust.WithObserver(observer))
+		return err
+	}); err != nil {
+		return err
+	}
+	var plainNs, obsNs int64
+	for _, st := range rep.Stages {
+		switch st.Op {
+		case "solve/scratch":
+			plainNs = st.NsPerOp
+		case "solve/scratch+observer":
+			obsNs = st.NsPerOp
+		}
+	}
+	if plainNs > 0 {
+		rep.ObserverOverheadPct = 100 * float64(obsNs-plainNs) / float64(plainNs)
+		fmt.Fprintf(os.Stderr, "pipeline %-18s %+.2f%%\n", "observer-overhead", rep.ObserverOverheadPct)
 	}
 
 	// Stage 4: the full per-request pipeline generate → hash → solve, the

@@ -1,13 +1,15 @@
 // Command ftserved runs the fault-tolerant clustering service: an HTTP
 // JSON API over the k-MDS solver with a bounded solver pool, an LRU
 // solution cache, stateful cluster sessions with local failure repair,
-// and a metrics endpoint.
+// Prometheus-style /metrics, per-request traces at /debug/trace, and
+// structured JSON logs.
 //
 // Usage:
 //
 //	ftserved [-addr :8080] [-workers N] [-queue 64] [-cache 128]
 //	         [-timeout 60s] [-max-body 16777216] [-max-nodes 1048576]
-//	         [-solve-threads 1] [-drain 30s]
+//	         [-solve-threads 1] [-drain 30s] [-log-level info]
+//	         [-slow-ms 0] [-trace-ring 256] [-pprof]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
 // accepting, in-flight requests and queued solves drain (bounded by
@@ -19,8 +21,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +39,21 @@ func main() {
 	}
 }
 
+// parseLogLevel maps the -log-level flag onto a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
 func run() error {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
@@ -47,8 +65,18 @@ func run() error {
 		maxNodes     = flag.Int("max-nodes", 1<<20, "max nodes per instance")
 		solveThreads = flag.Int("solve-threads", 1, "parallel sweep workers per solve")
 		drain        = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		slowMs       = flag.Int("slow-ms", 0, "warn-log requests slower than this many ms (0 disables)")
+		traceRing    = flag.Int("trace-ring", 256, "recent request traces kept for /debug/trace")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := service.New(service.Config{
 		Workers:      *workers,
@@ -58,10 +86,29 @@ func run() error {
 		MaxBodyBytes: *maxBody,
 		MaxNodes:     *maxNodes,
 		SolveThreads: *solveThreads,
+		Logger:       logger,
+		SlowRequest:  time.Duration(*slowMs) * time.Millisecond,
+		TraceRing:    *traceRing,
 	})
+
+	handler := srv.Handler()
+	if *pprofOn {
+		// pprof mounts beside the service routes; the service mux has no
+		// /debug/pprof patterns, so an outer mux keeps the profiles out of
+		// the instrumented path (no histogram churn from profile scrapes).
+		outer := http.NewServeMux()
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -70,7 +117,9 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("ftserved: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr,
+			"workers", *workers, "queue", *queueDepth, "cache", *cacheSize,
+			"pprof", *pprofOn, "slow_ms", *slowMs, "log_level", *logLevel)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -80,11 +129,12 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("ftserved: signal received, draining (deadline %s)", *drain)
+	logger.Info("signal received, draining", "deadline", drain.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Listener first (stops new connections, waits for in-flight
-	// handlers), then the solver pool (drains queued jobs).
+	// handlers), then the solver pool (drains queued jobs). The pool
+	// drain emits the final "shutdown complete" log with totals.
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
@@ -94,6 +144,6 @@ func run() error {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("ftserved: drained, bye")
+	logger.Info("exited")
 	return nil
 }

@@ -6,6 +6,7 @@
 //	kmds -in instance.graph -k 3 -algo kmds -t 3 -seed 1 [-sol out.sol]
 //	kmds -points field.points -k 3 -algo udg [-sol out.sol]
 //	kmds -in instance.graph -k 3 -json        # one JSON object on stdout
+//	kmds -in instance.graph -k 3 -trace       # per-phase breakdown on stderr
 //
 // Algorithms: kmds (Algorithms 1+2), greedy, jrs, random, mis (layered
 // Luby MIS), udg (Algorithm 3, requires -points), cellgrid (requires
@@ -27,8 +28,10 @@ import (
 	"ftclust/internal/core"
 	"ftclust/internal/geom"
 	"ftclust/internal/graph"
+	"ftclust/internal/obs"
 	"ftclust/internal/render"
 	"ftclust/internal/service"
+	"ftclust/internal/trace"
 	"ftclust/internal/udg"
 	"ftclust/internal/verify"
 )
@@ -42,15 +45,16 @@ func main() {
 
 func run() error {
 	var (
-		in     = flag.String("in", "", "graph instance file")
-		points = flag.String("points", "", "deployment (points) file; builds the unit disk graph")
-		k      = flag.Int("k", 1, "fault-tolerance parameter k")
-		algo   = flag.String("algo", "kmds", "algorithm: kmds|greedy|jrs|random|mis|udg|cellgrid")
-		t      = flag.Int("t", 3, "Algorithm 1 trade-off parameter")
-		seed   = flag.Int64("seed", 1, "random seed")
-		solOut = flag.String("sol", "", "write the solution (one node ID per line)")
-		svgOut = flag.String("svg", "", "render deployment + solution as SVG (needs -points)")
-		asJSON = flag.Bool("json", false, "emit the result as one JSON object (service schema) instead of text")
+		in      = flag.String("in", "", "graph instance file")
+		points  = flag.String("points", "", "deployment (points) file; builds the unit disk graph")
+		k       = flag.Int("k", 1, "fault-tolerance parameter k")
+		algo    = flag.String("algo", "kmds", "algorithm: kmds|greedy|jrs|random|mis|udg|cellgrid")
+		t       = flag.Int("t", 3, "Algorithm 1 trade-off parameter")
+		seed    = flag.Int64("seed", 1, "random seed")
+		solOut  = flag.String("sol", "", "write the solution (one node ID per line)")
+		svgOut  = flag.String("svg", "", "render deployment + solution as SVG (needs -points)")
+		asJSON  = flag.Bool("json", false, "emit the result as one JSON object (service schema) instead of text")
+		doTrace = flag.Bool("trace", false, "print a per-phase span breakdown to stderr (kmds algorithm only)")
 	)
 	flag.Parse()
 	if *k < 1 {
@@ -87,11 +91,20 @@ func run() error {
 		return fmt.Errorf("need -in or -points")
 	}
 
-	res, err := solve(g, pts, *algo, *k, *t, *seed)
+	res, err := solve(g, pts, *algo, *k, *t, *seed, *doTrace)
 	if err != nil {
 		return err
 	}
 	mask := res.mask
+	if *doTrace {
+		if res.phases == nil {
+			return fmt.Errorf("-trace is only instrumented for -algo kmds")
+		}
+		// Stderr keeps -json output on stdout machine-clean.
+		if err := trace.PhaseTable(res.phases, res.stats).WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
 
 	size := verify.SetSize(mask)
 	conv := verify.ClosedPP
@@ -176,12 +189,25 @@ type solveOut struct {
 	kappa      float64
 	fracObj    float64
 	lowerBound float64
+	phases     []obs.PhaseInfo // filled by kmds under -trace
+	stats      obs.SolveStats
 }
 
-func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64) (solveOut, error) {
+func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64, doTrace bool) (solveOut, error) {
 	switch algo {
 	case "kmds":
-		res, err := core.Solve(g, core.Options{K: float64(k), T: t, Seed: seed})
+		var (
+			phases []obs.PhaseInfo
+			stats  obs.SolveStats
+		)
+		opts := core.Options{K: float64(k), T: t, Seed: seed}
+		if doTrace {
+			opts.Observer = &obs.SolveObserver{
+				OnPhase: func(p obs.PhaseInfo) { phases = append(phases, p) },
+				OnDone:  func(s obs.SolveStats) { stats = s },
+			}
+		}
+		res, err := core.Solve(g, opts)
 		if err != nil {
 			return solveOut{}, err
 		}
@@ -191,6 +217,8 @@ func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64) 
 			kappa:      res.Fractional.Kappa,
 			fracObj:    res.Fractional.Objective(),
 			lowerBound: res.Fractional.DualObjective(res.K) / res.Fractional.Kappa,
+			phases:     phases,
+			stats:      stats,
 		}, nil
 	case "greedy":
 		return solveOut{mask: baseline.GreedyKMDS(g, float64(k))}, nil

@@ -33,6 +33,7 @@ import (
 	"ftclust/internal/core"
 	"ftclust/internal/geom"
 	"ftclust/internal/graph"
+	"ftclust/internal/obs"
 	"ftclust/internal/udg"
 	"ftclust/internal/verify"
 )
@@ -79,6 +80,16 @@ type (
 	Point = geom.Point
 	// Convention selects the feasibility definition used by Verify.
 	Convention = verify.Convention
+	// SolveObserver receives per-phase and per-solve callbacks from
+	// SolveKMDS; install one with WithObserver. See WithObserver for the
+	// cost model and threading contract.
+	SolveObserver = obs.SolveObserver
+	// SolvePhaseInfo describes one completed solver phase (name, wall
+	// time, communication rounds, approximate allocations).
+	SolvePhaseInfo = obs.PhaseInfo
+	// SolveStats summarizes a finished solve: LP rounds, rounding passes,
+	// κ, the certified lower bound and the dual gap.
+	SolveStats = obs.SolveStats
 )
 
 // Feasibility conventions (see the verify package for exact semantics).
@@ -172,6 +183,7 @@ type config struct {
 	workers    int
 	ctx        context.Context
 	scratch    *Scratch
+	observer   *SolveObserver
 }
 
 // Option customizes a solve call.
@@ -215,6 +227,18 @@ func WithScratch(s *Scratch) Option { return func(c *config) { c.scratch = s } }
 // O(log log n) rounds and ignores it.
 func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
+// WithObserver installs o on the solve: its OnPhase callback fires at
+// each phase boundary of the general-graph pipeline (fractional,
+// rounding, verify — wall time, communication rounds, approximate
+// allocations) and OnDone fires once with the solve summary (LP rounds,
+// rounding passes, κ, certified lower bound, dual gap). Callbacks run
+// synchronously on the solving goroutine and must not call back into the
+// solver. WithObserver(nil) is exactly the un-instrumented solve: no
+// clocks are read and nothing is allocated, so the scratch-backed steady
+// state keeps its zero-allocation property. Honored by SolveKMDS;
+// ignored by the weighted and UDG solvers.
+func WithObserver(o *SolveObserver) Option { return func(c *config) { c.observer = o } }
+
 // SolveKMDS computes a k-fold dominating set of g with the general-graph
 // pipeline (Algorithms 1 and 2). The result satisfies the ClosedPP
 // convention (which implies Standard) with per-node demands capped at
@@ -238,6 +262,7 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 		LocalDelta: c.localDelta,
 		Workers:    c.workers,
 		Ctx:        c.ctx,
+		Observer:   c.observer,
 	}
 	if c.scratch != nil {
 		coreOpts.Scratch = c.scratch.s

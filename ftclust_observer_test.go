@@ -1,0 +1,66 @@
+package ftclust
+
+import (
+	"reflect"
+	"testing"
+)
+
+// WithObserver surfaces the per-phase breakdown and the solve summary at
+// the façade, and never changes the solution.
+func TestWithObserverFacade(t *testing.T) {
+	g, err := GenerateGraph("gnp", 250, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SolveKMDS(g, 2, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []SolvePhaseInfo
+	var stats SolveStats
+	obs := &SolveObserver{
+		OnPhase: func(p SolvePhaseInfo) { phases = append(phases, p) },
+		OnDone:  func(s SolveStats) { stats = s },
+	}
+	observed, err := SolveKMDS(g, 2, WithSeed(4), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Members, observed.Members) {
+		t.Fatal("observer changed the solution")
+	}
+	if len(phases) != 3 {
+		t.Fatalf("phase callbacks = %d, want 3", len(phases))
+	}
+	// The summary must agree with the Solution's own certificate fields.
+	if stats.LPRounds+4 != observed.Rounds {
+		t.Errorf("LPRounds = %d vs Solution.Rounds = %d", stats.LPRounds, observed.Rounds)
+	}
+	if stats.Kappa != observed.Kappa || stats.DualLowerBound != observed.CertifiedLowerBound {
+		t.Errorf("certificate mismatch: stats %+v vs solution κ=%v lb=%v",
+			stats, observed.Kappa, observed.CertifiedLowerBound)
+	}
+	if stats.FractionalObjective != observed.FractionalObjective {
+		t.Errorf("objective mismatch: %v vs %v", stats.FractionalObjective, observed.FractionalObjective)
+	}
+}
+
+// WithObserver(nil) is the documented un-instrumented path.
+func TestWithObserverNil(t *testing.T) {
+	g, err := GenerateGraph("gnp", 150, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SolveKMDS(g, 2, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	pooled, err := SolveKMDS(g, 2, WithSeed(2), WithScratch(sc), WithObserver(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Members, pooled.Members) {
+		t.Fatal("WithObserver(nil) changed the solution")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ftclust/internal/graph"
+	"ftclust/internal/obs"
+)
+
+// The observer hooks must fire once per phase in order, report the
+// paper's round accounting (2t² LP rounds, +4 fixed), and deliver a
+// summary consistent with the returned Result — without changing the
+// result itself.
+func TestSolveObserverCallbacks(t *testing.T) {
+	g := graph.GnpAvgDegree(300, 8, 3)
+	opts := Options{K: 2, T: 3, Seed: 7}
+	plain, err := Solve(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var phases []obs.PhaseInfo
+	var stats []obs.SolveStats
+	opts.Observer = &obs.SolveObserver{
+		OnPhase: func(p obs.PhaseInfo) { phases = append(phases, p) },
+		OnDone:  func(s obs.SolveStats) { stats = append(stats, s) },
+	}
+	observed, err := Solve(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.InSet, observed.InSet) ||
+		!reflect.DeepEqual(plain.Fractional.X, observed.Fractional.X) {
+		t.Fatal("observer changed the solve result")
+	}
+
+	if len(phases) != 3 {
+		t.Fatalf("got %d phase callbacks, want 3 (%+v)", len(phases), phases)
+	}
+	wantNames := []string{"fractional", "rounding", "verify"}
+	rounds := 0
+	for i, p := range phases {
+		if p.Name != wantNames[i] {
+			t.Errorf("phase %d = %q, want %q", i, p.Name, wantNames[i])
+		}
+		if p.Duration < 0 {
+			t.Errorf("phase %s: negative duration %v", p.Name, p.Duration)
+		}
+		rounds += p.Rounds
+	}
+	if rounds != 2*3*3+4 {
+		t.Errorf("phase rounds sum = %d, want %d", rounds, 2*3*3+4)
+	}
+
+	if len(stats) != 1 {
+		t.Fatalf("got %d OnDone callbacks, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.LPRounds != 2*3*3 || s.RoundingPasses != 2 {
+		t.Errorf("LPRounds=%d RoundingPasses=%d, want 18 and 2", s.LPRounds, s.RoundingPasses)
+	}
+	if s.SetSize != observed.Size() || s.Sampled != observed.Rounding.Sampled ||
+		s.Repaired != observed.Rounding.Repaired {
+		t.Errorf("summary counts disagree with Result: %+v", s)
+	}
+	if s.Kappa != observed.Fractional.Kappa || s.Kappa <= 0 {
+		t.Errorf("kappa = %v, want %v", s.Kappa, observed.Fractional.Kappa)
+	}
+	wantLower := observed.Fractional.DualObjective(observed.K) / observed.Fractional.Kappa
+	if s.DualLowerBound != wantLower {
+		t.Errorf("lower bound = %v, want %v", s.DualLowerBound, wantLower)
+	}
+	if math.Abs(s.DualGap-(s.FractionalObjective-s.DualLowerBound)) > 1e-12 {
+		t.Errorf("dual gap inconsistent: %+v", s)
+	}
+	if s.DualGap < -1e-9 {
+		t.Errorf("dual gap negative: %v (weak duality violated)", s.DualGap)
+	}
+	if !s.Feasible {
+		t.Error("summary reports infeasible for a repaired solve")
+	}
+}
+
+// SkipRepair ablation: one rounding pass, and the summary mirrors it.
+func TestSolveObserverSkipRepairPasses(t *testing.T) {
+	g := graph.GnpAvgDegree(200, 6, 1)
+	var s obs.SolveStats
+	_, err := Solve(g, Options{K: 2, T: 2, Seed: 3, SkipRepair: true,
+		Observer: &obs.SolveObserver{OnDone: func(got obs.SolveStats) { s = got }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RoundingPasses != 1 || s.Repaired != 0 {
+		t.Errorf("skip-repair summary: %+v", s)
+	}
+}
+
+// An observer with only one callback set must not panic on the other.
+func TestSolveObserverPartialHooks(t *testing.T) {
+	g := graph.Star(20)
+	n := 0
+	if _, err := Solve(g, Options{K: 1, T: 2, Seed: 1,
+		Observer: &obs.SolveObserver{OnPhase: func(obs.PhaseInfo) { n++ }}}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("phase callbacks = %d, want 3", n)
+	}
+	if _, err := Solve(g, Options{K: 1, T: 2, Seed: 1,
+		Observer: &obs.SolveObserver{OnDone: func(obs.SolveStats) {}}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -133,11 +133,13 @@ func TestScratchResultsAliasArena(t *testing.T) {
 // The whole point: steady-state scratch-backed solves allocate (almost)
 // nothing. PR 1's baseline was a constant ~38 allocs/op for the
 // fractional phase alone plus ~n for the rounding streams; the pooled
-// arena must run the full pipeline in ≤ 4 allocs/op.
+// arena must run the full pipeline in ≤ 4 allocs/op. Observer: nil is
+// spelled out because the nil-observer path must stay allocation- and
+// clock-free (instrumentation only arms when an observer is installed).
 func TestSolveWithScratchSteadyStateAllocs(t *testing.T) {
 	g := graph.GnpAvgDegree(500, 10, 3)
 	sc := NewScratch()
-	opts := Options{K: 2, T: 3, Seed: 7, Scratch: sc}
+	opts := Options{K: 2, T: 3, Seed: 7, Scratch: sc, Observer: nil}
 	// Warm the arena.
 	if _, err := Solve(g, opts); err != nil {
 		t.Fatal(err)

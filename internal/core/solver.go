@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ftclust/internal/graph"
+	"ftclust/internal/obs"
 	"ftclust/internal/verify"
 )
 
@@ -39,6 +41,14 @@ type Options struct {
 	// solve using the same Scratch; copy what you keep. Not safe for
 	// concurrent use — one Scratch per worker.
 	Scratch *Scratch
+	// Observer, when non-nil, receives a callback at each phase boundary
+	// (fractional, rounding, verify: wall time, communication rounds,
+	// approximate allocations) and a final summary carrying the paper's
+	// per-solve figures (LP rounds, κ, certified lower bound, dual gap).
+	// A nil observer costs one branch per phase — no clocks are read and
+	// nothing is allocated, preserving the scratch path's zero
+	// steady-state allocations. Callbacks run on the solving goroutine.
+	Observer *obs.SolveObserver
 }
 
 // Result is the full outcome of the combined solver.
@@ -81,8 +91,17 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	} else {
 		k = EffectiveDemands(g, opts.K)
 	}
+	// Phase instrumentation: clocks and the runtime alloc counter are read
+	// only when an observer is installed, so the nil-observer path stays
+	// branch-only (the scratch steady state depends on it).
+	var ph *phaseClock
+	if opts.Observer != nil {
+		ph = newPhaseClock(opts.Observer)
+	}
+
 	// One closed-neighborhood layout shared by both phases.
 	lay := layoutFor(g, opts.Scratch)
+	ph.start()
 	frac, err := solveFractionalWithLayout(g, lay, k, FractionalOptions{
 		T:          opts.T,
 		LocalDelta: opts.LocalDelta,
@@ -93,6 +112,7 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	ph.end("fractional", frac.LoopRounds)
 	rounded, err := roundWithLayout(lay, k, frac.X, frac.Delta, RoundingOptions{
 		Seed:       opts.Seed,
 		SkipRepair: opts.SkipRepair,
@@ -103,6 +123,9 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// The +4 of the pipeline's round accounting (guarantee sweep +
+	// rounding) belongs to this phase.
+	ph.end("rounding", 4)
 	res := Result{
 		InSet:      rounded.InSet,
 		Fractional: frac,
@@ -110,10 +133,74 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		K:          k,
 	}
 	res.Feasible = verify.CheckKFoldVector(g, rounded.InSet, k, verify.ClosedPP) == nil
+	ph.end("verify", 0)
+	if o := opts.Observer; o != nil && o.OnDone != nil {
+		passes := 1
+		if !opts.SkipRepair {
+			passes = 2
+		}
+		objective := frac.Objective()
+		lower := frac.DualObjective(k) / frac.Kappa
+		o.OnDone(obs.SolveStats{
+			LPRounds:            frac.LoopRounds,
+			RoundingPasses:      passes,
+			Sampled:             rounded.Sampled,
+			Repaired:            rounded.Repaired,
+			SetSize:             res.Size(),
+			FractionalObjective: objective,
+			Kappa:               frac.Kappa,
+			DualLowerBound:      lower,
+			DualGap:             objective - lower,
+			Feasible:            res.Feasible,
+		})
+	}
 	if !opts.SkipRepair && !res.Feasible {
 		// The repair step guarantees feasibility; reaching this line
 		// would be an implementation bug, not bad luck.
 		return res, fmt.Errorf("core: internal error: repaired solution infeasible")
 	}
 	return res, nil
+}
+
+// phaseClock times consecutive solver phases for an observer. A nil
+// phaseClock is a no-op, so the solver body needs no per-call guards.
+type phaseClock struct {
+	o      *obs.SolveObserver
+	ac     *obs.AllocCounter
+	mark   time.Time
+	allocs uint64
+}
+
+func newPhaseClock(o *obs.SolveObserver) *phaseClock {
+	ph := &phaseClock{o: o, ac: obs.NewAllocCounter()}
+	ph.start()
+	return ph
+}
+
+// start (re)arms the clock at a phase boundary.
+func (ph *phaseClock) start() {
+	if ph == nil {
+		return
+	}
+	ph.mark = time.Now()
+	ph.allocs = ph.ac.Count()
+}
+
+// end closes the current phase, emits it, and re-arms for the next.
+func (ph *phaseClock) end(name string, rounds int) {
+	if ph == nil {
+		return
+	}
+	now := time.Now()
+	allocs := ph.ac.Count()
+	if ph.o.OnPhase != nil {
+		ph.o.OnPhase(obs.PhaseInfo{
+			Name:         name,
+			Duration:     now.Sub(ph.mark),
+			Rounds:       rounds,
+			AllocObjects: allocs - ph.allocs,
+		})
+	}
+	ph.mark = now
+	ph.allocs = allocs
 }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// PhaseInfo describes one completed solver phase, delivered to
+// SolveObserver.OnPhase at the phase boundary.
+type PhaseInfo struct {
+	// Name identifies the phase: "fractional", "rounding" or "verify".
+	Name string
+	// Duration is the phase's wall time.
+	Duration time.Duration
+	// Rounds is the phase's synchronous communication-round count in the
+	// distributed execution (2t² for the fractional phase, the fixed
+	// guarantee-sweep + rounding rounds otherwise).
+	Rounds int
+	// AllocObjects approximates the heap objects allocated during the
+	// phase (cumulative runtime counter delta; other goroutines' allocs
+	// leak in, so treat it as a magnitude, not an exact figure).
+	AllocObjects uint64
+}
+
+// SolveStats summarizes a finished solve, delivered to
+// SolveObserver.OnDone. It carries the paper's quantitative guarantees so
+// they are observable per request: the LP round count (O(t²), Theorem
+// 4.2), the dual-certificate quality κ = t(Δ+1)^{1/t} (Lemma 4.4), and
+// the primal-dual gap against the certified LP lower bound (Theorems
+// 4.5/4.6).
+type SolveStats struct {
+	// LPRounds is Algorithm 1's double-loop round count (2t²).
+	LPRounds int
+	// RoundingPasses counts Algorithm 2's sweeps actually executed: the
+	// sampling pass plus, unless repair was skipped, the REQ repair pass.
+	RoundingPasses int
+	// Sampled and Repaired are Algorithm 2's selection counts.
+	Sampled, Repaired int
+	// SetSize is |S| of the integral solution.
+	SetSize int
+	// FractionalObjective is Σx of Algorithm 1's fractional solution.
+	FractionalObjective float64
+	// Kappa is the dual infeasibility factor t·(Δ+1)^{1/t}.
+	Kappa float64
+	// DualLowerBound is the certified lower bound DualObjective/κ.
+	DualLowerBound float64
+	// DualGap is FractionalObjective − DualLowerBound (≥ 0 up to float
+	// error; small gaps mean the certificate is near-tight).
+	DualGap float64
+	// Feasible reports whether the rounded set verified.
+	Feasible bool
+}
+
+// SolveObserver receives callbacks from the solver at phase boundaries.
+// It is a struct of optional funcs rather than an interface so a nil
+// observer pointer costs a single predictable branch per phase and no
+// interface boxing on the hot path; any field may be nil.
+//
+// Callbacks run synchronously on the solving goroutine — keep them cheap
+// (bump a histogram, append to a span) and do not call back into the
+// solver.
+type SolveObserver struct {
+	// OnPhase fires when a phase completes.
+	OnPhase func(PhaseInfo)
+	// OnDone fires once after the last phase with the solve summary.
+	OnDone func(SolveStats)
+}
+
+// allocSample is the runtime metric behind PhaseInfo.AllocObjects:
+// cumulative heap objects allocated, readable without a stop-the-world
+// (unlike runtime.ReadMemStats).
+const allocSample = "/gc/heap/allocs:objects"
+
+// AllocCounter cheaply reads the cumulative heap-allocation object count.
+// The sample buffer is embedded so repeated reads allocate nothing.
+type AllocCounter struct {
+	s [1]metrics.Sample
+}
+
+// NewAllocCounter returns a ready-to-use counter.
+func NewAllocCounter() *AllocCounter {
+	a := &AllocCounter{}
+	a.s[0].Name = allocSample
+	return a
+}
+
+// Count returns the cumulative allocated-objects counter; subtract two
+// readings to approximate a region's allocations.
+func (a *AllocCounter) Count() uint64 {
+	metrics.Read(a.s[:])
+	if a.s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return a.s[0].Value.Uint64()
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NewRequestID returns a 16-hex-char random request identifier. On the
+// (practically impossible) failure of the system randomness source it
+// falls back to a process-local counter so IDs stay unique.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := fallbackID.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+// Span is one timed operation inside a Trace. Spans form a tree under the
+// trace's root; children may start and end concurrently (the trace
+// serializes all mutation). Mutate spans only through their methods.
+type Span struct {
+	t        *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct{ k, v string }
+
+// Trace is a request-scoped span tree identified by a request ID. All
+// methods are safe for concurrent use and safe on a nil receiver (they
+// no-op), so code paths that run without tracing need no guards.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu   sync.Mutex
+	root *Span
+	done bool
+}
+
+// NewTrace starts a trace whose root span is named rootName.
+func NewTrace(id, rootName string) *Trace {
+	now := time.Now()
+	t := &Trace{id: id, start: now}
+	t.root = &Span{t: t, name: rootName, start: now}
+	return t
+}
+
+// ID returns the trace's request ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a child span under parent (nil parent = the root) and
+// returns it; call End on the result. On a nil trace it returns nil,
+// which every Span method tolerates.
+func (t *Trace) StartSpan(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent == nil {
+		parent = t.root
+	}
+	sp := &Span{t: t, name: name, start: time.Now()}
+	parent.children = append(parent.children, sp)
+	return sp
+}
+
+// AddSpan records an already-measured interval as a child span of parent
+// (nil = root) — used when the start time predates the code that owns the
+// trace, e.g. queue wait measured from the enqueue instant.
+func (t *Trace) AddSpan(parent *Span, name string, start, end time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent == nil {
+		parent = t.root
+	}
+	sp := &Span{t: t, name: name, start: start, end: end}
+	parent.children = append(parent.children, sp)
+	return sp
+}
+
+// Finish ends the root span; further mutation is still tolerated (late
+// spans from stragglers simply carry their own times).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		t.done = true
+		t.root.end = time.Now()
+	}
+}
+
+// End closes the span. Safe on nil and idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	defer sp.t.mu.Unlock()
+	if sp.end.IsZero() {
+		sp.end = time.Now()
+	}
+}
+
+// SetAttr attaches a key/value annotation to the span. Safe on nil.
+func (sp *Span) SetAttr(k, v string) {
+	if sp == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	defer sp.t.mu.Unlock()
+	sp.attrs = append(sp.attrs, spanAttr{k, v})
+}
+
+// SpanJSON is the wire form of one span in /debug/trace/{id}.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMs float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of a whole trace.
+type TraceJSON struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Root       SpanJSON  `json:"root"`
+}
+
+// Snapshot renders the trace as a serializable tree. Unfinished spans
+// report a duration up to now.
+func (t *Trace) Snapshot() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := t.root.snapshotLocked()
+	return TraceJSON{ID: t.id, Start: t.start, DurationMs: root.DurationMs, Root: root}
+}
+
+func (sp *Span) snapshotLocked() SpanJSON {
+	end := sp.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	out := SpanJSON{
+		Name:       sp.name,
+		Start:      sp.start,
+		DurationMs: float64(end.Sub(sp.start)) / float64(time.Millisecond),
+	}
+	if len(sp.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(sp.attrs))
+		for _, a := range sp.attrs {
+			out.Attrs[a.k] = a.v
+		}
+	}
+	for _, c := range sp.children {
+		out.Children = append(out.Children, c.snapshotLocked())
+	}
+	return out
+}
+
+// TraceSummary is one row of the /debug/trace listing.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+}
+
+// Ring is a bounded ring of completed traces, browsable by ID. The oldest
+// trace is evicted (and drops out of the index) once capacity is reached.
+type Ring struct {
+	mu     sync.Mutex
+	slots  []*Trace
+	next   int
+	byID   map[string]*Trace
+	filled bool
+}
+
+// NewRing returns a ring holding up to n traces (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]*Trace, n), byID: make(map[string]*Trace, n)}
+}
+
+// Add stores a completed trace, evicting the oldest if full.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.slots[r.next]; old != nil {
+		delete(r.byID, old.id)
+	}
+	r.slots[r.next] = t
+	r.byID[t.id] = t
+	r.next++
+	if r.next == len(r.slots) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Get returns the trace with the given ID, if still in the ring.
+func (r *Ring) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Len returns the number of traces currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// List returns summaries of the held traces, newest first.
+func (r *Ring) List() []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.slots)
+	out := make([]TraceSummary, 0, len(r.byID))
+	for i := 1; i <= n; i++ {
+		t := r.slots[(r.next-i+n+n)%n]
+		if t == nil {
+			continue
+		}
+		snap := t.Snapshot()
+		out = append(out, TraceSummary{
+			ID: t.id, Name: snap.Root.Name, Start: snap.Start, DurationMs: snap.DurationMs,
+		})
+	}
+	return out
+}
+
+// traceKey is the context key carrying the request's trace.
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying t.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the trace from ctx, or nil — and nil traces are safe
+// to use, so callers never need to check.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

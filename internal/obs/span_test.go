@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("abc", "POST /v1/solve")
+	q := tr.AddSpan(nil, "queue-wait", time.Now().Add(-time.Millisecond), time.Now())
+	q.SetAttr("note", "enqueued")
+	solve := tr.StartSpan(nil, "solve")
+	frac := tr.StartSpan(solve, "fractional")
+	frac.SetAttr("lp_rounds", "18")
+	frac.End()
+	solve.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.ID != "abc" || snap.Root.Name != "POST /v1/solve" {
+		t.Fatalf("snapshot header: %+v", snap)
+	}
+	if len(snap.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(snap.Root.Children))
+	}
+	if snap.Root.Children[0].Name != "queue-wait" || snap.Root.Children[0].DurationMs <= 0 {
+		t.Fatalf("queue-wait span: %+v", snap.Root.Children[0])
+	}
+	s := snap.Root.Children[1]
+	if s.Name != "solve" || len(s.Children) != 1 || s.Children[0].Attrs["lp_rounds"] != "18" {
+		t.Fatalf("solve span tree: %+v", s)
+	}
+	if snap.DurationMs <= 0 {
+		t.Fatalf("finished trace duration = %v", snap.DurationMs)
+	}
+}
+
+// Nil traces and spans are usable no-ops, so untraced code paths need no
+// guards.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan(nil, "x")
+	sp.SetAttr("a", "b")
+	sp.End()
+	tr.AddSpan(nil, "y", time.Now(), time.Now())
+	tr.Finish()
+	if tr.ID() != "" {
+		t.Fatal("nil trace must have empty ID")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(empty ctx) = %v", got)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("conc", "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.StartSpan(nil, fmt.Sprintf("item-%d", i))
+			sp.SetAttr("i", fmt.Sprint(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Snapshot().Root.Children); got != 32 {
+		t.Fatalf("children = %d, want 32", got)
+	}
+}
+
+func TestRingEvictionAndLookup(t *testing.T) {
+	r := NewRing(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := NewTrace(fmt.Sprintf("t%d", i), "req")
+		tr.Finish()
+		r.Add(tr)
+		ids = append(ids, tr.ID())
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", r.Len())
+	}
+	for _, gone := range ids[:2] {
+		if _, ok := r.Get(gone); ok {
+			t.Errorf("evicted trace %s still resolvable", gone)
+		}
+	}
+	for _, kept := range ids[2:] {
+		if _, ok := r.Get(kept); !ok {
+			t.Errorf("trace %s missing from ring", kept)
+		}
+	}
+	list := r.List()
+	if len(list) != 3 || list[0].ID != "t4" || list[2].ID != "t2" {
+		t.Fatalf("list order wrong: %+v", list)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTrace("ctx", "root")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("trace lost in context round trip")
+	}
+}

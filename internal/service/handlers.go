@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"ftclust"
 	"ftclust/internal/graph"
+	"ftclust/internal/obs"
 	"ftclust/internal/verify"
 )
 
@@ -209,8 +211,10 @@ const (
 // in-flight solve if one exists, otherwise lead a fresh solve on the
 // bounded worker pool under the request deadline. It returns the graph so
 // session creation can keep it, plus the cache status for the X-Cache
-// header.
-func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, *graph.Graph, string, int, error) {
+// header. parent scopes this call's spans inside the request trace (nil =
+// under the root; batch items pass their per-item span).
+func (s *Server) solve(ctx context.Context, req *SolveRequest, parent *obs.Span) (*SolveResponse, *graph.Graph, string, int, error) {
+	tr := obs.TraceFrom(ctx)
 	g, err := s.buildGraph(req.Graph, req.Family)
 	if err != nil {
 		return nil, nil, "", http.StatusBadRequest, err
@@ -225,9 +229,11 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
 	}
 
+	lookup := time.Now()
 	key := solveCacheKey(g.CanonicalHash(), req.K, req.T, req.Seed, req.Local)
 	if resp, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
+		tr.AddSpan(parent, "cache", lookup, time.Now()).SetAttr("decision", cacheHit)
 		return resp, g, cacheHit, http.StatusOK, nil
 	}
 
@@ -235,21 +241,26 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	// of burning a second worker on the same deterministic computation.
 	f, leader := s.flights.join(key)
 	if !leader {
+		sp := tr.StartSpan(parent, "coalesce-wait")
+		defer sp.End()
 		select {
 		case <-f.done:
 			if f.err != nil {
 				return nil, nil, "", f.status, f.err
 			}
 			s.metrics.coalesced.Add(1)
+			sp.SetAttr("decision", cacheCoalesced)
 			return f.resp, g, cacheCoalesced, http.StatusOK, nil
 		case <-ctx.Done():
 			s.metrics.canceled.Add(1)
+			sp.SetAttr("decision", "abandoned")
 			return nil, nil, "", http.StatusGatewayTimeout,
 				fmt.Errorf("solve abandoned: %w", ctx.Err())
 		}
 	}
 	s.metrics.cacheMisses.Add(1)
-	resp, status, err := s.leadSolve(ctx, req, g, key)
+	tr.AddSpan(parent, "cache", lookup, time.Now()).SetAttr("decision", cacheMiss)
+	resp, status, err := s.leadSolve(ctx, req, g, key, parent)
 	s.flights.finish(key, f, resp, status, err)
 	if err != nil {
 		return nil, nil, "", status, err
@@ -258,28 +269,68 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 }
 
 // leadSolve runs the actual solver job for a flight leader and populates
-// the cache on success.
-func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Graph, key string) (*SolveResponse, int, error) {
+// the cache on success. Timing is split at the worker-pickup boundary:
+// enqueue→start feeds the queue-wait histogram, the job body feeds the
+// solve-latency histogram — so a backed-up queue cannot masquerade as a
+// slow solver, and neither series ever sees cache hits or coalesced
+// followers.
+func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Graph, key string, parent *obs.Span) (*SolveResponse, int, error) {
 	if s.cfg.SolveTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
 		defer cancel()
 	}
 
+	tr := obs.TraceFrom(ctx)
 	var (
 		resp     *SolveResponse
 		solveErr error
+		solveDur time.Duration
 	)
-	start := time.Now()
+	enq := time.Now()
 	err := s.queue.Do(ctx, func(jobCtx context.Context, scratch *ftclust.Scratch) {
+		jobStart := time.Now()
+		s.metrics.queueWait.ObserveDuration(jobStart.Sub(enq))
+		tr.AddSpan(parent, "queue-wait", enq, jobStart)
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
+
+		solveSpan := tr.StartSpan(parent, "solve")
+		defer func() {
+			solveDur = time.Since(jobStart)
+			solveSpan.End()
+		}()
+		// The per-request observer fans each core callback out to the
+		// global solver series and into this request's span tree. Phase
+		// spans are reconstructed from the reported duration (callbacks
+		// fire at phase end).
+		observer := &ftclust.SolveObserver{
+			OnPhase: func(p ftclust.SolvePhaseInfo) {
+				s.metrics.observePhase(p)
+				end := time.Now()
+				sp := tr.AddSpan(solveSpan, p.Name, end.Add(-p.Duration), end)
+				sp.SetAttr("rounds", strconv.Itoa(p.Rounds))
+				if p.AllocObjects > 0 {
+					sp.SetAttr("alloc_objects", strconv.FormatUint(p.AllocObjects, 10))
+				}
+			},
+			OnDone: func(st ftclust.SolveStats) {
+				s.metrics.observeSolveStats(st)
+				solveSpan.SetAttr("lp_rounds", strconv.Itoa(st.LPRounds))
+				solveSpan.SetAttr("set_size", strconv.Itoa(st.SetSize))
+				solveSpan.SetAttr("kappa", strconv.FormatFloat(st.Kappa, 'g', 6, 64))
+				solveSpan.SetAttr("dual_gap", strconv.FormatFloat(st.DualGap, 'g', 6, 64))
+				solveSpan.SetAttr("lower_bound", strconv.FormatFloat(st.DualLowerBound, 'g', 6, 64))
+			},
+		}
+
 		solveOpts := []ftclust.Option{
 			ftclust.WithT(req.T),
 			ftclust.WithSeed(req.Seed),
 			ftclust.WithWorkers(s.cfg.SolveThreads),
 			ftclust.WithContext(jobCtx),
 			ftclust.WithScratch(scratch),
+			ftclust.WithObserver(observer),
 		}
 		if req.Local {
 			solveOpts = append(solveOpts, ftclust.WithLocalDelta())
@@ -312,7 +363,7 @@ func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Grap
 		return nil, http.StatusInternalServerError, solveErr
 	}
 	s.metrics.solves.Add(1)
-	s.metrics.lat.observe(time.Since(start))
+	s.metrics.solveLat.ObserveDuration(solveDur)
 	s.cache.Put(key, resp)
 	return resp, http.StatusOK, nil
 }
@@ -322,13 +373,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	resp, _, cacheStatus, status, err := s.solve(r.Context(), &req)
+	resp, _, cacheStatus, status, err := s.solve(r.Context(), &req, nil)
 	if err != nil {
 		writeError(w, status, err)
 		return
 	}
 	w.Header().Set("X-Cache", cacheStatus)
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan(nil, "encode")
 	writeJSON(w, http.StatusOK, resp)
+	sp.End()
 }
 
 // handleSolveBatch fans a batch of solve requests across the worker pool
@@ -358,7 +412,9 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, _, cacheStatus, status, err := s.solve(r.Context(), &req.Requests[i])
+			sp := obs.TraceFrom(r.Context()).StartSpan(nil, "item-"+strconv.Itoa(i))
+			defer sp.End()
+			resp, _, cacheStatus, status, err := s.solve(r.Context(), &req.Requests[i], sp)
 			if err != nil {
 				results[i] = BatchSolveItem{Error: err.Error(), Status: status}
 				return
@@ -416,7 +472,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	resp, g, _, status, err := s.solve(r.Context(), &req)
+	resp, g, _, status, err := s.solve(r.Context(), &req, nil)
 	if err != nil {
 		writeError(w, status, err)
 		return

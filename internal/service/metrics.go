@@ -1,93 +1,178 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
-	"sort"
-	"sync"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"ftclust"
+	"ftclust/internal/obs"
 )
 
-// metrics holds the service's expvar-style counters and the solve-latency
-// window behind /debug/metrics. All counters are atomics; the latency
-// window has its own mutex. Gauges that belong to other components (queue
-// depth, active sessions) are read through callbacks installed by the
-// server so this file needs no references back.
+// endpointLabels enumerates the instrumented route patterns; every
+// request is classified into exactly one (unknown paths fall into
+// "other") so the per-endpoint series stay bounded whatever clients send.
+var endpointLabels = []string{
+	"/v1/solve", "/v1/solvebatch", "/v1/verify",
+	"/v1/session", "/v1/session/{id}", "/v1/session/{id}/fail",
+	"/metrics", "/debug/metrics", "/debug/trace", "/debug/trace/{id}",
+	"/healthz", "other",
+}
+
+// endpointLabel maps a request path onto its route pattern.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/solve", "/v1/solvebatch", "/v1/verify", "/v1/session",
+		"/metrics", "/debug/metrics", "/debug/trace", "/healthz":
+		return path
+	}
+	switch {
+	case strings.HasPrefix(path, "/debug/trace/"):
+		return "/debug/trace/{id}"
+	case strings.HasPrefix(path, "/v1/session/"):
+		if strings.HasSuffix(path, "/fail") {
+			return "/v1/session/{id}/fail"
+		}
+		return "/v1/session/{id}"
+	}
+	return "other"
+}
+
+// solverPhases are the phase labels emitted by the core observer hooks.
+var solverPhases = []string{"fractional", "rounding", "verify"}
+
+// metrics holds the service's observability state: atomic counters,
+// gauges read through callbacks, and fixed log-bucket histograms — all
+// registered in an obs.Registry for /metrics (Prometheus text
+// exposition) and summarized as JSON for /debug/metrics. Histograms
+// replace the former 1024-sample sorted-copy latency ring: observation
+// is lock-free and quantiles come from bucket interpolation.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	solves        atomic.Int64 // completed cold solves (cache misses that ran)
-	solveErrors   atomic.Int64 // solves that returned an error
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64 // flight leaders only; followers count as coalesced
-	coalesced     atomic.Int64 // requests served by joining an in-flight solve
-	batches       atomic.Int64 // /v1/solvebatch requests (items count individually above)
-	verifies      atomic.Int64
-	queueRejected atomic.Int64 // 503s from a full queue or drain
-	canceled      atomic.Int64 // solves lost to deadline/disconnect
-	inFlight      atomic.Int64 // requests currently inside a solve job
+	solves        *obs.Counter // completed cold solves (cache misses that ran)
+	solveErrors   *obs.Counter // solves that returned an error
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter // flight leaders only; followers count as coalesced
+	coalesced     *obs.Counter // requests served by joining an in-flight solve
+	batches       *obs.Counter // /v1/solvebatch requests (items count individually above)
+	verifies      *obs.Counter
+	queueRejected *obs.Counter // 503s from a full queue or drain
+	canceled      *obs.Counter // solves lost to deadline/disconnect
+	slowRequests  *obs.Counter // requests over the slow-log threshold
 
-	sessionsCreated atomic.Int64
-	repairs         atomic.Int64
+	sessionsCreated *obs.Counter
+	repairs         *obs.Counter
+
+	inFlight atomic.Int64 // requests currently inside a solve job (gauge)
 
 	queueDepth     func() int // installed by the server
 	activeSessions func() int
 
-	lat latencyWindow
+	// solveLat times the solver job body only; queueWait times the gap
+	// between enqueue and job start. Keeping them separate means cache
+	// hits and coalesced followers never touch either series, and a
+	// backed-up queue shows up as queue wait instead of inflating the
+	// solve-latency quantiles.
+	solveLat  *obs.Histogram
+	queueWait *obs.Histogram
+
+	httpLat  map[string]*obs.Histogram // per endpoint
+	httpReqs map[string]*obs.Counter
+
+	// Solver phase series fed by the core observer hooks: per-phase wall
+	// time plus the paper's per-solve figures (LP rounds = 2t², rounding
+	// passes, primal−dual gap against the certified lower bound).
+	phaseDur  map[string]*obs.Histogram
+	lpRounds  *obs.Histogram
+	roundingP *obs.Histogram
+	dualGap   *obs.Histogram
 }
 
 func newMetrics(now time.Time) *metrics {
-	return &metrics{
+	reg := obs.NewRegistry()
+	m := &metrics{
 		start:          now,
+		reg:            reg,
 		queueDepth:     func() int { return 0 },
 		activeSessions: func() int { return 0 },
-		lat:            latencyWindow{samples: make([]float64, 0, latencyWindowSize)},
+
+		solves:        reg.Counter("ftclust_solves_total", "completed cold solves (cache misses that ran)"),
+		solveErrors:   reg.Counter("ftclust_solve_errors_total", "solves that returned an internal error"),
+		cacheHits:     reg.Counter("ftclust_cache_hits_total", "requests served from the solution cache"),
+		cacheMisses:   reg.Counter("ftclust_cache_misses_total", "flight-leader cache misses"),
+		coalesced:     reg.Counter("ftclust_coalesced_total", "requests coalesced onto an in-flight identical solve"),
+		batches:       reg.Counter("ftclust_batches_total", "solvebatch requests"),
+		verifies:      reg.Counter("ftclust_verifies_total", "verify requests"),
+		queueRejected: reg.Counter("ftclust_queue_rejected_total", "solves rejected by a full queue or drain"),
+		canceled:      reg.Counter("ftclust_canceled_total", "solves lost to deadline or disconnect"),
+		slowRequests:  reg.Counter("ftclust_slow_requests_total", "requests over the slow-request threshold"),
+
+		sessionsCreated: reg.Counter("ftclust_sessions_created_total", "sessions created"),
+		repairs:         reg.Counter("ftclust_repairs_total", "session failure repairs"),
+
+		solveLat: reg.Histogram("ftclust_solve_duration_seconds",
+			"solver job wall time (queue wait excluded; cold solves only)", obs.DurationBuckets()),
+		queueWait: reg.Histogram("ftclust_queue_wait_seconds",
+			"time between job enqueue and worker pickup", obs.DurationBuckets()),
+
+		httpLat:  make(map[string]*obs.Histogram, len(endpointLabels)),
+		httpReqs: make(map[string]*obs.Counter, len(endpointLabels)),
+		phaseDur: make(map[string]*obs.Histogram, len(solverPhases)),
+
+		lpRounds: reg.Histogram("ftclust_solver_lp_rounds",
+			"Algorithm 1 communication rounds per solve (2t²)",
+			[]float64{2, 8, 18, 32, 50, 72, 128, 512, 2048, 8192}),
+		roundingP: reg.Histogram("ftclust_solver_rounding_passes",
+			"Algorithm 2 sweeps per solve (sampling, plus repair unless skipped)",
+			[]float64{1, 2}),
+		dualGap: reg.Histogram("ftclust_solver_dual_gap",
+			"fractional objective minus certified dual lower bound, per solve",
+			obs.ExponentialBuckets(0.5, 2, 20)),
+	}
+	for _, ep := range endpointLabels {
+		m.httpLat[ep] = reg.Histogram("ftclust_http_request_duration_seconds",
+			"HTTP request wall time by endpoint", obs.DurationBuckets(), "endpoint", ep)
+		m.httpReqs[ep] = reg.Counter("ftclust_http_requests_total",
+			"HTTP requests by endpoint", "endpoint", ep)
+	}
+	for _, phase := range solverPhases {
+		m.phaseDur[phase] = reg.Histogram("ftclust_solver_phase_duration_seconds",
+			"solver phase wall time", obs.DurationBuckets(), "phase", phase)
+	}
+	reg.Gauge("ftclust_uptime_seconds", "seconds since server start",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.Gauge("ftclust_queue_depth", "queued (not yet started) solve jobs",
+		func() float64 { return float64(m.queueDepth()) })
+	reg.Gauge("ftclust_in_flight", "requests currently inside a solve job",
+		func() float64 { return float64(m.inFlight.Load()) })
+	reg.Gauge("ftclust_sessions_active", "live sessions",
+		func() float64 { return float64(m.activeSessions()) })
+	return m
+}
+
+// observeHTTP records one completed request on the per-endpoint series.
+func (m *metrics) observeHTTP(endpoint string, d time.Duration) {
+	m.httpReqs[endpoint].Inc()
+	m.httpLat[endpoint].ObserveDuration(d)
+}
+
+// observePhase feeds one solver phase callback into the phase series.
+func (m *metrics) observePhase(p ftclust.SolvePhaseInfo) {
+	if h, ok := m.phaseDur[p.Name]; ok {
+		h.ObserveDuration(p.Duration)
 	}
 }
 
-// latencyWindowSize bounds the solve-latency ring buffer; 1024 samples
-// keep the quantiles honest for recent traffic without unbounded growth.
-const latencyWindowSize = 1024
-
-// latencyWindow is a fixed-size ring of recent solve latencies in
-// milliseconds; quantiles are computed on demand from a sorted copy.
-type latencyWindow struct {
-	mu      sync.Mutex
-	samples []float64
-	next    int
-	total   int64
-}
-
-func (w *latencyWindow) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	w.mu.Lock()
-	if len(w.samples) < latencyWindowSize {
-		w.samples = append(w.samples, ms)
-	} else {
-		w.samples[w.next] = ms
-		w.next = (w.next + 1) % latencyWindowSize
-	}
-	w.total++
-	w.mu.Unlock()
-}
-
-// quantiles returns (p50, p99, lifetime sample count). With no samples it
-// returns zeros.
-func (w *latencyWindow) quantiles() (p50, p99 float64, total int64) {
-	w.mu.Lock()
-	sorted := append([]float64(nil), w.samples...)
-	total = w.total
-	w.mu.Unlock()
-	if len(sorted) == 0 {
-		return 0, 0, total
-	}
-	sort.Float64s(sorted)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(0.50), at(0.99), total
+// observeSolveStats feeds the per-solve summary into the solver series.
+func (m *metrics) observeSolveStats(s ftclust.SolveStats) {
+	m.lpRounds.Observe(float64(s.LPRounds))
+	m.roundingP.Observe(float64(s.RoundingPasses))
+	m.dualGap.Observe(s.DualGap)
 }
 
 // MetricsSnapshot is the JSON shape of /debug/metrics.
@@ -104,41 +189,72 @@ type MetricsSnapshot struct {
 	QueueRejected   int64   `json:"queue_rejected"`
 	Canceled        int64   `json:"canceled"`
 	InFlight        int64   `json:"in_flight"`
+	SlowRequests    int64   `json:"slow_requests"`
 	SessionsActive  int     `json:"sessions_active"`
 	SessionsCreated int64   `json:"sessions_created"`
 	Repairs         int64   `json:"repairs"`
 	SolveLatencyP50 float64 `json:"solve_latency_p50_ms"`
+	SolveLatencyP90 float64 `json:"solve_latency_p90_ms"`
 	SolveLatencyP99 float64 `json:"solve_latency_p99_ms"`
 	LatencySamples  int64   `json:"latency_samples"`
+	QueueWaitP50    float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99    float64 `json:"queue_wait_p99_ms"`
+	QueueWaitSample int64   `json:"queue_wait_samples"`
 }
 
 func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
-	p50, p99, samples := m.lat.quantiles()
+	toMs := func(sec float64) float64 { return sec * 1e3 }
 	return MetricsSnapshot{
 		UptimeSeconds:   now.Sub(m.start).Seconds(),
-		Solves:          m.solves.Load(),
-		SolveErrors:     m.solveErrors.Load(),
-		CacheHits:       m.cacheHits.Load(),
-		CacheMisses:     m.cacheMisses.Load(),
-		Coalesced:       m.coalesced.Load(),
-		Batches:         m.batches.Load(),
-		Verifies:        m.verifies.Load(),
+		Solves:          m.solves.Value(),
+		SolveErrors:     m.solveErrors.Value(),
+		CacheHits:       m.cacheHits.Value(),
+		CacheMisses:     m.cacheMisses.Value(),
+		Coalesced:       m.coalesced.Value(),
+		Batches:         m.batches.Value(),
+		Verifies:        m.verifies.Value(),
 		QueueDepth:      m.queueDepth(),
-		QueueRejected:   m.queueRejected.Load(),
-		Canceled:        m.canceled.Load(),
+		QueueRejected:   m.queueRejected.Value(),
+		Canceled:        m.canceled.Value(),
 		InFlight:        m.inFlight.Load(),
+		SlowRequests:    m.slowRequests.Value(),
 		SessionsActive:  m.activeSessions(),
-		SessionsCreated: m.sessionsCreated.Load(),
-		Repairs:         m.repairs.Load(),
-		SolveLatencyP50: p50,
-		SolveLatencyP99: p99,
-		LatencySamples:  samples,
+		SessionsCreated: m.sessionsCreated.Value(),
+		Repairs:         m.repairs.Value(),
+		SolveLatencyP50: toMs(m.solveLat.Quantile(0.50)),
+		SolveLatencyP90: toMs(m.solveLat.Quantile(0.90)),
+		SolveLatencyP99: toMs(m.solveLat.Quantile(0.99)),
+		LatencySamples:  m.solveLat.Count(),
+		QueueWaitP50:    toMs(m.queueWait.Quantile(0.50)),
+		QueueWaitP99:    toMs(m.queueWait.Quantile(0.99)),
+		QueueWaitSample: m.queueWait.Count(),
 	}
 }
 
+// handler serves /debug/metrics. The snapshot is encoded into a buffer
+// first so an encoding failure can still yield a clean 500 instead of a
+// half-written 200.
 func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(m.snapshot(time.Now()))
+	if err := enc.Encode(m.snapshot(time.Now())); err != nil {
+		http.Error(w, "encoding metrics snapshot: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// promHandler serves /metrics in Prometheus text exposition format.
+func (m *metrics) promHandler(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := m.reg.WritePrometheus(&buf); err != nil {
+		http.Error(w, "rendering metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"ftclust/internal/obs"
+)
+
+// requestIDHeader carries the request ID on both requests and responses.
+// A client-supplied ID is propagated verbatim (truncated to a sane
+// length) so callers can stitch service traces into their own.
+const requestIDHeader = "X-Request-ID"
+
+// statusWriter records the status code and body size a handler produced
+// so the middleware can log and label them after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestID returns the client-supplied X-Request-ID, or mints one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get(requestIDHeader); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	return obs.NewRequestID()
+}
+
+// withObservability wraps the route mux with the per-request plumbing:
+// an X-Request-ID on every response, a span-tree trace stored in the
+// debug ring (for /v1/* endpoints), per-endpoint latency histograms and
+// request counters, a structured access log, and a slow-request warning
+// over the configured threshold.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := requestID(r)
+		endpoint := endpointLabel(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(requestIDHeader, id)
+
+		// Only API requests are traced: metrics scrapes and health probes
+		// would churn the bounded ring without ever being debugged.
+		var tr *obs.Trace
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			tr = obs.NewTrace(id, r.Method+" "+endpoint)
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
+
+		next.ServeHTTP(sw, r)
+
+		if sw.status == 0 { // handler wrote nothing; net/http sends 200
+			sw.status = http.StatusOK
+		}
+		d := time.Since(start)
+		tr.Finish()
+		if tr != nil {
+			s.traces.Add(tr)
+		}
+		s.metrics.observeHTTP(endpoint, d)
+
+		attrs := []slog.Attr{
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.status),
+			slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+			slog.Int64("bytes", sw.bytes),
+		}
+		if cache := sw.Header().Get("X-Cache"); cache != "" {
+			attrs = append(attrs, slog.String("cache", cache))
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		if s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+			s.metrics.slowRequests.Inc()
+			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow request",
+				append(attrs, slog.Duration("threshold", s.cfg.SlowRequest))...)
+		}
+	})
+}
+
+// handleTraceList serves GET /debug/trace: summaries of the retained
+// traces, newest first.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.List())
+}
+
+// handleTraceGet serves GET /debug/trace/{id}: one request's span tree.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.traces.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "trace not found (evicted or unknown id)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Snapshot())
+}

@@ -11,7 +11,11 @@
 //   - POST /v1/session/{id}/fail — inject failures; repaired locally with
 //     maintain.Repair, never a full re-solve
 //   - DELETE /v1/session/{id} — drop a session
-//   - GET  /debug/metrics     — counters, queue depth, p50/p99 solve latency
+//   - GET  /metrics           — Prometheus text exposition (per-endpoint
+//     latency histograms, queue-wait vs solve split, solver phase series)
+//   - GET  /debug/metrics     — the same state summarized as JSON
+//   - GET  /debug/trace       — recent request traces (newest first)
+//   - GET  /debug/trace/{id}  — one request's span tree as JSON
 //   - GET  /healthz           — liveness
 //
 // Behind the handlers sit a bounded job queue with a fixed solver-worker
@@ -24,13 +28,22 @@
 // coalesced), and per-request deadlines threaded into the solver's round
 // loop via ftclust.WithContext. Shutdown drains in-flight solves before
 // returning.
+//
+// Every response carries an X-Request-ID header (client-supplied IDs are
+// propagated); the ID resolves at /debug/trace/{id} to a span tree
+// covering queue wait, the cache/coalesce decision, solver phases and
+// response encoding for as long as the trace stays in the bounded ring.
 package service
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
+
+	"ftclust/internal/obs"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -59,6 +72,17 @@ type Config struct {
 	SolveThreads int
 	// MaxSessions bounds live sessions (default 1024).
 	MaxSessions int
+	// Logger receives structured access and lifecycle logs (default: a
+	// logger that discards everything).
+	Logger *slog.Logger
+	// SlowRequest is the threshold above which a completed request is
+	// logged at warn level with its full timing breakdown (default 0:
+	// disabled).
+	SlowRequest time.Duration
+	// TraceRing bounds how many recent request traces /debug/trace keeps
+	// (default 256). Only /v1/* requests are retained; probe endpoints
+	// would otherwise flush real solves out of the ring.
+	TraceRing int
 }
 
 func (c *Config) fillDefaults() {
@@ -86,6 +110,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
 }
 
 // Server is the clustering service. Create with New, mount Handler on an
@@ -93,11 +123,14 @@ func (c *Config) fillDefaults() {
 type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the observability middleware
 	queue    *jobQueue
 	cache    *lruCache
 	flights  *flightGroup
 	metrics  *metrics
 	sessions *sessionStore
+	traces   *obs.Ring
+	logger   *slog.Logger
 }
 
 // New builds a Server from cfg (zero value = all defaults).
@@ -111,6 +144,8 @@ func New(cfg Config) *Server {
 		flights:  newFlightGroup(),
 		metrics:  newMetrics(time.Now()),
 		sessions: newSessionStore(cfg.MaxSessions),
+		traces:   obs.NewRing(cfg.TraceRing),
+		logger:   cfg.Logger,
 	}
 	s.metrics.queueDepth = s.queue.Depth
 	s.metrics.activeSessions = s.sessions.len
@@ -122,13 +157,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/session/{id}/fail", s.handleSessionFail)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /metrics", s.metrics.promHandler)
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTraceList)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.withObservability(s.mux)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the request-ID / tracing / access-log / per-endpoint-metrics middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics returns a point-in-time snapshot of the service counters.
 func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(time.Now()) }
@@ -146,6 +186,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "shutdown complete",
+			slog.Int64("solves", s.metrics.solves.Value()),
+			slog.Int64("solve_errors", s.metrics.solveErrors.Value()),
+			slog.Int64("cache_hits", s.metrics.cacheHits.Value()),
+			slog.Int("traces_retained", s.traces.Len()),
+			slog.Float64("uptime_seconds", time.Since(s.metrics.start).Seconds()))
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ftclust/internal/obs"
+)
+
+func TestPhaseTable(t *testing.T) {
+	phases := []obs.PhaseInfo{
+		{Name: "fractional", Duration: 3 * time.Millisecond, Rounds: 18, AllocObjects: 5},
+		{Name: "rounding", Duration: time.Millisecond, Rounds: 4, AllocObjects: 7},
+		{Name: "verify", Duration: time.Millisecond, Rounds: 0},
+	}
+	stats := obs.SolveStats{
+		LPRounds: 18, RoundingPasses: 2, SetSize: 42, Sampled: 40, Repaired: 2,
+		FractionalObjective: 30, Kappa: 8, DualLowerBound: 10, DualGap: 20, Feasible: true,
+	}
+	tb := PhaseTable(phases, stats)
+	if tb.NumRows() != 4 { // three phases + total
+		t.Fatalf("rows = %d, want 4", tb.NumRows())
+	}
+	total := tb.Row(3)
+	if total[0] != "total" || total[1] != "22" { // 18 + 4 + 0
+		t.Errorf("total row = %v", total)
+	}
+	if total[4] != "12" { // 5 + 7 allocated objects
+		t.Errorf("total allocs = %q, want 12", total[4])
+	}
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fractional", "|S|=42", "κ=8", "gap=20", "share_%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Shares must sum to ~100 across the phase rows.
+	if !strings.Contains(out, "60") { // 3ms of 5ms
+		t.Errorf("fractional share not rendered:\n%s", out)
+	}
+}
