@@ -1,0 +1,132 @@
+// Command ftlint is this repository's multichecker: it runs the custom
+// go/analysis-style analyzers from internal/analysis — the machine
+// enforcement of the determinism, aliasing, and concurrency contracts —
+// over the module, and can additionally drive the standard `go vet`
+// suite so CI needs a single lint entry point.
+//
+// Usage:
+//
+//	go run ./cmd/ftlint [-checks detrand,maporder,…] [-vet] [packages]
+//
+// With no packages, ./... is linted. Findings print as
+// file:line:col: message [check] and make the exit status 1. A finding
+// can be waived in source with
+//
+//	//ftlint:allow <check> <reason…>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"ftclust/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	checks := flag.String("checks", "", "comma-separated analyzer subset (default: all)")
+	vet := flag.Bool("vet", false, "also run the standard `go vet` suite over the same packages")
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			scope := "all packages"
+			if len(a.Packages) > 0 {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Printf("%-14s %s\n%14s   scope: %s\n", a.Name, a.Doc, "", scope)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+	pkgs, err := analysis.NewLoader().Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint:", err)
+		return 2
+	}
+
+	status := 0
+	if len(diags) > 0 {
+		status = 1
+		fset := pkgs[0].Fset
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Check)
+		}
+		fmt.Fprintf(os.Stderr, "ftlint: %d finding(s)\n", len(diags))
+	}
+
+	if *vet {
+		if code := runGoVet(patterns); code != 0 && status == 0 {
+			status = code
+		}
+	}
+	return status
+}
+
+// selectAnalyzers resolves the -checks flag.
+func selectAnalyzers(csv string) ([]*analysis.Analyzer, error) {
+	if csv == "" {
+		return analysis.All(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := analysis.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown check %q (run -list for the catalog)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runGoVet shells out to the standard vet suite so CI has one lint
+// entry point; ftlint's own analyzers stay in-process.
+func runGoVet(patterns []string) int {
+	args := append([]string{"vet"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "ftlint: go vet:", err)
+		return 2
+	}
+	return 0
+}

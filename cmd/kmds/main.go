@@ -212,6 +212,7 @@ func solve(g *graph.Graph, pts []geom.Point, algo string, k, t int, seed int64, 
 			return solveOut{}, err
 		}
 		return solveOut{
+			//ftlint:allow scratchalias one solve per process and no scratch reuse; the mask is consumed before exit
 			mask:       res.InSet,
 			rounds:     res.Fractional.LoopRounds + 4,
 			kappa:      res.Fractional.Kappa,

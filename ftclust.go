@@ -272,6 +272,7 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 		return nil, err
 	}
 	return &Solution{
+		//ftlint:allow scratchalias Solution.InSet documents the arena-backed aliasing contract; Members below is the durable copy
 		InSet:               res.InSet,
 		Members:             verify.SetFromMask(res.InSet),
 		Rounds:              res.Fractional.LoopRounds + 4,
@@ -338,6 +339,7 @@ func SolveWeightedKMDS(g *Graph, k int, costs []float64, opts ...Option) (*Solut
 		return nil, err
 	}
 	return &Solution{
+		//ftlint:allow scratchalias Solution.InSet documents the arena-backed aliasing contract; Members below is the durable copy
 		InSet:   res.InSet,
 		Members: verify.SetFromMask(res.InSet),
 		// Engine-reported double-loop rounds plus the four fixed rounds of

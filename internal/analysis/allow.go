@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The escape hatch: a source comment of the form
+//
+//	//ftlint:allow <check> <reason…>
+//
+// suppresses findings of <check> on the same line (trailing comment) or
+// on the line immediately below (standalone comment above the flagged
+// statement). The reason is mandatory — an allow without one is itself a
+// finding, so every waiver in the tree documents why the invariant is
+// safe to break at that site.
+
+// allowKey locates one allow directive: which file/line it covers and
+// which check it waives.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type allowSet map[allowKey]bool
+
+// collectAllows scans a package's comments for ftlint:allow directives.
+// Well-formed directives go into the returned set; malformed ones come
+// back as diagnostics of the synthetic check "allow".
+func collectAllows(pkg *Package) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//ftlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Pos:     c.Pos(),
+						Check:   "allow",
+						Message: "ftlint:allow needs a check name and a reason",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     c.Pos(),
+						Check:   "allow",
+						Message: "ftlint:allow " + fields[0] + " needs a reason",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppresses reports whether d is waived by an allow on its own line or
+// on the line directly above it.
+func (a allowSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return a[allowKey{pos.Filename, pos.Line, d.Check}] ||
+		a[allowKey{pos.Filename, pos.Line - 1, d.Check}]
+}

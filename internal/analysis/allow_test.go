@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseCheck type-checks one in-memory file into a Package recorded
+// under importPath, for tests that exercise the allow machinery and
+// scoping on sources too small for a fixture. (Analyzer scope matches on
+// the recorded path, so tests can pose as an in-scope package.)
+func parseCheck(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	l := testLoader()
+	f, err := parser.ParseFile(l.Fset, t.Name()+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: importPath, Fset: l.Fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// A reason-less waiver must not suppress the original finding and must
+// itself surface as a finding of the synthetic check "allow".
+func TestAllowWithoutReasonIsAFindingAndSuppressesNothing(t *testing.T) {
+	pkg := parseCheck(t, "ftclust/internal/core", `package allowtest
+
+import "math/rand"
+
+func f() int {
+	//ftlint:allow detrand
+	return rand.Int()
+}
+`)
+	diags, err := runPackage(pkg, []*Analyzer{DetRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotAllow, gotDetrand bool
+	for _, d := range diags {
+		switch d.Check {
+		case "allow":
+			gotAllow = true
+			if !strings.Contains(d.Message, "needs a reason") {
+				t.Errorf("allow finding message = %q, want a needs-a-reason message", d.Message)
+			}
+		case "detrand":
+			gotDetrand = true
+		}
+	}
+	if !gotAllow {
+		t.Error("missing 'allow' finding for the reason-less waiver")
+	}
+	if !gotDetrand {
+		t.Error("reason-less waiver suppressed the detrand finding; it must not")
+	}
+}
+
+// A bare ftlint:allow with no check name at all is also a finding.
+func TestAllowBareDirectiveIsAFinding(t *testing.T) {
+	pkg := parseCheck(t, "ftclust/internal/core", `package allowtest
+
+//ftlint:allow
+func g() {}
+`)
+	diags, err := runPackage(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Check != "allow" {
+		t.Fatalf("diags = %+v, want exactly one 'allow' finding", diags)
+	}
+}
+
+// A waiver only suppresses the named check, not others on the same line.
+func TestAllowIsPerCheck(t *testing.T) {
+	pkg := parseCheck(t, "ftclust/internal/core", `package allowtest
+
+import "math/rand"
+
+func h() int {
+	//ftlint:allow maporder wrong check name on purpose
+	return rand.Int()
+}
+`)
+	diags, err := runPackage(pkg, []*Analyzer{DetRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Check != "detrand" {
+		t.Fatalf("diags = %+v, want the detrand finding to survive a maporder waiver", diags)
+	}
+}
+
+// Analyzer package scoping: DetRand must skip packages outside its list.
+func TestScopeSkipsUnlistedPackages(t *testing.T) {
+	pkg := parseCheck(t, "ftclust/internal/exp", `package allowtest
+
+import "math/rand"
+
+func k() int { return rand.Int() }
+`)
+	diags, err := runPackage(pkg, []*Analyzer{DetRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/exp is not in DetRand.Packages, so the analyzer must
+	// not run there at all.
+	if len(diags) != 0 {
+		t.Fatalf("diags = %+v, want none for an out-of-scope package", diags)
+	}
+}

@@ -1,0 +1,162 @@
+// Package analysis is ftlint's stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository needs: typed
+// single-package analyzers, a loader that type-checks the module with the
+// go/importer "source" importer, an analysistest-style fixture runner, and
+// a //ftlint:allow suppression mechanism with mandatory reasons.
+//
+// The x/tools module would normally provide all of this as a tool-only
+// dependency, but the build environment for this repository is fully
+// offline and the shipped library packages are required to stay
+// stdlib-only, so the framework is grown here instead. The API shape
+// deliberately mirrors go/analysis (Analyzer, Pass, Diagnostic) so the
+// analyzers could be ported to a standard multichecker verbatim if the
+// dependency ever becomes available.
+//
+// Each analyzer machine-enforces one convention that a previous PR
+// established by hand; see README.md in this directory for the catalog
+// and the incident that motivated each invariant.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one ftlint check. It mirrors the x/tools
+// go/analysis Analyzer shape minus facts and requirements, which these
+// checks do not need: every analyzer here is a pure single-package pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ftlint:allow comments. Lowercase, no spaces.
+	Name string
+
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+
+	// Packages, when non-empty, restricts the analyzer to the listed
+	// import paths. Scoping is applied by Run, not by the analyzer
+	// body, so fixture tests can exercise an analyzer on any package.
+	Packages []string
+
+	// Run reports diagnostics for one type-checked package via
+	// pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that produced
+// it so //ftlint:allow can suppress it by name.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// inScope reports whether the analyzer applies to the package path.
+func (a *Analyzer) inScope(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every in-scope analyzer to every package, filters the
+// findings through the //ftlint:allow comments collected from the
+// package sources, and returns the surviving diagnostics in stable
+// (file, line, column) order. Malformed allow comments (missing check
+// name or missing reason) are themselves returned as diagnostics of the
+// synthetic check "allow".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(pkgs, all)
+	return all, nil
+}
+
+// runPackage runs the in-scope analyzers over one package and applies
+// that package's allow comments.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !a.inScope(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	allows, bad := collectAllows(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.suppresses(pkg.Fset, d) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, bad...), nil
+}
+
+// sortDiagnostics orders findings by position for deterministic output.
+// All packages share one FileSet, so positions are globally comparable.
+func sortDiagnostics(pkgs []*Package, diags []Diagnostic) {
+	if len(pkgs) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Check < diags[j].Check
+	})
+}

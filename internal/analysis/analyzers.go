@@ -1,0 +1,16 @@
+package analysis
+
+// All returns every ftlint analyzer in catalog order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, ParClosure, ScratchAlias, ObsConst}
+}
+
+// ByName resolves a comma-separable analyzer name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

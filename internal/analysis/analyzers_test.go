@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// Every analyzer runs against its fixture package under testdata/src.
+// Each fixture contains flagged cases (pinned by // want comments),
+// non-flagged cases (any stray finding fails the test), and a reasoned
+// //ftlint:allow waiver (whose suppressed finding must NOT surface).
+
+func TestDetRandFixture(t *testing.T)      { RunFixture(t, DetRand, "detrand") }
+func TestMapOrderFixture(t *testing.T)     { RunFixture(t, MapOrder, "maporder") }
+func TestParClosureFixture(t *testing.T)   { RunFixture(t, ParClosure, "parclosure") }
+func TestScratchAliasFixture(t *testing.T) { RunFixture(t, ScratchAlias, "scratchalias") }
+func TestObsConstFixture(t *testing.T)     { RunFixture(t, ObsConst, "obsconst") }
+
+func TestAllAnalyzersHaveDocsAndNames(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName of an unknown check should be nil")
+	}
+}

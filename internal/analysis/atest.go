@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture testing in the style of x/tools' analysistest: a package under
+// testdata/src/<name> is type-checked for real (fixtures may import this
+// module's live packages — the loader resolves them from source), the
+// analyzer runs over it, and the findings are matched line-by-line
+// against trailing
+//
+//	// want "regexp" "regexp…"
+//
+// comments. Every want must be matched by exactly one finding on its
+// line and every finding must be claimed by a want, so each fixture
+// necessarily contains both flagged and non-flagged cases.
+
+// testLoader is shared across all fixture tests in the process so the
+// standard library and this module are type-checked once, not once per
+// analyzer.
+var testLoader = sync.OnceValue(NewLoader)
+
+// RunFixture runs a over testdata/src/<name> relative to the calling
+// test's directory and checks findings against // want comments.
+// The //ftlint:allow filter is active, so fixtures can also pin the
+// escape-hatch behavior.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader().LoadDir(dir, "ftclust/internal/analysis/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	// Fixtures live outside any analyzer's package scope on purpose;
+	// scoping is a runner concern, so strip it here.
+	unscoped := *a
+	unscoped.Packages = nil
+	diags, err := runPackage(pkg, []*Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		claimed := false
+		for i, w := range wants {
+			if matched[i] || w.key != key {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected finding: %s", key, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: no finding matched want %q", w.key, w.re)
+		}
+	}
+}
+
+// A want is one expected-finding annotation.
+type want struct {
+	key string // base-filename:line
+	re  *regexp.Regexp
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, pat := range splitWantPatterns(t, key, rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants = append(wants, want{key: key, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns parses the quoted patterns of one want comment.
+func splitWantPatterns(t *testing.T, key, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		if s[0] == '`' {
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", key, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+			continue
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s: want patterns must be quoted, got %q", key, s)
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", key, s, err)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", key, q, err)
+		}
+		pats = append(pats, unq)
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand enforces the repository's root determinism contract (PR 1:
+// bit-identical parallel solves; PR 2–3: byte-identical service bodies):
+// inside the determinism-critical packages, the only sanctioned source of
+// randomness is a seeded *rand.Rand threaded from options, and wall-clock
+// time may not be read at all — phase timing belongs to the observer
+// layer (internal/obs), not the solver.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand, wall-clock reads, and opaque rand.New " +
+		"sources in determinism-critical packages",
+	Packages: []string{
+		"ftclust/internal/core",
+		"ftclust/internal/graph",
+		"ftclust/internal/rng",
+		"ftclust/internal/udg",
+		"ftclust/internal/verify",
+	},
+	Run: runDetRand,
+}
+
+// Package-level math/rand constructors that do not draw from the global
+// source and therefore stay legal: they only wrap an explicit seed.
+var sanctionedRandCtors = map[string]bool{
+	"New":        true, // argument is checked separately
+	"NewSource":  true,
+	"NewZipf":    true, // draws through the *rand.Rand it is given
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on a threaded *rand.Rand are the sanctioned pattern
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				name := fn.Name()
+				if !sanctionedRandCtors[name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the global math/rand source; thread a seeded *rand.Rand (rng.New / options) instead", name)
+					return true
+				}
+				if name == "New" && !isSeededSourceArg(pass, call) {
+					pass.Reportf(call.Pos(),
+						"rand.New with an opaque source; construct it as rand.New(rand.NewSource(seed)) so the seed provably flows from options")
+				}
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in a determinism-critical package; timing belongs in the observer layer (internal/obs)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSeededSourceArg reports whether the sole argument of rand.New is a
+// direct call to one of the explicit-seed source constructors. (A
+// time-derived seed inside the constructor is caught by the time.Now
+// rule.)
+func isSeededSourceArg(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, inner)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "NewSource", "NewPCG", "NewChaCha8":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. ftclust/internal/core
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages. One Loader shares a FileSet
+// and a source importer across every package it loads, so the standard
+// library and this module's internals are each type-checked at most once
+// per process no matter how many packages are analyzed.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+	ctxt build.Context
+}
+
+// NewLoader returns a Loader backed by the stdlib "source" importer,
+// which resolves and type-checks imports from source — the only importer
+// that works without export data or network access.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	// Pure-Go builds only: the analyzers never need cgo-augmented
+	// types, and the source importer cannot process cgo files.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+		ctxt: ctxt,
+	}
+}
+
+// LoadDir parses and type-checks the single package in dir, recording it
+// under importPath. Test files are excluded: the determinism, aliasing,
+// and concurrency contracts govern shipped code, while tests legitimately
+// use wall-clocks, global randomness, and unguarded closures.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ftlint: %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("ftlint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load resolves package patterns relative to the module rooted at or
+// above startDir and loads each matched package. Supported patterns are
+// the ones ftlint needs: "./..." (every package under the module root),
+// "dir/...", and plain relative directories. testdata trees, hidden
+// directories, and directories with no buildable non-test Go files are
+// skipped when expanding "...".
+func (l *Loader) Load(startDir string, patterns ...string) ([]*Package, error) {
+	root, modPath, err := FindModule(startDir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ds, err := walkPackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, strings.TrimSuffix(pat, "/...")) // handles ./x/... and x/...
+			ds, err := walkPackageDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range ds {
+				add(d)
+			}
+		default:
+			abs := pat
+			if !filepath.IsAbs(pat) {
+				abs = filepath.Join(startDir, pat)
+			}
+			add(filepath.Clean(abs))
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// FindModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("ftlint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("ftlint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// walkPackageDirs returns every directory under root that holds at least
+// one buildable non-test Go file, skipping testdata and hidden trees.
+func walkPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		if hasBuildableGo(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// hasBuildableGo reports whether dir contains a non-test .go file.
+func hasBuildableGo(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder enforces the byte-identical-output contract (PR 2: cache and
+// coalesced service bodies; PR 3: canonical hashing; PR 4: Prometheus
+// exposition): Go map iteration order is random per run, so a `range`
+// over a map may not let that order escape into anything a client, hash,
+// or metrics scrape can see. Commutative accumulation (counter bumps,
+// writes into another map, max/min tracking) is fine; appends are fine
+// only when the collected slice is sorted before use; writing to an
+// encoder, hash, writer, channel, or observation stream inside the loop
+// is flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose iteration order can escape " +
+		"into output, hashes, metrics, or channels",
+	Run: runMapOrder,
+}
+
+// Method names that make iteration order observable when called inside a
+// map range: stream writers, encoders, and metric observation points.
+// (Counter.Add / Inc are commutative and deliberately absent; Histogram
+// observations land in a CAS float sum whose rounding is order-dependent,
+// which is exactly the nondeterminism PR 4's byte-stable /metrics must
+// avoid.)
+var orderSinkMethods = map[string]bool{
+	"Write":           true,
+	"WriteString":     true,
+	"WriteByte":       true,
+	"WriteRune":       true,
+	"Encode":          true,
+	"EncodeToken":     true,
+	"Observe":         true,
+	"ObserveDuration": true,
+}
+
+// Package-level printing/writing functions with the same effect.
+var orderSinkFuncs = map[[2]string]bool{
+	{"fmt", "Fprint"}:     true,
+	{"fmt", "Fprintf"}:    true,
+	{"fmt", "Fprintln"}:   true,
+	{"fmt", "Print"}:      true,
+	{"fmt", "Printf"}:     true,
+	{"fmt", "Println"}:    true,
+	{"io", "WriteString"}: true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one range-over-map body for order escapes.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	// Appended-to locals: sanctioned if sorted after the loop.
+	appendTargets := make(map[types.Object]bool)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, n, appendTargets)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside range over map: iteration order escapes to the receiver")
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				if orderSinkMethods[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"%s.%s inside range over map: iteration order escapes into the stream", recvName(fn), fn.Name())
+				}
+			} else if orderSinkFuncs[[2]string{fn.Pkg().Path(), fn.Name()}] {
+				pass.Reportf(n.Pos(),
+					"%s.%s inside range over map: iteration order escapes into the output", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+
+	for obj := range appendTargets {
+		if !sortedAfter(pass, rs, stack, obj) {
+			pass.Reportf(rs.Pos(),
+				"range over map appends to %s, which is never sorted afterwards: element order is random per run", obj.Name())
+		}
+	}
+}
+
+// checkMapRangeAssign classifies one assignment inside a map range:
+// string concatenation and appends are order-sensitive, everything else
+// (numeric accumulation, writes into maps, flag setting) is commutative
+// enough to allow.
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, appendTargets map[types.Object]bool) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if t := pass.TypeOf(as.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				pass.Reportf(as.Pos(),
+					"string concatenation inside range over map: result depends on iteration order")
+				return
+			}
+		}
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass.Info, call) {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			// Appending straight into a field or element: no local to
+			// check for a later sort, so flag it outright.
+			pass.Reportf(as.Pos(),
+				"append to non-local %s inside range over map: element order is random per run", types.ExprString(as.Lhs[i]))
+			continue
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() > rs.Pos() && obj.Pos() < rs.End() {
+			continue // loop-local scratch, dies with the iteration
+		}
+		appendTargets[obj] = true
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether some statement after rs in an enclosing
+// block mentions obj inside a call into sort or slices — the canonical
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	for si := len(stack) - 1; si >= 0; si-- {
+		block, ok := stack[si].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, st := range block.List {
+			if st.Pos() <= rs.Pos() {
+				continue
+			}
+			found := false
+			ast.Inspect(st, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "sort", "slices":
+					if mentionsObject(pass.Info, call, obj) {
+						found = true
+					}
+				default:
+					// The collect-then-sort idiom is often factored into a
+					// package-local helper (sortNodeIDs, sortKeys, …); a
+					// same-package callee whose name says it sorts counts.
+					if fn.Pkg() == pass.Pkg &&
+						strings.Contains(strings.ToLower(fn.Name()), "sort") &&
+						mentionsObject(pass.Info, call, obj) {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvName renders the receiver type name of a method for diagnostics.
+func recvName(fn *types.Func) string {
+	if named := recvNamed(fn); named != nil {
+		return named.Obj().Name()
+	}
+	return "receiver"
+}

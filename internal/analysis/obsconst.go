@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsConst enforces the PR 4 metrics contract: series registered on an
+// obs.Registry must have compile-time-constant metric names, HELP text,
+// and label keys (otherwise the exposition's name set varies run to run
+// and scrapes cannot be compared), and duration observations must be fed
+// in seconds — the Prometheus base unit — never milliseconds or raw
+// Durations.
+var ObsConst = &Analyzer{
+	Name: "obsconst",
+	Doc: "obs.Registry names/help/label keys must be constants; " +
+		"duration observations must be in seconds",
+	Run: runObsConst,
+}
+
+const obsPkgPath = "ftclust/internal/obs"
+
+// labelStart maps each Registry registration method to the argument
+// index where its variadic label pairs begin.
+var labelStart = map[string]int{
+	"Counter":   2, // (name, help, labels…)
+	"Gauge":     3, // (name, help, fn, labels…)
+	"Histogram": 3, // (name, help, bounds, labels…)
+}
+
+func runObsConst(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			if start, isReg := labelStart[fn.Name()]; isReg && isMethodOn(fn, obsPkgPath, "Registry") {
+				checkRegistration(pass, call, fn.Name(), start)
+			}
+			if fn.Name() == "Observe" && isMethodOn(fn, obsPkgPath, "Histogram") && len(call.Args) == 1 {
+				checkSecondsArg(pass, call.Args[0])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration verifies name, help, and label keys are constants.
+func checkRegistration(pass *Pass, call *ast.CallExpr, method string, start int) {
+	if len(call.Args) >= 1 && !isConst(pass, call.Args[0]) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name passed to Registry.%s must be a compile-time constant", method)
+	}
+	if len(call.Args) >= 2 && !isConst(pass, call.Args[1]) {
+		pass.Reportf(call.Args[1].Pos(),
+			"HELP text passed to Registry.%s must be a compile-time constant so exposition is stable across runs", method)
+	}
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis,
+			"labels spread into Registry.%s with … cannot be checked for constant keys; pass them pairwise", method)
+		return
+	}
+	// Label pairs: keys (even offsets) must be constant; values may
+	// vary — bounded classification is the caller's responsibility.
+	for i := start; i < len(call.Args); i += 2 {
+		if !isConst(pass, call.Args[i]) {
+			pass.Reportf(call.Args[i].Pos(),
+				"label key passed to Registry.%s must be a compile-time constant", method)
+		}
+	}
+}
+
+// checkSecondsArg flags Observe arguments that are recognizably not in
+// seconds: converted time.Durations (raw nanoseconds) and the
+// Milliseconds / Microseconds / Nanoseconds accessors, through any
+// number of numeric conversions. (Use Duration.Seconds() or
+// Histogram.ObserveDuration.)
+func checkSecondsArg(pass *Pass, arg ast.Expr) {
+	e := ast.Unparen(arg)
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if isConversion(pass, call) && len(call.Args) == 1 {
+			if isDuration(pass.TypeOf(call.Args[0])) {
+				pass.Reportf(arg.Pos(),
+					"observing a converted time.Duration records nanoseconds; use .Seconds() or ObserveDuration")
+				return
+			}
+			e = ast.Unparen(call.Args[0])
+			continue
+		}
+		if fn := calleeFunc(pass.Info, call); fn != nil {
+			switch fn.Name() {
+			case "Milliseconds", "Microseconds", "Nanoseconds":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isDuration(sig.Recv().Type()) {
+					pass.Reportf(arg.Pos(),
+						"observing Duration.%s() is not in seconds; use .Seconds() or ObserveDuration", fn.Name())
+				}
+			}
+		}
+		return
+	}
+}
+
+// isConst reports whether e has a compile-time constant value.
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	return typeIsNamed(t, "time", "Duration")
+}

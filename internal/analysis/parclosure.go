@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ParClosure re-enforces the PR 3 escape-analysis rule: Go's escape
+// analysis is flow-insensitive, so a function literal passed to par.For
+// is heap-allocated even on the workers==1 path that never spawns a
+// goroutine. The scratch arena's ≤4-allocs steady state only survives if
+// every such literal is either replaced by a named method value or kept
+// behind a branch that proves workers > 1 (the sequential path then
+// calls a literal-free body).
+var ParClosure = &Analyzer{
+	Name: "parclosure",
+	Doc: "function literals passed to par.For must be reachable only " +
+		"under a workers > 1 guard",
+	Run: runParClosure,
+}
+
+const parPkgPath = "ftclust/internal/par"
+
+func runParClosure(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(pass.Info, call), parPkgPath, "For") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok && !guardedParallel(stack) {
+					pass.Reportf(lit.Pos(),
+						"function literal passed to par.For outside a workers > 1 guard: escape analysis heap-allocates it even on the sequential path (use a named method, or branch on workers)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedParallel reports whether the innermost enclosing if/else chain
+// proves workers > 1 on the path containing the call.
+func guardedParallel(stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		ifst, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// Which branch is the call under?
+		if i+1 < len(stack) {
+			switch stack[i+1] {
+			case ifst.Body:
+				if impliesParallel(ifst.Cond) {
+					return true
+				}
+			case ifst.Else:
+				if impliesSequential(ifst.Cond) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// impliesParallel reports whether cond being true proves a worker count
+// above one: workers > 1, workers >= 2, or a conjunction containing one.
+func impliesParallel(cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LAND:
+		return impliesParallel(b.X) || impliesParallel(b.Y)
+	case token.LOR:
+		return impliesParallel(b.X) && impliesParallel(b.Y)
+	case token.GTR: // workers > 1
+		return workersLike(b.X) && isIntLit(b.Y, "1")
+	case token.GEQ: // workers >= 2
+		return workersLike(b.X) && isIntLit(b.Y, "2")
+	case token.LSS: // 1 < workers
+		return isIntLit(b.X, "1") && workersLike(b.Y)
+	case token.LEQ: // 2 <= workers
+		return isIntLit(b.X, "2") && workersLike(b.Y)
+	}
+	return false
+}
+
+// impliesSequential reports whether cond being FALSE (the else branch)
+// proves workers > 1: workers <= 1, workers < 2, and mirrors.
+func impliesSequential(cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch b.Op {
+	case token.LOR:
+		return impliesSequential(b.X) || impliesSequential(b.Y)
+	case token.LEQ: // workers <= 1
+		return workersLike(b.X) && isIntLit(b.Y, "1")
+	case token.LSS: // workers < 2
+		return workersLike(b.X) && isIntLit(b.Y, "2")
+	case token.GEQ: // 1 >= workers
+		return isIntLit(b.X, "1") && workersLike(b.Y)
+	case token.GTR: // 2 > workers
+		return isIntLit(b.X, "2") && workersLike(b.Y)
+	}
+	return false
+}
+
+// isIntLit reports whether e is the integer literal text.
+func isIntLit(e ast.Expr, text string) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == text
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchAlias enforces the WithScratch aliasing contract (PR 3): slices
+// inside a Scratch arena — and the arena-backed fields of the solver
+// result types built from one — are overwritten by the next solve
+// through the same Scratch. They may be read freely inside the
+// documented window, but storing one into a struct field, a package
+// variable, or a channel keeps it past that window and must go through
+// an explicit copy (append([]T(nil), s…), slices.Clone, or copy).
+//
+// internal/core itself is out of scope: it is the arena's
+// implementation, and wiring scratch buffers into the layout and result
+// structs is its whole job. Every package that consumes core — including
+// the ftclust façade, which re-wraps core results — is in scope, and the
+// façade's own intentional rewrap sites carry //ftlint:allow waivers
+// that state the contract.
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc: "flag retention of Scratch-derived or solver-result slices in " +
+		"fields, globals, composite literals, or channels without a copy",
+	Run: runScratchAlias,
+}
+
+// aliasedTypes are the named types whose slice-typed fields alias a
+// solver arena (or may, when the solve was scratch-backed).
+var aliasedTypes = map[[2]string]bool{
+	{"ftclust", "Solution"}:                       true,
+	{"ftclust", "Scratch"}:                        true,
+	{"ftclust/internal/core", "Scratch"}:          true,
+	{"ftclust/internal/core", "Result"}:           true,
+	{"ftclust/internal/core", "FractionalResult"}: true,
+	{"ftclust/internal/core", "RoundingResult"}:   true,
+	{"ftclust/internal/core", "WeightedResult"}:   true,
+}
+
+func runScratchAlias(pass *Pass) error {
+	if pass.Pkg.Path() == "ftclust/internal/core" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !isScratchDerived(pass, rhs) || i >= len(n.Lhs) {
+						continue
+					}
+					if lhs, bad := retainingLHS(pass, n.Lhs[i]); bad {
+						pass.Reportf(n.Pos(),
+							"%s stored into %s aliases a solver arena and is overwritten by the next solve; copy it first (append([]T(nil), …) or slices.Clone)",
+							types.ExprString(rhs), lhs)
+					}
+				}
+			case *ast.SendStmt:
+				if isScratchDerived(pass, n.Value) {
+					pass.Reportf(n.Pos(),
+						"%s sent on a channel aliases a solver arena and is overwritten by the next solve; send a copy",
+						types.ExprString(n.Value))
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isScratchDerived(pass, v) {
+						pass.Reportf(v.Pos(),
+							"%s placed in a composite literal aliases a solver arena and is overwritten by the next solve; copy it first",
+							types.ExprString(v))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isScratchDerived reports whether e is (a reslice of) a slice-typed
+// field selected from one of the aliased solver types.
+func isScratchDerived(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	for {
+		// A reslice still aliases the arena; an element read does not.
+		if x, ok := e.(*ast.SliceExpr); ok {
+			e = ast.Unparen(x.X)
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// The selected field must itself be slice-typed…
+	if t := pass.TypeOf(sel); t == nil {
+		return false
+	} else if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	// …on a value of one of the aliased named types.
+	named := namedType(pass.TypeOf(sel.X))
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return aliasedTypes[[2]string{obj.Pkg().Path(), obj.Name()}]
+}
+
+// retainingLHS reports whether assigning to lhs retains the value past
+// the current scope: a struct-field or element write, or a package-level
+// variable. Plain locals are fine — they die with the frame.
+func retainingLHS(pass *Pass, lhs ast.Expr) (string, bool) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "field " + types.ExprString(x), true
+	case *ast.IndexExpr:
+		return "element " + types.ExprString(x), true
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(x)
+		if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			return "package variable " + x.Name, true
+		}
+	}
+	return "", false
+}

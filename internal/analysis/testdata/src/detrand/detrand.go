@@ -1,0 +1,59 @@
+// Fixture for the detrand analyzer: the only sanctioned randomness is a
+// seeded *rand.Rand threaded from options, and wall clocks are banned.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badGlobals draws from the process-global math/rand source.
+func badGlobals(n int) int {
+	x := rand.Intn(n)                  // want `rand.Intn draws from the global math/rand source`
+	f := rand.Float64()                // want `rand.Float64 draws from the global math/rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the global math/rand source`
+	return x + int(f)
+}
+
+// badWallClock reads the wall clock.
+func badWallClock() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// badOpaqueNew hides where the seed comes from.
+func badOpaqueNew(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand.New with an opaque source`
+}
+
+// badTimeSeed is the classic time-seeded generator; the wall-clock read
+// itself is the finding.
+func badTimeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now reads the wall clock`
+}
+
+// goodSeeded is the sanctioned construction: an explicit seed.
+func goodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// goodThreaded consumes a threaded *rand.Rand; method calls are fine.
+func goodThreaded(r *rand.Rand, n int) int {
+	p := r.Perm(n)
+	return p[0] + r.Intn(n)
+}
+
+// goodDurations does arithmetic on durations without reading a clock.
+func goodDurations(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// allowedGlobal shows the escape hatch: the waiver names the check and
+// carries a mandatory reason, on the preceding line or trailing the
+// statement itself.
+func allowedGlobal() int {
+	//ftlint:allow detrand fixture demonstrating a reasoned waiver
+	a := rand.Int()
+	b := rand.Int() //ftlint:allow detrand trailing waiver form
+	return a + b
+}

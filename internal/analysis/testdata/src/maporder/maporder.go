@@ -1,0 +1,124 @@
+// Fixture for the maporder analyzer: map iteration order must not
+// escape into outputs, streams, metrics, or channels.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// badAppendUnsorted collects keys but never sorts them.
+func badAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys, which is never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badWriter streams values in iteration order.
+func badWriter(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map`
+	}
+}
+
+// badBuffer writes into a buffer in iteration order.
+func badBuffer(m map[string]bool) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want `Buffer.WriteString inside range over map`
+	}
+	return b.String()
+}
+
+// badConcat builds a string in iteration order.
+func badConcat(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation inside range over map`
+	}
+	return s
+}
+
+// badChannel leaks order to whoever drains the channel.
+func badChannel(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// badFieldAppend appends into a struct field, which cannot be checked
+// for a later sort.
+type collector struct{ out []int }
+
+func badFieldAppend(c *collector, m map[int]bool) {
+	for k := range m { // keep the loop var used
+		if k >= 0 {
+			c.out = append(c.out, k) // want `append to non-local c.out inside range over map`
+		}
+	}
+}
+
+// goodSortedKeys is the canonical fix: collect, sort, then use.
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodLocalSortHelper factors the sort into a package-local wrapper; the
+// callee's name says it sorts, so the collect-then-sort idiom still holds.
+func goodLocalSortHelper(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// goodCommutative accumulates order-insensitively.
+func goodCommutative(m map[string]int) (int, map[string]bool) {
+	sum := 0
+	seen := make(map[string]bool)
+	max := 0
+	for k, v := range m {
+		sum += v
+		seen[k] = true
+		if v > max {
+			max = v
+		}
+	}
+	return sum + max, seen
+}
+
+// goodLoopLocal appends to a slice that dies with each iteration.
+func goodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// allowedRange shows a reasoned waiver on the range statement.
+func allowedRange(m map[string]int) []string {
+	var out []string
+	//ftlint:allow maporder fixture: caller treats out as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Fixture for the obsconst analyzer: metric names, HELP text, and label
+// keys must be compile-time constants, and duration observations must be
+// in seconds.
+package obsconst
+
+import (
+	"time"
+
+	"ftclust/internal/obs"
+)
+
+const goodName = "ftclust_fixture_total"
+
+var helpVar = "help that varies" // not a constant
+
+// badDynamicName builds a series name at runtime.
+func badDynamicName(reg *obs.Registry, which string) {
+	reg.Counter("ftclust_"+which+"_total", "constant help") // want `metric name passed to Registry.Counter must be a compile-time constant`
+}
+
+// badDynamicHelp varies the HELP text.
+func badDynamicHelp(reg *obs.Registry) {
+	reg.Counter(goodName, helpVar) // want `HELP text passed to Registry.Counter must be a compile-time constant`
+}
+
+// badLabelKey computes a label key.
+func badLabelKey(reg *obs.Registry, key string) {
+	reg.Histogram("ftclust_fixture_seconds", "constant help", obs.DurationBuckets(),
+		key, "v") // want `label key passed to Registry.Histogram must be a compile-time constant`
+}
+
+// badMillis observes milliseconds into a seconds histogram.
+func badMillis(reg *obs.Registry, d time.Duration) {
+	h := reg.Histogram("ftclust_fixture_lat_seconds", "constant help", obs.DurationBuckets())
+	h.Observe(float64(d.Milliseconds())) // want `observing Duration.Milliseconds\(\) is not in seconds`
+}
+
+// badRawDuration observes raw nanoseconds.
+func badRawDuration(reg *obs.Registry, d time.Duration) {
+	h := reg.Histogram("ftclust_fixture_lat2_seconds", "constant help", obs.DurationBuckets())
+	h.Observe(float64(d)) // want `observing a converted time.Duration records nanoseconds`
+}
+
+// goodConstant registers constant series and observes seconds.
+func goodConstant(reg *obs.Registry, endpoint string, d time.Duration) {
+	c := reg.Counter(goodName, "constant help", "endpoint", endpoint)
+	c.Inc()
+	h := reg.Histogram("ftclust_fixture_ok_seconds", "constant help", obs.DurationBuckets())
+	h.Observe(d.Seconds())
+	h.ObserveDuration(d)
+}
+
+// allowedDynamic shows the reasoned waiver.
+func allowedDynamic(reg *obs.Registry, which string) {
+	//ftlint:allow obsconst fixture: name set is bounded by a compile-time table
+	reg.Counter("ftclust_"+which+"_total", "constant help")
+}

@@ -1,0 +1,77 @@
+// Fixture for the parclosure analyzer: function literals passed to
+// par.For must sit behind a workers > 1 guard so the sequential path
+// stays literal-free and allocation-free.
+package parclosure
+
+import "ftclust/internal/par"
+
+type engine struct {
+	x       []float64
+	workers int
+}
+
+// sweepRange is the sanctioned literal-free form: a named method value.
+func (e *engine) sweepRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.x[i] *= 2
+	}
+}
+
+// badUnguarded passes a literal with no guard at all.
+func badUnguarded(xs []float64, workers int) {
+	par.For(len(xs), workers, func(lo, hi int) { // want `function literal passed to par.For outside a workers > 1 guard`
+		for i := lo; i < hi; i++ {
+			xs[i]++
+		}
+	})
+}
+
+// badWrongGuard guards on the wrong predicate.
+func badWrongGuard(xs []float64, workers int) {
+	if workers > 0 {
+		par.For(len(xs), workers, func(lo, hi int) { // want `function literal passed to par.For outside a workers > 1 guard`
+			for i := lo; i < hi; i++ {
+				xs[i]++
+			}
+		})
+	}
+}
+
+// goodGuarded branches so the literal only exists on the parallel path.
+func goodGuarded(e *engine) {
+	n := len(e.x)
+	if e.workers > 1 {
+		par.For(n, e.workers, func(lo, hi int) {
+			e.sweepRange(lo, hi)
+		})
+	} else {
+		e.sweepRange(0, n)
+	}
+}
+
+// goodElseGuarded is the inverted branch shape.
+func goodElseGuarded(e *engine) {
+	n := len(e.x)
+	if e.workers <= 1 {
+		e.sweepRange(0, n)
+	} else {
+		par.For(n, e.workers, func(lo, hi int) {
+			e.sweepRange(lo, hi)
+		})
+	}
+}
+
+// goodMethodValue needs no guard: a method value is not a literal.
+func goodMethodValue(e *engine) {
+	par.For(len(e.x), e.workers, e.sweepRange)
+}
+
+// allowedUnguarded shows the reasoned waiver.
+func allowedUnguarded(xs []float64, workers int) {
+	//ftlint:allow parclosure fixture: cold path, allocation is acceptable
+	par.For(len(xs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i]++
+		}
+	})
+}

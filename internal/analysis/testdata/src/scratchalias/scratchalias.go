@@ -1,0 +1,65 @@
+// Fixture for the scratchalias analyzer: arena-backed Solution slices
+// may not be retained past the documented WithScratch window without an
+// explicit copy.
+package scratchalias
+
+import "ftclust"
+
+type cacheEntry struct {
+	mask    []bool
+	members []ftclust.NodeID
+}
+
+var lastMask []bool
+
+// badField stores the arena-backed mask into a struct field.
+func badField(c *cacheEntry, sol *ftclust.Solution) {
+	c.mask = sol.InSet // want `sol.InSet stored into field c.mask aliases a solver arena`
+}
+
+// badGlobal parks it in a package variable.
+func badGlobal(sol *ftclust.Solution) {
+	lastMask = sol.InSet // want `sol.InSet stored into package variable lastMask aliases a solver arena`
+}
+
+// badReslice still aliases the same backing array.
+func badReslice(c *cacheEntry, sol *ftclust.Solution, n int) {
+	c.mask = sol.InSet[:n] // want `stored into field c.mask aliases a solver arena`
+}
+
+// badComposite hides the retention inside a literal.
+func badComposite(sol *ftclust.Solution) *cacheEntry {
+	return &cacheEntry{mask: sol.InSet} // want `sol.InSet placed in a composite literal aliases a solver arena`
+}
+
+// badChannel hands the alias to another goroutine.
+func badChannel(ch chan []bool, sol *ftclust.Solution) {
+	ch <- sol.InSet // want `sol.InSet sent on a channel aliases a solver arena`
+}
+
+// goodCopy is the sanctioned form: copy before retaining.
+func goodCopy(c *cacheEntry, sol *ftclust.Solution) {
+	c.mask = append([]bool(nil), sol.InSet...)
+	c.members = append([]ftclust.NodeID(nil), sol.Members...)
+}
+
+// goodLocalRead uses the slices inside the window: locals, lengths, and
+// element reads are all fine.
+func goodLocalRead(sol *ftclust.Solution) int {
+	mask := sol.InSet
+	n := 0
+	for _, in := range mask {
+		if in {
+			n++
+		}
+	}
+	if len(sol.Members) > 0 && sol.InSet[0] {
+		n++
+	}
+	return n
+}
+
+// allowedRetention shows the reasoned waiver.
+func allowedRetention(c *cacheEntry, sol *ftclust.Solution) {
+	c.mask = sol.InSet //ftlint:allow scratchalias fixture: single-solve program, arena never reused
+}

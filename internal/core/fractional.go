@@ -222,27 +222,20 @@ func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, worker
 	st.z = growZero(st.z, n)
 	st.alpha = growZero(st.alpha, len(lay.adj))
 	st.beta = growZero(st.beta, len(lay.adj))
-	fillTables := func(dst, rec []float64, delta int) {
-		d1 := float64(delta + 1)
-		for e := 0; e < t; e++ {
-			dst[e] = math.Pow(d1, float64(e)/float64(t))
-			rec[e] = 1 / dst[e]
-		}
-	}
 	if deltas == nil {
 		st.perNode = false
 		st.thresh = growNoClear(st.thresh, t)
 		st.inc = growNoClear(st.inc, t)
-		fillTables(st.thresh, st.inc, globalDelta)
+		fillPowTables(st.thresh, st.inc, globalDelta, t)
 	} else {
 		st.perNode = true
 		st.thresh = growNoClear(st.thresh, n*t)
 		st.inc = growNoClear(st.inc, n*t)
-		par.For(n, workers, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				fillTables(st.thresh[v*t:(v+1)*t], st.inc[v*t:(v+1)*t], deltas[v])
-			}
-		})
+		if workers > 1 {
+			par.For(n, workers, func(lo, hi int) { st.fillNodeTables(deltas, lo, hi) })
+		} else {
+			st.fillNodeTables(deltas, 0, n)
+		}
 	}
 	for v := 0; v < n; v++ {
 		size := lay.size(v)
@@ -251,6 +244,23 @@ func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, worker
 		st.dyn[v] = int32(size)
 	}
 	return st
+}
+
+// fillPowTables fills dst[e] = (δ+1)^{e/t} and rec[e] = its reciprocal.
+func fillPowTables(dst, rec []float64, delta, t int) {
+	d1 := float64(delta + 1)
+	for e := 0; e < t; e++ {
+		dst[e] = math.Pow(d1, float64(e)/float64(t))
+		rec[e] = 1 / dst[e]
+	}
+}
+
+// fillNodeTables fills the per-node threshold tables for nodes [lo, hi).
+func (st *fracState) fillNodeTables(deltas []int, lo, hi int) {
+	t := st.t
+	for v := lo; v < hi; v++ {
+		fillPowTables(st.thresh[v*t:(v+1)*t], st.inc[v*t:(v+1)*t], deltas[v], t)
+	}
 }
 
 // threshAt returns (Δ_v+1)^{e/t}; incAt its reciprocal.

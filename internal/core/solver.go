@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"ftclust/internal/graph"
 	"ftclust/internal/obs"
@@ -94,14 +93,14 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	// Phase instrumentation: clocks and the runtime alloc counter are read
 	// only when an observer is installed, so the nil-observer path stays
 	// branch-only (the scratch steady state depends on it).
-	var ph *phaseClock
+	var ph *obs.PhaseClock
 	if opts.Observer != nil {
-		ph = newPhaseClock(opts.Observer)
+		ph = obs.NewPhaseClock(opts.Observer)
 	}
 
 	// One closed-neighborhood layout shared by both phases.
 	lay := layoutFor(g, opts.Scratch)
-	ph.start()
+	ph.Start()
 	frac, err := solveFractionalWithLayout(g, lay, k, FractionalOptions{
 		T:          opts.T,
 		LocalDelta: opts.LocalDelta,
@@ -112,7 +111,7 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ph.end("fractional", frac.LoopRounds)
+	ph.End("fractional", frac.LoopRounds)
 	rounded, err := roundWithLayout(lay, k, frac.X, frac.Delta, RoundingOptions{
 		Seed:       opts.Seed,
 		SkipRepair: opts.SkipRepair,
@@ -125,7 +124,7 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 	}
 	// The +4 of the pipeline's round accounting (guarantee sweep +
 	// rounding) belongs to this phase.
-	ph.end("rounding", 4)
+	ph.End("rounding", 4)
 	res := Result{
 		InSet:      rounded.InSet,
 		Fractional: frac,
@@ -133,7 +132,7 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		K:          k,
 	}
 	res.Feasible = verify.CheckKFoldVector(g, rounded.InSet, k, verify.ClosedPP) == nil
-	ph.end("verify", 0)
+	ph.End("verify", 0)
 	if o := opts.Observer; o != nil && o.OnDone != nil {
 		passes := 1
 		if !opts.SkipRepair {
@@ -160,47 +159,4 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		return res, fmt.Errorf("core: internal error: repaired solution infeasible")
 	}
 	return res, nil
-}
-
-// phaseClock times consecutive solver phases for an observer. A nil
-// phaseClock is a no-op, so the solver body needs no per-call guards.
-type phaseClock struct {
-	o      *obs.SolveObserver
-	ac     *obs.AllocCounter
-	mark   time.Time
-	allocs uint64
-}
-
-func newPhaseClock(o *obs.SolveObserver) *phaseClock {
-	ph := &phaseClock{o: o, ac: obs.NewAllocCounter()}
-	ph.start()
-	return ph
-}
-
-// start (re)arms the clock at a phase boundary.
-func (ph *phaseClock) start() {
-	if ph == nil {
-		return
-	}
-	ph.mark = time.Now()
-	ph.allocs = ph.ac.Count()
-}
-
-// end closes the current phase, emits it, and re-arms for the next.
-func (ph *phaseClock) end(name string, rounds int) {
-	if ph == nil {
-		return
-	}
-	now := time.Now()
-	allocs := ph.ac.Count()
-	if ph.o.OnPhase != nil {
-		ph.o.OnPhase(obs.PhaseInfo{
-			Name:         name,
-			Duration:     now.Sub(ph.mark),
-			Rounds:       rounds,
-			AllocObjects: allocs - ph.allocs,
-		})
-	}
-	ph.mark = now
-	ph.allocs = allocs
 }

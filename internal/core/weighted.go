@@ -155,30 +155,17 @@ func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMa
 			}
 			thresholdS := sP(p)
 			incQ := inc(q)
-			par.For(n, workers, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					xPlus[v] = 0
-					if x[v] < 1 && float64(dyn[v])/costs[v] >= thresholdS {
-						xp := math.Min(incQ, 1-x[v])
-						xPlus[v] = xp
-						x[v] += xp
-					}
-				}
-			})
-			par.For(n, workers, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					if !white[v] {
-						continue
-					}
-					for _, w := range lay.closed(v) {
-						cov[v] += xPlus[w]
-					}
-					if cov[v] >= k[v] {
-						white[v] = false
-						turned[v] = true
-					}
-				}
-			})
+			if workers > 1 {
+				par.For(n, workers, func(lo, hi int) {
+					weightedRaiseSweep(lo, hi, x, xPlus, costs, dyn, thresholdS, incQ)
+				})
+				par.For(n, workers, func(lo, hi int) {
+					weightedCoverSweep(lo, hi, lay, k, xPlus, cov, white, turned)
+				})
+			} else {
+				weightedRaiseSweep(0, n, x, xPlus, costs, dyn, thresholdS, incQ)
+				weightedCoverSweep(0, n, lay, k, xPlus, cov, white, turned)
+			}
 			// Incremental dynamic-degree maintenance, amortized O(Δ) per
 			// color flip over the whole run (replaces the per-iteration
 			// O(n·Δ) rescan).
@@ -208,6 +195,88 @@ func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMa
 	return x, 2 * t * t, nil
 }
 
+// weightedRaiseSweep applies the effectiveness-threshold test to nodes
+// [lo, hi): an unsaturated node whose cost-normalized dynamic degree
+// clears thresholdS raises its own x by incQ (clamped at 1). Each node
+// writes only its own slots, so chunks are independent.
+func weightedRaiseSweep(lo, hi int, x, xPlus, costs []float64, dyn []int32, thresholdS, incQ float64) {
+	for v := lo; v < hi; v++ {
+		xPlus[v] = 0
+		if x[v] < 1 && float64(dyn[v])/costs[v] >= thresholdS {
+			xp := math.Min(incQ, 1-x[v])
+			xPlus[v] = xp
+			x[v] += xp
+		}
+	}
+}
+
+// weightedCoverSweep accumulates this iteration's raises into each white
+// node's coverage for nodes [lo, hi) and turns nodes whose demand is met.
+// Reads xPlus (frozen by the preceding raise sweep), writes only v's own
+// cov/white/turned slots.
+func weightedCoverSweep(lo, hi int, lay *layout, k, xPlus, cov []float64, white, turned []bool) {
+	for v := lo; v < hi; v++ {
+		if !white[v] {
+			continue
+		}
+		for _, w := range lay.closed(v) {
+			cov[v] += xPlus[w]
+		}
+		if cov[v] >= k[v] {
+			white[v] = false
+			turned[v] = true
+		}
+	}
+}
+
+// weightedSampleSweep runs Algorithm 2's independent coin flips for nodes
+// [lo, hi). Each node owns a counter-based RNG stream keyed by its ID, so
+// the draw is identical regardless of chunking.
+func weightedSampleSweep(lo, hi int, x []float64, inSet []bool, lnD float64, seed int64) {
+	for v := lo; v < hi; v++ {
+		p := math.Min(1, x[v]*lnD)
+		if rng.NewStream(seed, uint64(v)+1).Float64() < p {
+			inSet[v] = true
+		}
+	}
+}
+
+// weightedRepairSweep recruits the cheapest non-member candidates for
+// every deficient node in [lo, hi). inSet is frozen and recruit slots
+// only ever receive 1 (atomically), so the sweep is order-independent.
+func weightedRepairSweep(lo, hi int, lay *layout, k, costs []float64, inSet []bool, recruit []uint32, maxClosed int) {
+	candidates := make([]graph.NodeID, 0, maxClosed)
+	for v := lo; v < hi; v++ {
+		closed := lay.closed(v)
+		covV := 0.0
+		for _, w := range closed {
+			if inSet[w] {
+				covV++
+			}
+		}
+		deficit := int(math.Ceil(k[v] - covV - 1e-12))
+		if deficit <= 0 {
+			continue
+		}
+		candidates = candidates[:0]
+		for _, w := range closed {
+			if !inSet[w] {
+				candidates = append(candidates, w)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			ci, cj := costs[candidates[i]], costs[candidates[j]]
+			if ci != cj {
+				return ci < cj
+			}
+			return candidates[i] < candidates[j]
+		})
+		for i := 0; i < deficit && i < len(candidates); i++ {
+			atomic.StoreUint32(&recruit[candidates[i]], 1)
+		}
+	}
+}
+
 // weightedRound samples like Algorithm 2 and repairs deficits with the
 // cheapest candidates.
 func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, workers int, ctx context.Context) ([]bool, error) {
@@ -217,14 +286,13 @@ func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, wo
 		return nil, err
 	}
 	inSet := make([]bool, n)
-	par.For(n, workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			p := math.Min(1, x[v]*lnD)
-			if rng.NewStream(seed, uint64(v)+1).Float64() < p {
-				inSet[v] = true
-			}
-		}
-	})
+	if workers > 1 {
+		par.For(n, workers, func(lo, hi int) {
+			weightedSampleSweep(lo, hi, x, inSet, lnD, seed)
+		})
+	} else {
+		weightedSampleSweep(0, n, x, inSet, lnD, seed)
+	}
 	// Cheapest-candidate repair: inSet is frozen, recruit slots only ever
 	// receive 1, so the sweep is order-independent (see roundWithLayout).
 	if err := checkCtx(ctx); err != nil {
@@ -232,38 +300,13 @@ func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, wo
 	}
 	recruit := make([]uint32, n)
 	maxClosed := lay.maxSize()
-	par.For(n, workers, func(lo, hi int) {
-		candidates := make([]graph.NodeID, 0, maxClosed)
-		for v := lo; v < hi; v++ {
-			closed := lay.closed(v)
-			covV := 0.0
-			for _, w := range closed {
-				if inSet[w] {
-					covV++
-				}
-			}
-			deficit := int(math.Ceil(k[v] - covV - 1e-12))
-			if deficit <= 0 {
-				continue
-			}
-			candidates = candidates[:0]
-			for _, w := range closed {
-				if !inSet[w] {
-					candidates = append(candidates, w)
-				}
-			}
-			sort.Slice(candidates, func(i, j int) bool {
-				ci, cj := costs[candidates[i]], costs[candidates[j]]
-				if ci != cj {
-					return ci < cj
-				}
-				return candidates[i] < candidates[j]
-			})
-			for i := 0; i < deficit && i < len(candidates); i++ {
-				atomic.StoreUint32(&recruit[candidates[i]], 1)
-			}
-		}
-	})
+	if workers > 1 {
+		par.For(n, workers, func(lo, hi int) {
+			weightedRepairSweep(lo, hi, lay, k, costs, inSet, recruit, maxClosed)
+		})
+	} else {
+		weightedRepairSweep(0, n, lay, k, costs, inSet, recruit, maxClosed)
+	}
 	for v := 0; v < n; v++ {
 		if recruit[v] == 1 {
 			inSet[v] = true

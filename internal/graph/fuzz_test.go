@@ -5,6 +5,65 @@ import (
 	"testing"
 )
 
+// FuzzCanonicalHash checks the digest's contract from both sides: the
+// hash is invariant under edge-list permutation and re-insertion of
+// duplicate edges (same node count + edge set ⇒ same hash), and it
+// separates graphs that differ by a single edge (different edge set ⇒
+// different hash). The raw bytes encode n plus a stream of candidate
+// endpoint pairs.
+func FuzzCanonicalHash(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{3, 0, 1, 0, 1, 1, 2}) // duplicate (0,1) in the stream
+	f.Add([]byte{1})
+	f.Add([]byte{64, 9, 33, 12, 40, 40, 12, 63, 0})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) == 0 || len(in) > 1<<10 {
+			return
+		}
+		n := int(in[0])%64 + 1
+		var edges []Edge
+		seen := make(map[Edge]bool)
+		for i := 1; i+1 < len(in); i += 2 {
+			u, v := NodeID(int(in[i])%n), NodeID(int(in[i+1])%n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := Edge{u, v}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+
+		g1 := MustFromEdges(n, edges)
+		want := g1.CanonicalHash()
+
+		// Permuted insertion order plus interleaved duplicates must not
+		// change the digest: the CSR canonicalizes both away.
+		b := NewBuilder(n)
+		for i := len(edges) - 1; i >= 0; i-- {
+			if err := b.AddEdge(edges[i].U, edges[i].V); err != nil {
+				t.Fatalf("AddEdge(%v): %v", edges[i], err)
+			}
+			b.TryAddEdge(edges[i].V, edges[i].U) // duplicate, silently skipped
+		}
+		if got := b.Build().CanonicalHash(); got != want {
+			t.Fatalf("hash differs under edge permutation: %s vs %s", got, want)
+		}
+
+		// Dropping any one edge must change the digest.
+		if len(edges) > 0 {
+			g3 := MustFromEdges(n, edges[1:])
+			if g3.CanonicalHash() == want {
+				t.Fatalf("hash unchanged after removing edge %v", edges[0])
+			}
+		}
+	})
+}
+
 // FuzzRead ensures the graph codec never panics and that anything it
 // accepts re-encodes to a parseable, equivalent graph.
 func FuzzRead(f *testing.F) {

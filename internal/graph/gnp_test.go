@@ -78,8 +78,8 @@ func TestGnpEdgeCases(t *testing.T) {
 // distribution is off, not bad luck.
 func TestGnpEdgeCountConcentration(t *testing.T) {
 	for _, tc := range []struct {
-		n    int
-		p    float64
+		n int
+		p float64
 	}{
 		{2000, 0.004}, {1000, 0.05}, {300, 0.3}, {120, 0.8},
 	} {

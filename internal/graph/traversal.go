@@ -128,18 +128,25 @@ func (g *Graph) MaxDegreeWithinHops(k int) []int {
 		copy(next, cur)
 		// Each relaxation round only reads cur and writes next[v], so the
 		// sweep fans out over the worker pool; max is order-independent.
-		par.For(g.n, runtime.GOMAXPROCS(0), func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				for _, w := range g.Neighbors(NodeID(v)) {
-					if cur[w] > next[v] {
-						next[v] = cur[w]
-					}
-				}
-			}
-		})
+		if workers := runtime.GOMAXPROCS(0); workers > 1 {
+			par.For(g.n, workers, func(lo, hi int) { g.relaxMaxDegree(cur, next, lo, hi) })
+		} else {
+			g.relaxMaxDegree(cur, next, 0, g.n)
+		}
 		cur = next
 	}
 	return cur
+}
+
+// relaxMaxDegree runs one max-propagation step for nodes [lo, hi).
+func (g *Graph) relaxMaxDegree(cur, next []int, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		for _, w := range g.Neighbors(NodeID(v)) {
+			if cur[w] > next[v] {
+				next[v] = cur[w]
+			}
+		}
+	}
 }
 
 func sortNodeIDs(s []NodeID) {

@@ -93,3 +93,52 @@ func (a *AllocCounter) Count() uint64 {
 	}
 	return a.s[0].Value.Uint64()
 }
+
+// PhaseClock times consecutive solver phases for a SolveObserver. It
+// lives here — not in the solver — because internal/core is a
+// determinism-critical package where ftlint's detrand check bans
+// wall-clock reads: the solver only marks phase boundaries, and the
+// observer layer owns the clock. A nil PhaseClock is a no-op, so the
+// solver body needs no per-call guards and the nil-observer path reads
+// no clocks at all.
+type PhaseClock struct {
+	o      *SolveObserver
+	ac     *AllocCounter
+	mark   time.Time
+	allocs uint64
+}
+
+// NewPhaseClock returns an armed clock reporting to o.
+func NewPhaseClock(o *SolveObserver) *PhaseClock {
+	ph := &PhaseClock{o: o, ac: NewAllocCounter()}
+	ph.Start()
+	return ph
+}
+
+// Start (re)arms the clock at a phase boundary.
+func (ph *PhaseClock) Start() {
+	if ph == nil {
+		return
+	}
+	ph.mark = time.Now()
+	ph.allocs = ph.ac.Count()
+}
+
+// End closes the current phase, emits it, and re-arms for the next.
+func (ph *PhaseClock) End(name string, rounds int) {
+	if ph == nil {
+		return
+	}
+	now := time.Now()
+	allocs := ph.ac.Count()
+	if ph.o.OnPhase != nil {
+		ph.o.OnPhase(PhaseInfo{
+			Name:         name,
+			Duration:     now.Sub(ph.mark),
+			Rounds:       rounds,
+			AllocObjects: allocs - ph.allocs,
+		})
+	}
+	ph.mark = now
+	ph.allocs = allocs
+}

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzSolveRequestDecode drives arbitrary bytes through the full
+// POST /v1/solve path — size cap, strict JSON decode, instance
+// validation, solve — and asserts the decode layer's contract: the
+// handler never panics, every outcome is a documented status code, and
+// every response body is well-formed JSON (a SolutionJSON on 200, an
+// errorBody otherwise). Solves are kept cheap by capping MaxNodes.
+func FuzzSolveRequestDecode(f *testing.F) {
+	s := New(Config{
+		Workers:      2,
+		MaxNodes:     128,
+		MaxBodyBytes: 1 << 12,
+		SolveTimeout: 5 * time.Second,
+		CacheSize:    -1, // every input exercises the full path, not the cache
+	})
+	f.Cleanup(func() { s.Shutdown(context.Background()) })
+	h := s.Handler()
+
+	f.Add([]byte(`{"graph":{"n":3,"edges":[[0,1],[1,2]]},"k":1}`))
+	f.Add([]byte(`{"family":{"name":"gnp","n":20,"degree":4,"seed":7},"k":2}`))
+	f.Add([]byte(`{"graph":{"n":2,"edges":[[0,0]]},"k":1}`)) // self-loop
+	f.Add([]byte(`{"k":1}`))                                 // neither graph nor family
+	f.Add([]byte(`{"graph":{"n":-5},"k":1}`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+
+		switch rec.Code {
+		case http.StatusOK,
+			http.StatusBadRequest,
+			http.StatusRequestEntityTooLarge,
+			http.StatusInternalServerError,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("undocumented status %d for body %q", rec.Code, body)
+		}
+
+		if rec.Code == http.StatusOK {
+			var sol SolutionJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &sol); err != nil {
+				t.Fatalf("200 body is not a SolutionJSON: %v", err)
+			}
+			return
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("status %d body %q is not an errorBody: %v", rec.Code, rec.Body.Bytes(), err)
+		}
+		if eb.Error == "" {
+			t.Fatalf("status %d carries an empty error message", rec.Code)
+		}
+	})
+}

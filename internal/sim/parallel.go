@@ -14,11 +14,21 @@ import (
 // because the merge order in run() is by node ID, not completion order.
 func (nw *Network) stepAll(progs []Program, rnds []*rand.Rand,
 	inboxes [][]Envelope, done []bool, outs [][]delivery, round int) {
-	par.For(len(progs), runtime.GOMAXPROCS(0), func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
-		}
-	})
+	if workers := runtime.GOMAXPROCS(0); workers > 1 {
+		par.For(len(progs), workers, func(lo, hi int) {
+			nw.stepRange(lo, hi, progs, rnds, inboxes, done, outs, round)
+		})
+	} else {
+		nw.stepRange(0, len(progs), progs, rnds, inboxes, done, outs, round)
+	}
+}
+
+// stepRange steps nodes [lo, hi) within one round.
+func (nw *Network) stepRange(lo, hi int, progs []Program, rnds []*rand.Rand,
+	inboxes [][]Envelope, done []bool, outs [][]delivery, round int) {
+	for v := lo; v < hi; v++ {
+		nw.stepOne(v, progs, rnds, inboxes, done, outs, round)
+	}
 }
 
 // Crashes is a convenience constructor for WithCrashes: it crashes each
