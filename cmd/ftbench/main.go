@@ -49,6 +49,7 @@ func run() error {
 		outDir       = flag.String("o", ".", "directory for CSV output")
 		benchJSON    = flag.String("bench-json", "", "benchmark the core engines and write this JSON report instead of running experiments")
 		pipelineJSON = flag.String("pipeline-json", "", "benchmark the request→solution pipeline and write this JSON report instead of running experiments")
+		repairJSON   = flag.String("repair-json", "", "benchmark incremental repair vs full re-solve and write this JSON report instead of running experiments")
 		doTrace      = flag.Bool("trace", false, "run one instrumented solve and print its per-phase span breakdown instead of experiments")
 	)
 	flag.Parse()
@@ -58,6 +59,9 @@ func run() error {
 	}
 	if *pipelineJSON != "" {
 		return runPipelineJSON(*pipelineJSON, *scale)
+	}
+	if *repairJSON != "" {
+		return runRepairJSON(*repairJSON, *scale, *seed)
 	}
 	if *doTrace {
 		return runTrace(*seed, *scale)

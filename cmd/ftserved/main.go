@@ -64,6 +64,7 @@ func run() error {
 		maxBody      = flag.Int64("max-body", 16<<20, "max request body bytes")
 		maxNodes     = flag.Int("max-nodes", 1<<20, "max nodes per instance")
 		solveThreads = flag.Int("solve-threads", 1, "parallel sweep workers per solve")
+		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "idle-session lifetime before the janitor sweeps it (negative disables)")
 		drain        = flag.Duration("drain", 30*time.Second, "shutdown drain deadline")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		slowMs       = flag.Int("slow-ms", 0, "warn-log requests slower than this many ms (0 disables)")
@@ -86,6 +87,7 @@ func run() error {
 		MaxBodyBytes: *maxBody,
 		MaxNodes:     *maxNodes,
 		SolveThreads: *solveThreads,
+		SessionTTL:   *sessionTTL,
 		Logger:       logger,
 		SlowRequest:  time.Duration(*slowMs) * time.Millisecond,
 		TraceRing:    *traceRing,

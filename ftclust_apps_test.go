@@ -67,6 +67,89 @@ func TestRepairAfterFailuresPublic(t *testing.T) {
 	}
 }
 
+func TestChurnEnginePublic(t *testing.T) {
+	pts := UniformDeployment(300, 4, 6)
+	sol, g, err := SolveUDGKMDS(pts, 2, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewChurnEngine(g, sol, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill a quarter of the heads in one transactional batch.
+	dead := sol.Members[:len(sol.Members)/4]
+	p, err := e.Apply(FailOp(dead...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NewlyDead != len(dead) || p.LostHeads != len(dead) {
+		t.Fatalf("patch after head wipe: %+v", p)
+	}
+	if p.Touched == 0 || p.Touched >= e.N() {
+		t.Fatalf("Touched = %d, want damage-local (0 < touched < n=%d)", p.Touched, e.N())
+	}
+	for _, v := range dead {
+		if !e.IsDead(v) || e.Solution().InSet[v] {
+			t.Fatalf("dead head %d still live or in set", v)
+		}
+	}
+
+	// Topology churn: add a node, wire it in, drop an edge.
+	p, err = e.Apply(AddNodeOp(), AddEdgeOp(NodeID(g.NumNodes()), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.AddedNodes) != 1 || p.AddedNodes[0] != NodeID(g.NumNodes()) {
+		t.Fatalf("AddedNodes = %v", p.AddedNodes)
+	}
+	if e.N() != g.NumNodes()+1 {
+		t.Fatalf("N = %d after add_node", e.N())
+	}
+
+	// An invalid batch (valid prefix, bad tail) must change nothing.
+	before := e.Solution()
+	preDrift, preDead := e.Drift(), e.DeadCount()
+	if _, err := e.Apply(ReviveOp(dead[0]), FailOp(NodeID(1_000_000))); err == nil {
+		t.Fatal("out-of-range fail accepted")
+	}
+	after := e.Solution()
+	for v := range before.InSet {
+		if before.InSet[v] != after.InSet[v] {
+			t.Fatalf("rejected batch changed membership of node %d", v)
+		}
+	}
+	if e.Drift() != preDrift || e.DeadCount() != preDead {
+		t.Fatal("rejected batch changed drift or liveness")
+	}
+
+	// Resolve adopts a certified fresh solve and compacts the overlay.
+	resolved, err := e.Resolve(WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Drift() != 0 {
+		t.Fatalf("Drift = %d after Resolve", e.Drift())
+	}
+	if resolved.Size() == 0 || resolved.Size() != e.Size() {
+		t.Fatalf("resolved size %d vs engine size %d", resolved.Size(), e.Size())
+	}
+	for _, v := range dead {
+		if resolved.InSet[v] {
+			t.Fatalf("Resolve promoted dead node %d", v)
+		}
+	}
+
+	// The engine keeps absorbing churn after adoption.
+	if _, err := e.Apply(ReviveOp(dead...)); err != nil {
+		t.Fatal(err)
+	}
+	if e.DeadCount() != 0 {
+		t.Fatalf("DeadCount = %d after revival", e.DeadCount())
+	}
+}
+
 func TestRouteLengthPublic(t *testing.T) {
 	pts := UniformDeployment(250, 4, 3)
 	sol, g, err := SolveUDGKMDS(pts, 1, WithSeed(7))

@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Overlay is a mutable view over an immutable base Graph: a per-node delta
+// adjacency (edges added since the base was built, base edges deleted
+// since) plus appended nodes. It is the topology substrate of the
+// incremental churn engine: a long-lived session applies streams of
+// add_edge / del_edge / add_node deltas without rebuilding the CSR, and
+// iteration merges base and delta lists in ascending order so every
+// consumer sees the same deterministic neighbor order a compacted CSR
+// would give. When the accumulated drift exceeds a bound the owner calls
+// Compact, which folds the deltas into a fresh CSR with identical node
+// IDs, and starts a new (empty) overlay on top of it.
+//
+// Overlay is not safe for concurrent use; sessions serialize access.
+type Overlay struct {
+	base *Graph
+	n    int // ≥ base.n; nodes base.n … n-1 were appended
+	m    int // current undirected edge count
+
+	// add[v] holds v's neighbors over edges added since base, sorted
+	// ascending; del[v] holds v's base neighbors removed since base,
+	// sorted ascending. Both are nil for untouched nodes. An edge is
+	// present iff (in base and not in del) or in add.
+	add [][]NodeID
+	del [][]NodeID
+
+	// addEdges/delEdges count undirected delta edges currently in force
+	// (re-adding a deleted base edge cancels the deletion and vice versa),
+	// so addEdges+delEdges is the exact CSR drift.
+	addEdges int
+	delEdges int
+}
+
+// NewOverlay starts an empty overlay over base.
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{base: base, n: base.NumNodes(), m: base.NumEdges()}
+}
+
+// Base returns the underlying immutable CSR.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// NumNodes returns the current node count (base nodes plus appended ones).
+func (o *Overlay) NumNodes() int { return o.n }
+
+// NumEdges returns the current undirected edge count.
+func (o *Overlay) NumEdges() int { return o.m }
+
+// DriftEdges returns the number of undirected delta edges in force — the
+// distance between the overlay and its base CSR. Cancelling pairs (delete
+// then re-add) contribute zero.
+func (o *Overlay) DriftEdges() int { return o.addEdges + o.delEdges }
+
+// AddedNodes returns how many nodes were appended since the base.
+func (o *Overlay) AddedNodes() int { return o.n - o.base.NumNodes() }
+
+// AddNode appends a fresh isolated node and returns its ID.
+func (o *Overlay) AddNode() NodeID {
+	v := NodeID(o.n)
+	o.n++
+	return v
+}
+
+func (o *Overlay) checkPair(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	if u < 0 || v < 0 || int(u) >= o.n || int(v) >= o.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, o.n)
+	}
+	return nil
+}
+
+// sortedContains reports whether x occurs in the ascending slice s.
+func sortedContains(s []NodeID, x NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// sortedInsert inserts x into the ascending slice s (x must be absent).
+func sortedInsert(s []NodeID, x NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// sortedRemove removes x from the ascending slice s (x must be present).
+func sortedRemove(s []NodeID, x NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// inBase reports whether (u, v) is a base edge (false for appended nodes).
+func (o *Overlay) inBase(u, v NodeID) bool {
+	return int(u) < o.base.NumNodes() && int(v) < o.base.NumNodes() && o.base.HasEdge(u, v)
+}
+
+// HasEdge reports whether (u, v) is currently an edge.
+func (o *Overlay) HasEdge(u, v NodeID) bool {
+	if u == v || u < 0 || v < 0 || int(u) >= o.n || int(v) >= o.n {
+		return false
+	}
+	if int(u) < len(o.add) && sortedContains(o.add[u], v) {
+		return true
+	}
+	if !o.inBase(u, v) {
+		return false
+	}
+	return int(u) >= len(o.del) || !sortedContains(o.del[u], v)
+}
+
+// grow makes the delta slices cover node v and returns it as an index.
+func (o *Overlay) grow(v NodeID) int {
+	for len(o.add) <= int(v) {
+		o.add = append(o.add, nil)
+		o.del = append(o.del, nil)
+	}
+	return int(v)
+}
+
+// AddEdge inserts the undirected edge (u, v); the edge must not exist.
+func (o *Overlay) AddEdge(u, v NodeID) error {
+	if err := o.checkPair(u, v); err != nil {
+		return err
+	}
+	if o.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	o.grow(u)
+	o.grow(v)
+	if o.inBase(u, v) {
+		// Re-adding a previously deleted base edge: cancel the deletion.
+		o.del[u] = sortedRemove(o.del[u], v)
+		o.del[v] = sortedRemove(o.del[v], u)
+		o.delEdges--
+	} else {
+		o.add[u] = sortedInsert(o.add[u], v)
+		o.add[v] = sortedInsert(o.add[v], u)
+		o.addEdges++
+	}
+	o.m++
+	return nil
+}
+
+// DelEdge removes the undirected edge (u, v); the edge must exist.
+func (o *Overlay) DelEdge(u, v NodeID) error {
+	if err := o.checkPair(u, v); err != nil {
+		return err
+	}
+	if !o.HasEdge(u, v) {
+		return fmt.Errorf("graph: no edge (%d,%d)", u, v)
+	}
+	o.grow(u)
+	o.grow(v)
+	if o.inBase(u, v) {
+		o.del[u] = sortedInsert(o.del[u], v)
+		o.del[v] = sortedInsert(o.del[v], u)
+		o.delEdges++
+	} else {
+		// Deleting an overlay-added edge: cancel the addition.
+		o.add[u] = sortedRemove(o.add[u], v)
+		o.add[v] = sortedRemove(o.add[v], u)
+		o.addEdges--
+	}
+	o.m--
+	return nil
+}
+
+// Degree returns v's current degree.
+func (o *Overlay) Degree(v NodeID) int {
+	d := 0
+	if int(v) < o.base.NumNodes() {
+		d = o.base.Degree(v)
+	}
+	if int(v) < len(o.add) {
+		d += len(o.add[v]) - len(o.del[v])
+	}
+	return d
+}
+
+// ForNeighbors visits v's current neighbors in ascending ID order,
+// merging the base adjacency (minus deletions) with the added edges.
+func (o *Overlay) ForNeighbors(v NodeID, fn func(w NodeID)) {
+	var base, del, added []NodeID
+	if int(v) < o.base.NumNodes() {
+		base = o.base.Neighbors(v)
+	}
+	if int(v) < len(o.add) {
+		added = o.add[v]
+		del = o.del[v]
+	}
+	ai := 0
+	di := 0
+	for _, w := range base {
+		for di < len(del) && del[di] < w {
+			di++
+		}
+		if di < len(del) && del[di] == w {
+			di++
+			continue
+		}
+		for ai < len(added) && added[ai] < w {
+			fn(added[ai])
+			ai++
+		}
+		fn(w)
+	}
+	for ; ai < len(added); ai++ {
+		fn(added[ai])
+	}
+}
+
+// AppendNeighbors appends v's current neighbors (ascending) to buf and
+// returns the extended slice; callers reuse buf to stay allocation-free.
+func (o *Overlay) AppendNeighbors(v NodeID, buf []NodeID) []NodeID {
+	o.ForNeighbors(v, func(w NodeID) { buf = append(buf, w) })
+	return buf
+}
+
+// Compact folds the overlay into a fresh CSR with identical node IDs and
+// edge set. The overlay itself is unchanged; the caller typically wraps
+// the result in a new overlay.
+func (o *Overlay) Compact() *Graph {
+	deg := make([]int32, o.n)
+	for v := 0; v < o.n; v++ {
+		deg[v] = int32(o.Degree(NodeID(v)))
+	}
+	off := make([]int32, o.n+1)
+	for v := 0; v < o.n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj := make([]NodeID, off[o.n])
+	fill := make([]int32, o.n)
+	for v := 0; v < o.n; v++ {
+		o.ForNeighbors(NodeID(v), func(w NodeID) {
+			adj[off[v]+fill[v]] = w
+			fill[v]++
+		})
+	}
+	return &Graph{n: o.n, m: o.m, off: off, adj: adj}
+}

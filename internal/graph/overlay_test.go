@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ftclust/internal/rng"
+)
+
+// overlayNeighbors collects v's neighbors through the merged iterator.
+func overlayNeighbors(o *Overlay, v NodeID) []NodeID {
+	return o.AppendNeighbors(v, nil)
+}
+
+func TestOverlayStartsEqualToBase(t *testing.T) {
+	g := GnpAvgDegree(200, 6, 1)
+	o := NewOverlay(g)
+	if o.NumNodes() != g.NumNodes() || o.NumEdges() != g.NumEdges() || o.DriftEdges() != 0 {
+		t.Fatalf("fresh overlay: n=%d m=%d drift=%d", o.NumNodes(), o.NumEdges(), o.DriftEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		got := overlayNeighbors(o, NodeID(v))
+		want := g.Neighbors(NodeID(v))
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d neighbors, want %d", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d neighbor %d: %d, want %d", v, i, got[i], want[i])
+			}
+		}
+		if o.Degree(NodeID(v)) != g.Degree(NodeID(v)) {
+			t.Fatalf("node %d degree mismatch", v)
+		}
+	}
+}
+
+func TestOverlayAddDelAndCancellation(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	o := NewOverlay(g)
+
+	if err := o.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasEdge(0, 3) || !o.HasEdge(3, 0) || o.NumEdges() != 4 || o.DriftEdges() != 1 {
+		t.Fatalf("after add: m=%d drift=%d", o.NumEdges(), o.DriftEdges())
+	}
+	if err := o.DelEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if o.HasEdge(1, 2) || o.NumEdges() != 3 || o.DriftEdges() != 2 {
+		t.Fatalf("after del: m=%d drift=%d", o.NumEdges(), o.DriftEdges())
+	}
+	// Re-adding a deleted base edge cancels the deletion…
+	if err := o.AddEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasEdge(1, 2) || o.DriftEdges() != 1 {
+		t.Fatalf("re-add did not cancel deletion: drift=%d", o.DriftEdges())
+	}
+	// …and deleting an overlay-added edge cancels the addition.
+	if err := o.DelEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if o.HasEdge(0, 3) || o.DriftEdges() != 0 || o.NumEdges() != g.NumEdges() {
+		t.Fatalf("del of added edge: drift=%d m=%d", o.DriftEdges(), o.NumEdges())
+	}
+}
+
+func TestOverlayValidation(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}})
+	o := NewOverlay(g)
+	if err := o.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := o.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := o.AddEdge(0, 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := o.DelEdge(0, 2); err == nil {
+		t.Error("deleting a missing edge accepted")
+	}
+	if err := o.DelEdge(0, -1); err == nil {
+		t.Error("deleting out-of-range accepted")
+	}
+}
+
+func TestOverlayAddNode(t *testing.T) {
+	g := MustFromEdges(2, []Edge{{0, 1}})
+	o := NewOverlay(g)
+	v := o.AddNode()
+	if v != 2 || o.NumNodes() != 3 || o.AddedNodes() != 1 {
+		t.Fatalf("AddNode: v=%d n=%d added=%d", v, o.NumNodes(), o.AddedNodes())
+	}
+	if o.Degree(v) != 0 || len(overlayNeighbors(o, v)) != 0 {
+		t.Fatal("fresh node must be isolated")
+	}
+	if err := o.AddEdge(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !o.HasEdge(0, v) || o.Degree(v) != 1 {
+		t.Fatal("edge to appended node missing")
+	}
+	got := overlayNeighbors(o, 0)
+	if !reflect.DeepEqual(got, []NodeID{1, 2}) {
+		t.Fatalf("node 0 neighbors = %v, want [1 2]", got)
+	}
+}
+
+// TestOverlayMatchesRebuiltGraph drives a random churn sequence and checks
+// the overlay against a Builder-constructed graph of the same edge set,
+// plus Compact against the same reference.
+func TestOverlayMatchesRebuiltGraph(t *testing.T) {
+	base := GnpAvgDegree(120, 5, 7)
+	o := NewOverlay(base)
+	edges := map[Edge]bool{}
+	base.Edges(func(u, v NodeID) { edges[Edge{u, v}] = true })
+	n := base.NumNodes()
+	r := rng.New(99)
+
+	for step := 0; step < 600; step++ {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u == v {
+			if r.Float64() < 0.02 {
+				o.AddNode()
+				n++
+			}
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := Edge{u, v}
+		if edges[e] {
+			if err := o.DelEdge(u, v); err != nil {
+				t.Fatalf("step %d del (%d,%d): %v", step, u, v, err)
+			}
+			delete(edges, e)
+		} else {
+			if err := o.AddEdge(u, v); err != nil {
+				t.Fatalf("step %d add (%d,%d): %v", step, u, v, err)
+			}
+			edges[e] = true
+		}
+	}
+
+	ref := rebuildFromSet(n, edges)
+	if o.NumNodes() != ref.NumNodes() || o.NumEdges() != ref.NumEdges() {
+		t.Fatalf("overlay n=%d m=%d, ref n=%d m=%d",
+			o.NumNodes(), o.NumEdges(), ref.NumNodes(), ref.NumEdges())
+	}
+	for v := 0; v < n; v++ {
+		got := overlayNeighbors(o, NodeID(v))
+		want := ref.Neighbors(NodeID(v))
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %v, want %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: %v, want %v", v, got, want)
+			}
+		}
+	}
+
+	// Compact must reproduce the same CSR (same IDs, same sorted lists).
+	c := o.Compact()
+	if c.NumNodes() != ref.NumNodes() || c.NumEdges() != ref.NumEdges() {
+		t.Fatalf("compact n=%d m=%d, ref n=%d m=%d",
+			c.NumNodes(), c.NumEdges(), ref.NumNodes(), ref.NumEdges())
+	}
+	if c.CanonicalHash() != ref.CanonicalHash() {
+		t.Fatal("compacted CSR differs from reference graph")
+	}
+	// A fresh overlay over the compacted base has zero drift and the same
+	// edge set.
+	o2 := NewOverlay(c)
+	if o2.DriftEdges() != 0 || o2.NumEdges() != c.NumEdges() {
+		t.Fatal("overlay over compacted base not clean")
+	}
+}
+
+// rebuildFromSet constructs a graph from an edge set via the Builder
+// (sorted insertion order for determinism).
+func rebuildFromSet(n int, edges map[Edge]bool) *Graph {
+	b := NewBuilder(n)
+	list := make([]Edge, 0, len(edges))
+	for e := range edges {
+		list = append(list, e)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].U != list[j].U {
+			return list[i].U < list[j].U
+		}
+		return list[i].V < list[j].V
+	})
+	for _, e := range list {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}

@@ -5,6 +5,17 @@
 // residual deficit only. This is the incremental counterpart the paper's
 // motivation calls for: a k-fold dominating set tolerates up to k−1 local
 // failures outright, and repair replenishes the budget afterwards.
+//
+// Two entry points share the promotion machinery:
+//
+//   - Repair is the one-shot API: given a mask and a failure set it runs
+//     ONE linear assessment pass to find the deficit frontier, then
+//     promotion rounds that touch only the deficient neighborhoods —
+//     never a full per-round rescan.
+//   - Engine is the streaming API: a long-lived session applies batches
+//     of topology and liveness deltas; coverage state is maintained
+//     incrementally, so each repair costs O(affected neighborhood) with
+//     no linear pass at all. BENCH_repair.json measures both claims.
 package maintain
 
 import (
@@ -21,15 +32,28 @@ type RepairResult struct {
 	Promoted int
 	// Iterations is the number of local promotion rounds used.
 	Iterations int
+	// Touched counts the distinct nodes whose coverage state the
+	// promotion rounds examined or updated — the "damage" the repair
+	// actually paid for, excluding the initial linear assessment. For
+	// localized failures this scales with the failure neighborhood, not
+	// with n.
+	Touched int
 }
 
 // Repair restores k-fold domination after failures. leader is the current
 // dominator mask; dead marks failed nodes (they neither serve nor demand
 // coverage). Every surviving node v gets min(k, live-degree+1) live
-// dominators in its closed neighborhood. The repair touches only
-// neighborhoods with a deficit: intact regions keep their heads, so the
-// incremental cost is proportional to the damage, which experiment E16
-// measures against full re-clustering.
+// dominators in its closed neighborhood.
+//
+// The implementation is worklist-driven: one linear pass computes live
+// coverage and seeds the frontier with the deficient nodes (for a mask
+// that k-covered the pre-failure graph these all sit inside the failed
+// nodes' 1-hop neighborhoods); every promotion round after that touches
+// only nodes whose coverage could still be short, updating coverage
+// incrementally as heads are promoted. Deficits never spread — promotion
+// only raises coverage — so the rounds cost O(deficit neighborhood), not
+// O(n·Δ). The result is identical to running the promotion machinery
+// globally round by round.
 func Repair(g *graph.Graph, leader []bool, dead map[graph.NodeID]bool, k int) (RepairResult, error) {
 	n := g.NumNodes()
 	if len(leader) != n {
@@ -44,66 +68,92 @@ func Repair(g *graph.Graph, leader []bool, dead map[graph.NodeID]bool, k int) (R
 	}
 	res := RepairResult{InSet: inSet}
 
-	// Live closed-neighborhood demand per node.
-	demand := make([]int, n)
+	// One linear assessment pass: live coverage, capped live demand, and
+	// the initial deficit frontier. This is the only full scan; the old
+	// implementation repeated it every promotion round.
+	cov := make([]int32, n)
+	demand := make([]int32, n)
+	var frontier []int32 // deficient nodes, ascending
 	for v := 0; v < n; v++ {
 		if dead[graph.NodeID(v)] {
 			continue
 		}
 		liveDeg := 0
+		c := 0
+		if inSet[v] {
+			c++
+		}
 		for _, w := range g.Neighbors(graph.NodeID(v)) {
 			if !dead[w] {
 				liveDeg++
-			}
-		}
-		demand[v] = minInt(k, liveDeg+1)
-	}
-
-	for iter := 0; ; iter++ {
-		// Coverage over live nodes.
-		deficitNodes := 0
-		cov := make([]int, n)
-		for v := 0; v < n; v++ {
-			if dead[graph.NodeID(v)] {
-				continue
-			}
-			if inSet[v] {
-				cov[v]++
-			}
-			for _, w := range g.Neighbors(graph.NodeID(v)) {
-				if !dead[w] && inSet[w] {
-					cov[v]++
+				if inSet[w] {
+					c++
 				}
 			}
 		}
-		for v := 0; v < n; v++ {
-			if !dead[graph.NodeID(v)] && cov[v] < demand[v] {
-				deficitNodes++
+		cov[v] = int32(c)
+		demand[v] = int32(minInt(k, liveDeg+1))
+		if cov[v] < demand[v] {
+			frontier = append(frontier, int32(v))
+		}
+	}
+
+	touched := make([]bool, n)
+	countTouch := func(v int) {
+		if !touched[v] {
+			touched[v] = true
+			res.Touched++
+		}
+	}
+
+	// Promotion rounds over the frontier only. Coverage never decreases
+	// and demand is fixed, so a node deficient in round r was deficient in
+	// round 0: the frontier is a superset of every later round's deficit
+	// set, and shrinking it in place preserves the global round-by-round
+	// behavior exactly.
+	promoted := make([]bool, n)
+	var promoList []int32
+	for iter := 0; ; iter++ {
+		// Deficits surviving into this round, in ascending ID order.
+		live := frontier[:0]
+		for _, v := range frontier {
+			if cov[v] < demand[v] {
+				live = append(live, v)
 			}
 		}
-		if deficitNodes == 0 {
+		frontier = live
+		if len(frontier) == 0 {
 			res.Iterations = iter
 			return res, nil
 		}
 		// Each deficient node promotes its lowest-ID live non-member
 		// closed neighbors to close its own gap (one local round).
-		promote := make([]bool, n)
-		for v := 0; v < n; v++ {
-			if dead[graph.NodeID(v)] || cov[v] >= demand[v] {
-				continue
-			}
+		promoList = promoList[:0]
+		for _, vv := range frontier {
+			v := int(vv)
+			countTouch(v)
 			need := demand[v] - cov[v]
 			forClosedLive(g, v, dead, func(u int) {
-				if need > 0 && !inSet[u] && !promote[u] {
-					promote[u] = true
+				if need > 0 && !inSet[u] && !promoted[u] {
+					promoted[u] = true
+					promoList = append(promoList, int32(u))
 					need--
 				}
 			})
 		}
-		for v := 0; v < n; v++ {
-			if promote[v] {
-				inSet[v] = true
-				res.Promoted++
+		for _, uu := range promoList {
+			u := int(uu)
+			inSet[u] = true
+			promoted[u] = false // reset for the next round
+			res.Promoted++
+			countTouch(u)
+			// The new head covers its live closed neighborhood.
+			cov[u]++
+			for _, w := range g.Neighbors(graph.NodeID(u)) {
+				if !dead[w] {
+					cov[w]++
+					countTouch(int(w))
+				}
 			}
 		}
 	}

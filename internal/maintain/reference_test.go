@@ -1,0 +1,104 @@
+package maintain
+
+// The pre-worklist Repair implementation, kept verbatim as a test-only
+// reference: it recomputes coverage over all n nodes every promotion
+// round, which is what the worklist rewrite exists to avoid — and what
+// the equivalence matrix in equivalence_test.go pins the rewrite against,
+// bit for bit.
+
+import (
+	"fmt"
+
+	"ftclust/internal/graph"
+)
+
+// repairReference is the original global-pass Repair. Semantics are the
+// published contract; only its cost (O(n·Δ) per round) differs from the
+// worklist version.
+func repairReference(g *graph.Graph, leader []bool, dead map[graph.NodeID]bool, k int) (RepairResult, error) {
+	n := g.NumNodes()
+	if len(leader) != n {
+		return RepairResult{}, errMaskLen(len(leader), n)
+	}
+	if k < 1 {
+		return RepairResult{}, errBadK(k)
+	}
+	inSet := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inSet[v] = leader[v] && !dead[graph.NodeID(v)]
+	}
+	res := RepairResult{InSet: inSet}
+
+	// Live closed-neighborhood demand per node.
+	demand := make([]int, n)
+	for v := 0; v < n; v++ {
+		if dead[graph.NodeID(v)] {
+			continue
+		}
+		liveDeg := 0
+		for _, w := range g.Neighbors(graph.NodeID(v)) {
+			if !dead[w] {
+				liveDeg++
+			}
+		}
+		demand[v] = minInt(k, liveDeg+1)
+	}
+
+	for iter := 0; ; iter++ {
+		// Coverage over live nodes — the full rescan the worklist version
+		// replaces.
+		deficitNodes := 0
+		cov := make([]int, n)
+		for v := 0; v < n; v++ {
+			if dead[graph.NodeID(v)] {
+				continue
+			}
+			if inSet[v] {
+				cov[v]++
+			}
+			for _, w := range g.Neighbors(graph.NodeID(v)) {
+				if !dead[w] && inSet[w] {
+					cov[v]++
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !dead[graph.NodeID(v)] && cov[v] < demand[v] {
+				deficitNodes++
+			}
+		}
+		if deficitNodes == 0 {
+			res.Iterations = iter
+			return res, nil
+		}
+		// Each deficient node promotes its lowest-ID live non-member
+		// closed neighbors to close its own gap (one local round).
+		promote := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if dead[graph.NodeID(v)] || cov[v] >= demand[v] {
+				continue
+			}
+			need := demand[v] - cov[v]
+			forClosedLive(g, v, dead, func(u int) {
+				if need > 0 && !inSet[u] && !promote[u] {
+					promote[u] = true
+					need--
+				}
+			})
+		}
+		for v := 0; v < n; v++ {
+			if promote[v] {
+				inSet[v] = true
+				res.Promoted++
+			}
+		}
+	}
+}
+
+func errMaskLen(got, n int) error {
+	return fmt.Errorf("maintain: mask has %d entries for %d nodes", got, n)
+}
+
+func errBadK(k int) error {
+	return fmt.Errorf("maintain: k must be ≥ 1, got %d", k)
+}

@@ -71,3 +71,101 @@ func FuzzSolveRequestDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSessionDeltaDecode drives arbitrary bytes through the full
+// POST /v1/session/{id}/delta path against one live session and asserts
+// the transactional contract: the handler never panics, every outcome is
+// a documented status code (200, 400 or 413), every non-200 body is an
+// errorBody — and, the heart of the batch-validation fix, any non-200
+// outcome leaves the session state byte-identical. The session is shared
+// across iterations, so accepted batches keep mutating it into arbitrary
+// churned configurations; the no-partial-mutation invariant must hold
+// from every one of them.
+func FuzzSessionDeltaDecode(f *testing.F) {
+	s := New(Config{
+		Workers:      2,
+		MaxNodes:     128,
+		MaxBodyBytes: 1 << 12,
+		SolveTimeout: 5 * time.Second,
+		CacheSize:    -1,
+		SessionTTL:   -1, // no janitor: the fixture session must outlive the run
+	})
+	f.Cleanup(func() { s.Shutdown(context.Background()) })
+	h := s.Handler()
+
+	create := httptest.NewRequest(http.MethodPost, "/v1/session",
+		bytes.NewReader([]byte(`{"graph":{"n":16,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,12],[12,13],[13,14],[14,15]]},"k":2}`)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, create)
+	if rec.Code != http.StatusCreated {
+		f.Fatalf("fixture session: status %d, body %s", rec.Code, rec.Body.Bytes())
+	}
+	var cr SessionCreateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &cr); err != nil {
+		f.Fatal(err)
+	}
+	deltaURL := "/v1/session/" + cr.SessionID + "/delta"
+	stateURL := "/v1/session/" + cr.SessionID
+
+	state := func(t *testing.T) []byte {
+		req := httptest.NewRequest(http.MethodGet, stateURL, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("state read: status %d", rec.Code)
+		}
+		return rec.Body.Bytes()
+	}
+
+	f.Add([]byte(`{"ops":[{"op":"fail","nodes":[0,3]}]}`))
+	f.Add([]byte(`{"ops":[{"op":"revive","nodes":[0]}]}`))
+	f.Add([]byte(`{"ops":[{"op":"add_node"},{"op":"add_edge","u":16,"v":0}]}`))
+	f.Add([]byte(`{"ops":[{"op":"del_edge","u":0,"v":1},{"op":"add_edge","u":0,"v":1}]}`))
+	f.Add([]byte(`{"ops":[{"op":"fail","nodes":[2]},{"op":"fail","nodes":[9999]}]}`)) // valid prefix, bad tail
+	f.Add([]byte(`{"ops":[{"op":"add_edge","u":1,"v":1}]}`))                          // self-loop
+	f.Add([]byte(`{"ops":[{"op":"warp"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"fail"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"add_edge","u":3}]}`))
+	f.Add([]byte(`{"ops":[]}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := state(t)
+
+		req := httptest.NewRequest(http.MethodPost, deltaURL, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("undocumented status %d for body %q", rec.Code, body)
+		}
+
+		if rec.Code == http.StatusOK {
+			var dr DeltaResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &dr); err != nil {
+				t.Fatalf("200 body is not a DeltaResponse: %v", err)
+			}
+			if !dr.Feasible {
+				t.Fatalf("accepted delta left an infeasible session: %s", rec.Body.Bytes())
+			}
+			return
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+			t.Fatalf("status %d body %q is not an errorBody: %v", rec.Code, rec.Body.Bytes(), err)
+		}
+		if eb.Error == "" {
+			t.Fatalf("status %d carries an empty error message", rec.Code)
+		}
+		if after := state(t); !bytes.Equal(before, after) {
+			t.Fatalf("rejected delta (status %d, body %q) mutated session state:\nbefore %s\nafter  %s",
+				rec.Code, body, before, after)
+		}
+	})
+}

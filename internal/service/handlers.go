@@ -12,6 +12,7 @@ import (
 
 	"ftclust"
 	"ftclust/internal/graph"
+	"ftclust/internal/maintain"
 	"ftclust/internal/obs"
 	"ftclust/internal/verify"
 )
@@ -137,6 +138,72 @@ type SessionCreateResponse struct {
 // FailRequest is the body of POST /v1/session/{id}/fail.
 type FailRequest struct {
 	Nodes []int `json:"nodes"`
+}
+
+// maxDeltaOps caps the ops in a single delta batch; larger batches get 400.
+const maxDeltaOps = 4096
+
+// DeltaOp is one churn operation in a delta batch. Op selects the kind:
+// "fail" and "revive" take nodes, "add_edge" and "del_edge" take u and v
+// (pointers so a missing operand is distinguishable from node 0), and
+// "add_node" takes nothing.
+type DeltaOp struct {
+	Op    string `json:"op"`
+	Nodes []int  `json:"nodes,omitempty"`
+	U     *int   `json:"u,omitempty"`
+	V     *int   `json:"v,omitempty"`
+}
+
+// DeltaRequest is the body of POST /v1/session/{id}/delta.
+type DeltaRequest struct {
+	Ops []DeltaOp `json:"ops"`
+}
+
+// toEngineOps converts wire ops to engine ops, rejecting malformed ones.
+// Range and topology validity are the engine's job (Validate); this layer
+// only checks shape.
+func toEngineOps(ops []DeltaOp) ([]maintain.Op, error) {
+	out := make([]maintain.Op, 0, len(ops))
+	for i, op := range ops {
+		switch op.Op {
+		case "fail", "revive":
+			if len(op.Nodes) == 0 {
+				return nil, fmt.Errorf("op %d (%s): nodes must be non-empty", i, op.Op)
+			}
+			if op.U != nil || op.V != nil {
+				return nil, fmt.Errorf("op %d (%s): u/v not allowed", i, op.Op)
+			}
+			kind := maintain.OpFail
+			if op.Op == "revive" {
+				kind = maintain.OpRevive
+			}
+			ids := make([]graph.NodeID, len(op.Nodes))
+			for j, v := range op.Nodes {
+				ids[j] = graph.NodeID(v)
+			}
+			out = append(out, maintain.Op{Kind: kind, Nodes: ids})
+		case "add_edge", "del_edge":
+			if op.U == nil || op.V == nil {
+				return nil, fmt.Errorf("op %d (%s): u and v are required", i, op.Op)
+			}
+			if len(op.Nodes) != 0 {
+				return nil, fmt.Errorf("op %d (%s): nodes not allowed", i, op.Op)
+			}
+			kind := maintain.OpAddEdge
+			if op.Op == "del_edge" {
+				kind = maintain.OpDelEdge
+			}
+			out = append(out, maintain.Op{Kind: kind, U: graph.NodeID(*op.U), V: graph.NodeID(*op.V)})
+		case "add_node":
+			if len(op.Nodes) != 0 || op.U != nil || op.V != nil {
+				return nil, fmt.Errorf("op %d (add_node): takes no operands", i)
+			}
+			out = append(out, maintain.Op{Kind: maintain.OpAddNode})
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q (want fail, revive, add_edge, del_edge or add_node)", i, op.Op)
+		}
+	}
+	return out, nil
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -481,9 +548,15 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	for _, v := range resp.Members {
 		mask[v] = true
 	}
-	sess, err := s.sessions.create(g, req.K, mask)
+	sess, err := s.sessions.create(g, req.K, mask, time.Now())
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		if errors.Is(err, errTooManySessions) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		// The solve is verified feasible, so engine seeding cannot fail on
+		// a healthy server; anything else is an internal inconsistency.
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.metrics.sessionsCreated.Add(1)
@@ -494,7 +567,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessions.get(r.PathValue("id"))
+	sess, err := s.sessions.get(r.PathValue("id"), time.Now())
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -503,7 +576,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionFail(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sessions.get(r.PathValue("id"))
+	sess, err := s.sessions.get(r.PathValue("id"), time.Now())
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -516,12 +589,51 @@ func (s *Server) handleSessionFail(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("nodes must be non-empty"))
 		return
 	}
-	resp, err := sess.fail(req.Nodes)
+	start := time.Now()
+	resp, st, err := sess.fail(req.Nodes)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.metrics.repairs.Add(1)
+	s.metrics.observeRepair(st, time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sessions.get(r.PathValue("id"), time.Now())
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req DeltaRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("ops must be non-empty"))
+		return
+	}
+	if len(req.Ops) > maxDeltaOps {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d ops exceeds limit %d", len(req.Ops), maxDeltaOps))
+		return
+	}
+	ops, err := toEngineOps(req.Ops)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp, st, err := sess.delta(ops)
+	if err != nil {
+		if errors.Is(err, errFallbackFailed) {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.observeRepair(st, time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 

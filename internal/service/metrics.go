@@ -18,6 +18,7 @@ import (
 var endpointLabels = []string{
 	"/v1/solve", "/v1/solvebatch", "/v1/verify",
 	"/v1/session", "/v1/session/{id}", "/v1/session/{id}/fail",
+	"/v1/session/{id}/delta",
 	"/metrics", "/debug/metrics", "/debug/trace", "/debug/trace/{id}",
 	"/healthz", "other",
 }
@@ -35,6 +36,9 @@ func endpointLabel(path string) string {
 	case strings.HasPrefix(path, "/v1/session/"):
 		if strings.HasSuffix(path, "/fail") {
 			return "/v1/session/{id}/fail"
+		}
+		if strings.HasSuffix(path, "/delta") {
+			return "/v1/session/{id}/delta"
 		}
 		return "/v1/session/{id}"
 	}
@@ -66,7 +70,18 @@ type metrics struct {
 	slowRequests  *obs.Counter // requests over the slow-log threshold
 
 	sessionsCreated *obs.Counter
-	repairs         *obs.Counter
+	repairs         *obs.Counter // accepted mutation batches (fail + delta)
+	assessments     *obs.Counter // damage assessments run (exactly one per accepted batch)
+	fallbacks       *obs.Counter // drift-triggered certified re-solves
+	sessionsExpired *obs.Counter // sessions swept by the idle-TTL janitor
+
+	// Per-repair series: patch size (nodes entering/leaving S), touched
+	// nodes (the damage the worklist actually paid for), promotion rounds
+	// and wall time — the damage-proportionality story as metrics.
+	repairPatchNodes *obs.Histogram
+	repairTouched    *obs.Histogram
+	repairIterations *obs.Histogram
+	repairDur        *obs.Histogram
 
 	inFlight atomic.Int64 // requests currently inside a solve job (gauge)
 
@@ -114,6 +129,22 @@ func newMetrics(now time.Time) *metrics {
 
 		sessionsCreated: reg.Counter("ftclust_sessions_created_total", "sessions created"),
 		repairs:         reg.Counter("ftclust_repairs_total", "session failure repairs"),
+		assessments:     reg.Counter("ftclust_assessments_total", "damage assessments (one per accepted mutation batch)"),
+		fallbacks:       reg.Counter("ftclust_repair_fallbacks_total", "drift-triggered certified full re-solves"),
+		sessionsExpired: reg.Counter("ftclust_sessions_expired_total", "sessions swept by the idle-TTL janitor"),
+
+		repairPatchNodes: reg.Histogram("ftclust_repair_patch_nodes",
+			"nodes entering or leaving S per repair patch",
+			obs.ExponentialBuckets(1, 2, 16)),
+		repairTouched: reg.Histogram("ftclust_repair_touched_nodes",
+			"nodes examined or updated per repair (the damage paid for)",
+			obs.ExponentialBuckets(1, 2, 20)),
+		repairIterations: reg.Histogram("ftclust_repair_iterations",
+			"promotion rounds per repair",
+			[]float64{0, 1, 2, 3, 4, 6, 8, 16}),
+		repairDur: reg.Histogram("ftclust_repair_duration_seconds",
+			"wall time of one session mutation batch (apply + repair)",
+			obs.DurationBuckets()),
 
 		solveLat: reg.Histogram("ftclust_solve_duration_seconds",
 			"solver job wall time (queue wait excluded; cold solves only)", obs.DurationBuckets()),
@@ -155,6 +186,22 @@ func newMetrics(now time.Time) *metrics {
 	return m
 }
 
+// observeRepair records one accepted session mutation batch. Exactly one
+// assessment happens per batch (the engine's deficit-frontier pass), so
+// the assessments counter moves in lockstep with repairs — the regression
+// tests pin that ratio.
+func (m *metrics) observeRepair(st repairStats, d time.Duration) {
+	m.repairs.Add(1)
+	m.assessments.Add(1)
+	if st.fallback {
+		m.fallbacks.Add(1)
+	}
+	m.repairPatchNodes.Observe(float64(st.patchNodes))
+	m.repairTouched.Observe(float64(st.touched))
+	m.repairIterations.Observe(float64(st.iterations))
+	m.repairDur.ObserveDuration(d)
+}
+
 // observeHTTP records one completed request on the per-endpoint series.
 func (m *metrics) observeHTTP(endpoint string, d time.Duration) {
 	m.httpReqs[endpoint].Inc()
@@ -192,7 +239,10 @@ type MetricsSnapshot struct {
 	SlowRequests    int64   `json:"slow_requests"`
 	SessionsActive  int     `json:"sessions_active"`
 	SessionsCreated int64   `json:"sessions_created"`
+	SessionsExpired int64   `json:"sessions_expired"`
 	Repairs         int64   `json:"repairs"`
+	Assessments     int64   `json:"assessments"`
+	RepairFallbacks int64   `json:"repair_fallbacks"`
 	SolveLatencyP50 float64 `json:"solve_latency_p50_ms"`
 	SolveLatencyP90 float64 `json:"solve_latency_p90_ms"`
 	SolveLatencyP99 float64 `json:"solve_latency_p99_ms"`
@@ -220,7 +270,10 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		SlowRequests:    m.slowRequests.Value(),
 		SessionsActive:  m.activeSessions(),
 		SessionsCreated: m.sessionsCreated.Value(),
+		SessionsExpired: m.sessionsExpired.Value(),
 		Repairs:         m.repairs.Value(),
+		Assessments:     m.assessments.Value(),
+		RepairFallbacks: m.fallbacks.Value(),
 		SolveLatencyP50: toMs(m.solveLat.Quantile(0.50)),
 		SolveLatencyP90: toMs(m.solveLat.Quantile(0.90)),
 		SolveLatencyP99: toMs(m.solveLat.Quantile(0.99)),

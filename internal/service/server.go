@@ -41,6 +41,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"ftclust/internal/obs"
@@ -72,6 +73,10 @@ type Config struct {
 	SolveThreads int
 	// MaxSessions bounds live sessions (default 1024).
 	MaxSessions int
+	// SessionTTL is how long an idle session survives before the janitor
+	// sweeps it (default 30m; negative disables expiry). Every request
+	// that touches a session refreshes its clock.
+	SessionTTL time.Duration
 	// Logger receives structured access and lifecycle logs (default: a
 	// logger that discards everything).
 	Logger *slog.Logger
@@ -110,6 +115,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -131,6 +139,10 @@ type Server struct {
 	sessions *sessionStore
 	traces   *obs.Ring
 	logger   *slog.Logger
+
+	janitorStop chan struct{}
+	janitorOnce sync.Once
+	janitorDone chan struct{}
 }
 
 // New builds a Server from cfg (zero value = all defaults).
@@ -156,6 +168,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/session/{id}/fail", s.handleSessionFail)
+	s.mux.HandleFunc("POST /v1/session/{id}/delta", s.handleSessionDelta)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /metrics", s.metrics.promHandler)
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler)
@@ -163,7 +176,40 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.handler = s.withObservability(s.mux)
+
+	s.janitorDone = make(chan struct{})
+	if cfg.SessionTTL > 0 {
+		s.janitorStop = make(chan struct{})
+		go s.sessionJanitor(s.janitorStop)
+	} else {
+		close(s.janitorDone)
+	}
 	return s
+}
+
+// sessionJanitor sweeps idle sessions every quarter TTL until stop closes.
+func (s *Server) sessionJanitor(stop <-chan struct{}) {
+	defer close(s.janitorDone)
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case now := <-ticker.C:
+			if n := s.sessions.sweep(now.Add(-s.cfg.SessionTTL)); n > 0 {
+				s.metrics.sessionsExpired.Add(int64(n))
+				s.logger.LogAttrs(context.Background(), slog.LevelInfo, "sessions expired",
+					slog.Int("swept", n),
+					slog.Duration("ttl", s.cfg.SessionTTL),
+					slog.Int("remaining", s.sessions.len()))
+			}
+		case <-stop:
+			return
+		}
+	}
 }
 
 // Handler returns the service's HTTP handler: the route mux wrapped in
@@ -179,6 +225,10 @@ func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(time.Now(
 // this). The context bounds the wait; on expiry the pool keeps draining
 // in the background but Shutdown returns ctx.Err().
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.janitorStop != nil {
+		s.janitorOnce.Do(func() { close(s.janitorStop) })
+		<-s.janitorDone
+	}
 	done := make(chan struct{})
 	go func() {
 		s.queue.Close()

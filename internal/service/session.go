@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"ftclust"
 	"ftclust/internal/graph"
 	"ftclust/internal/maintain"
 )
@@ -13,25 +15,35 @@ import (
 var (
 	errNoSession       = errors.New("service: no such session")
 	errTooManySessions = errors.New("service: session limit reached")
+	errFallbackFailed  = errors.New("service: fallback re-solve failed")
 )
 
-// session is a stateful cluster: the graph a solve ran on, the current
-// dominator mask, and the accumulated failure set. Failures are repaired
-// with maintain.Repair — local promotions proportional to the damage —
-// never a full re-solve, which is the paper's own story: a k-fold
-// dominating set absorbs up to k−1 local failures outright and repair
-// replenishes the budget.
+// session is a stateful cluster backed by the incremental churn engine:
+// the solve that created it seeded the engine's coverage state, and every
+// accepted batch of deltas (failures, revivals, edge and node changes) is
+// absorbed with a damage-proportional repair — never a full re-solve,
+// unless topology drift exceeds the engine's bound, in which case the
+// session runs one certified re-solve on the live subgraph and adopts it.
+//
+// Mutating requests are transactional: the whole batch is validated
+// against current state before anything is applied, so a rejected request
+// leaves the session byte-identical.
 type session struct {
 	mu sync.Mutex
 
-	id   string
-	g    *graph.Graph
-	k    int
-	mask []bool
-	dead map[graph.NodeID]bool
+	id     string
+	k      int
+	engine *maintain.Engine
 
+	epoch         int64 // accepted mutation batches
 	repairs       int
 	promotedTotal int
+	fallbacks     int
+
+	// lastUsed is touched on every session access; the store's janitor
+	// sweeps sessions idle past the TTL. Guarded by the STORE's mutex,
+	// not s.mu, so sweeps never contend with long repairs.
+	lastUsed time.Time
 }
 
 // sessionStore is the in-memory registry of live sessions. IDs are
@@ -48,7 +60,11 @@ func newSessionStore(max int) *sessionStore {
 	return &sessionStore{m: make(map[string]*session), max: max}
 }
 
-func (st *sessionStore) create(g *graph.Graph, k int, mask []bool) (*session, error) {
+func (st *sessionStore) create(g *graph.Graph, k int, mask []bool, now time.Time) (*session, error) {
+	eng, err := maintain.NewEngine(g, mask, k, maintain.Options{})
+	if err != nil {
+		return nil, err
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.m) >= st.max {
@@ -56,23 +72,23 @@ func (st *sessionStore) create(g *graph.Graph, k int, mask []bool) (*session, er
 	}
 	st.next++
 	s := &session{
-		id:   fmt.Sprintf("s%d", st.next),
-		g:    g,
-		k:    k,
-		mask: append([]bool(nil), mask...),
-		dead: make(map[graph.NodeID]bool),
+		id:       fmt.Sprintf("s%d", st.next),
+		k:        k,
+		engine:   eng,
+		lastUsed: now,
 	}
 	st.m[s.id] = s
 	return s, nil
 }
 
-func (st *sessionStore) get(id string) (*session, error) {
+func (st *sessionStore) get(id string, now time.Time) (*session, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s, ok := st.m[id]
 	if !ok {
 		return nil, errNoSession
 	}
+	s.lastUsed = now
 	return s, nil
 }
 
@@ -92,22 +108,42 @@ func (st *sessionStore) len() int {
 	return len(st.m)
 }
 
+// sweep removes sessions idle since before the deadline and returns how
+// many it dropped.
+func (st *sessionStore) sweep(deadline time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	removed := 0
+	for id, s := range st.m {
+		if s.lastUsed.Before(deadline) {
+			delete(st.m, id)
+			removed++
+		}
+	}
+	return removed
+}
+
 // SessionState is the JSON shape of a session status.
 type SessionState struct {
 	SessionID string `json:"session_id"`
+	Epoch     int64  `json:"epoch"`
 	N         int    `json:"n"`
+	Edges     int    `json:"edges"`
 	K         int    `json:"k"`
 	Size      int    `json:"size"`
 	LiveNodes int    `json:"live_nodes"`
 	DeadNodes int    `json:"dead_nodes"`
 	Repairs   int    `json:"repairs"`
 	Promoted  int    `json:"promoted_total"`
+	Fallbacks int    `json:"fallbacks"`
+	Drift     int    `json:"drift"`
 	Feasible  bool   `json:"feasible"`
 }
 
 // FailResponse is the JSON result of injecting failures into a session.
 type FailResponse struct {
 	SessionID       string `json:"session_id"`
+	Epoch           int64  `json:"epoch"`
 	Failed          int    `json:"failed"`
 	FailedTotal     int    `json:"failed_total"`
 	LostHeads       int    `json:"lost_heads"`
@@ -118,71 +154,206 @@ type FailResponse struct {
 	Feasible        bool   `json:"feasible"`
 }
 
+// RepairPatch is the incremental diff a delta request streams back: apply
+// entered/left to a mirrored member set and it matches the session.
+type RepairPatch struct {
+	Entered    []int `json:"entered"`
+	Left       []int `json:"left"`
+	AddedNodes []int `json:"added_nodes,omitempty"`
+	Iterations int   `json:"iterations"`
+	Touched    int   `json:"touched"`
+}
+
+// DeltaResponse is the JSON result of a delta batch.
+type DeltaResponse struct {
+	SessionID       string      `json:"session_id"`
+	Epoch           int64       `json:"epoch"`
+	Patch           RepairPatch `json:"patch"`
+	LostHeads       int         `json:"lost_heads"`
+	DeficientBefore int         `json:"deficient_before"`
+	NewlyDead       int         `json:"newly_dead"`
+	Revived         int         `json:"revived"`
+	N               int         `json:"n"`
+	Size            int         `json:"size"`
+	Fallback        bool        `json:"fallback"`
+	Feasible        bool        `json:"feasible"`
+}
+
+// repairStats is what a mutation reports to the metrics layer.
+type repairStats struct {
+	patchNodes int
+	touched    int
+	iterations int
+	fallback   bool
+}
+
 // state snapshots the session under its lock.
 func (s *session) state() SessionState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e := s.engine
 	return SessionState{
 		SessionID: s.id,
-		N:         s.g.NumNodes(),
+		Epoch:     s.epoch,
+		N:         e.N(),
+		Edges:     e.NumEdges(),
 		K:         s.k,
-		Size:      maskSize(s.mask),
-		LiveNodes: s.g.NumNodes() - len(s.dead),
-		DeadNodes: len(s.dead),
+		Size:      e.Size(),
+		LiveNodes: e.N() - e.DeadCount(),
+		DeadNodes: e.DeadCount(),
 		Repairs:   s.repairs,
 		Promoted:  s.promotedTotal,
-		Feasible:  s.feasibleLocked(),
+		Fallbacks: s.fallbacks,
+		Drift:     e.Drift(),
+		// The engine's repair terminates only at zero deficits, so a live
+		// session is always feasible — no assessment pass needed.
+		Feasible: true,
 	}
 }
 
-// fail marks nodes dead and restores k-coverage with a local repair.
-func (s *session) fail(nodes []int) (FailResponse, error) {
+// fail marks nodes dead and restores k-coverage with a local repair. The
+// whole batch is range-checked before any node is marked: a rejected
+// request leaves the session untouched.
+func (s *session) fail(nodes []int) (FailResponse, repairStats, error) {
+	ids := make([]graph.NodeID, len(nodes))
+	for i, v := range nodes {
+		ids[i] = graph.NodeID(v)
+	}
+	ops := []maintain.Op{{Kind: maintain.OpFail, Nodes: ids}}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := s.g.NumNodes()
-	newlyDead := 0
-	for _, v := range nodes {
-		if v < 0 || v >= n {
-			return FailResponse{}, fmt.Errorf("node %d out of range [0,%d)", v, n)
-		}
-		if !s.dead[graph.NodeID(v)] {
-			s.dead[graph.NodeID(v)] = true
-			newlyDead++
-		}
+	if err := s.engine.Validate(ops); err != nil {
+		return FailResponse{}, repairStats{}, err
 	}
-	dmg := maintain.Assess(s.g, s.mask, s.dead, s.k)
-	rep, err := maintain.Repair(s.g, s.mask, s.dead, s.k)
-	if err != nil {
-		return FailResponse{}, err
-	}
-	s.mask = rep.InSet
+	p := s.engine.Apply(ops)
+	s.epoch++
 	s.repairs++
-	s.promotedTotal += rep.Promoted
+	s.promotedTotal += len(p.Entered)
 	return FailResponse{
 		SessionID:       s.id,
-		Failed:          newlyDead,
-		FailedTotal:     len(s.dead),
-		LostHeads:       dmg.LostHeads,
-		DeficientBefore: dmg.DeficientNodes,
-		Promoted:        rep.Promoted,
-		Iterations:      rep.Iterations,
-		Size:            maskSize(s.mask),
-		Feasible:        s.feasibleLocked(),
-	}, nil
+		Epoch:           s.epoch,
+		Failed:          p.NewlyDead,
+		FailedTotal:     s.engine.DeadCount(),
+		LostHeads:       p.LostHeads,
+		DeficientBefore: p.DeficientBefore,
+		Promoted:        len(p.Entered),
+		Iterations:      p.Iterations,
+		Size:            s.engine.Size(),
+		Feasible:        true,
+	}, s.statsFor(p), nil
 }
 
-// feasibleLocked reports whether every live node has its capped live
-// demand covered. Callers hold s.mu.
-func (s *session) feasibleLocked() bool {
-	return maintain.Assess(s.g, s.mask, s.dead, s.k).DeficientNodes == 0
+// delta applies one batch of churn ops and returns the repair patch. On
+// drift-bound overflow it runs a certified full re-solve on the live
+// subgraph and adopts the result; the returned patch then carries the net
+// membership diff of the whole batch.
+func (s *session) delta(ops []maintain.Op) (DeltaResponse, repairStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.engine.Validate(ops); err != nil {
+		return DeltaResponse{}, repairStats{}, err
+	}
+	preMask := s.engine.InSet()
+	p := s.engine.Apply(ops)
+	s.epoch++
+	s.repairs++
+	s.promotedTotal += len(p.Entered)
+
+	resp := DeltaResponse{
+		SessionID: s.id,
+		Epoch:     s.epoch,
+		Patch: RepairPatch{
+			Entered:    toInts(p.Entered),
+			Left:       toInts(p.Left),
+			AddedNodes: toInts(p.AddedNodes),
+			Iterations: p.Iterations,
+			Touched:    p.Touched,
+		},
+		LostHeads:       p.LostHeads,
+		DeficientBefore: p.DeficientBefore,
+		NewlyDead:       p.NewlyDead,
+		Revived:         p.Revived,
+		N:               s.engine.N(),
+		Size:            s.engine.Size(),
+		Feasible:        true,
+	}
+	if p.DriftExceeded {
+		if err := s.fallbackResolveLocked(); err != nil {
+			// The incremental state is still feasible; surface the resolve
+			// failure without corrupting the session.
+			return DeltaResponse{}, repairStats{}, fmt.Errorf("%w: %v", errFallbackFailed, err)
+		}
+		s.fallbacks++
+		resp.Fallback = true
+		resp.Size = s.engine.Size()
+		// After adoption the honest patch is the net diff over the batch.
+		resp.Patch.Entered, resp.Patch.Left = maskDiff(preMask, s.engine.InSet())
+	}
+	st := s.statsFor(p)
+	st.fallback = resp.Fallback
+	st.patchNodes = len(resp.Patch.Entered) + len(resp.Patch.Left)
+	return resp, st, nil
 }
 
-func maskSize(mask []bool) int {
-	n := 0
-	for _, in := range mask {
-		if in {
-			n++
+// fallbackResolveLocked compacts the drifted topology, runs the full
+// deterministic solver on the live subgraph, verifies the result, and
+// adopts it. Callers hold s.mu.
+func (s *session) fallbackResolveLocked() error {
+	sub, ids := s.engine.LiveSubgraph()
+	if sub.NumNodes() == 0 {
+		// Every node is dead: the empty set is vacuously feasible, and the
+		// solver would reject an empty instance. Adopt it directly — SetMask
+		// still folds the drifted topology.
+		_, _, err := s.engine.SetMask(make([]bool, s.engine.N()))
+		return err
+	}
+	sol, err := ftclust.SolveKMDS(sub, s.k, ftclust.WithT(3), ftclust.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	if err := ftclust.Verify(sub, sol, s.k, ftclust.ClosedPP); err != nil {
+		return fmt.Errorf("certification failed: %w", err)
+	}
+	mask := make([]bool, s.engine.N())
+	for _, v := range sol.Members {
+		mask[ids[v]] = true
+	}
+	if _, _, err := s.engine.SetMask(mask); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *session) statsFor(p maintain.Patch) repairStats {
+	return repairStats{
+		patchNodes: len(p.Entered) + len(p.Left),
+		touched:    p.Touched,
+		iterations: p.Iterations,
+		fallback:   p.DriftExceeded,
+	}
+}
+
+func toInts(ids []graph.NodeID) []int {
+	out := make([]int, len(ids))
+	for i, v := range ids {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// maskDiff returns the member sets entering and leaving between two
+// masks, ascending (b may be longer than a: appended nodes).
+func maskDiff(a, b []bool) (entered, left []int) {
+	entered, left = []int{}, []int{}
+	for v := range b {
+		av := v < len(a) && a[v]
+		if b[v] && !av {
+			entered = append(entered, v)
+		}
+		if !b[v] && av {
+			left = append(left, v)
 		}
 	}
-	return n
+	return entered, left
 }
