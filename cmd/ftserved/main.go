@@ -10,6 +10,14 @@
 //	         [-timeout 60s] [-max-body 16777216] [-max-nodes 1048576]
 //	         [-solve-threads 1] [-drain 30s] [-log-level info]
 //	         [-slow-ms 0] [-trace-ring 256] [-pprof]
+//	         [-join host:port,...] [-advertise host:port]
+//	         [-gossip-interval 1s] [-suspect-after 5s] [-evict-after 15s]
+//	         [-cluster-seed 1] [-rate 0] [-burst 0]
+//
+// Cluster mode: -join (or a non-empty -advertise) starts the gossip
+// membership layer; peers converge on the member list and route each
+// solve key to its rendezvous owner. -rate enables per-client
+// token-bucket admission control independently of clustering.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops
 // accepting, in-flight requests and queued solves drain (bounded by
@@ -22,10 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,11 +64,43 @@ func parseLogLevel(s string) (slog.Level, error) {
 	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
 }
 
+// advertiseAddr resolves the address peers should dial: the -advertise
+// flag verbatim when set, else the listen address with an unspecified
+// host replaced by the loopback (good enough for single-host clusters;
+// multi-host deployments must pass -advertise explicitly).
+func advertiseAddr(listen, advertise string) (string, error) {
+	if advertise != "" {
+		if _, _, err := net.SplitHostPort(advertise); err != nil {
+			return "", fmt.Errorf("-advertise %q: %w", advertise, err)
+		}
+		return advertise, nil
+	}
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive advertise address from -addr %q: %w", listen, err)
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port), nil
+}
+
+// splitSeeds parses the -join list, dropping empty segments.
+func splitSeeds(join string) []string {
+	var seeds []string
+	for _, s := range strings.Split(join, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	return seeds
+}
+
 func run() error {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queueDepth   = flag.Int("queue", 64, "max queued solves before 503")
+		queueDepth   = flag.Int("queue", 64, "max queued solves before shedding with 429")
 		cacheSize    = flag.Int("cache", 128, "LRU solution-cache entries (-1 disables)")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request solve deadline")
 		maxBody      = flag.Int64("max-body", 16<<20, "max request body bytes")
@@ -70,6 +112,15 @@ func run() error {
 		slowMs       = flag.Int("slow-ms", 0, "warn-log requests slower than this many ms (0 disables)")
 		traceRing    = flag.Int("trace-ring", 256, "recent request traces kept for /debug/trace")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		join           = flag.String("join", "", "comma-separated seed peers (host:port,...) — enables cluster mode")
+		advertise      = flag.String("advertise", "", "address peers should dial for this node (default: derived from -addr)")
+		gossipInterval = flag.Duration("gossip-interval", time.Second, "base period between gossip shuffle rounds")
+		suspectAfter   = flag.Duration("suspect-after", 0, "missed-heartbeat window before a peer turns suspect (0 = 5× gossip interval)")
+		evictAfter     = flag.Duration("evict-after", 0, "missed-heartbeat window before a peer is evicted (0 = 3× suspect-after)")
+		clusterSeed    = flag.Int64("cluster-seed", 1, "seed for the gossip jitter/selection RNG")
+		rate           = flag.Float64("rate", 0, "per-client admitted requests/second (0 disables the token bucket)")
+		burst          = flag.Int("burst", 0, "per-client token-bucket burst (0 = 2× rate, min 1)")
 	)
 	flag.Parse()
 
@@ -78,6 +129,22 @@ func run() error {
 		return err
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var clusterCfg *service.ClusterConfig
+	if *join != "" || *advertise != "" {
+		self, err := advertiseAddr(*addr, *advertise)
+		if err != nil {
+			return err
+		}
+		clusterCfg = &service.ClusterConfig{
+			Self:           self,
+			Seeds:          splitSeeds(*join),
+			GossipInterval: *gossipInterval,
+			SuspectAfter:   *suspectAfter,
+			EvictAfter:     *evictAfter,
+			Seed:           *clusterSeed,
+		}
+	}
 
 	srv := service.New(service.Config{
 		Workers:      *workers,
@@ -91,6 +158,9 @@ func run() error {
 		Logger:       logger,
 		SlowRequest:  time.Duration(*slowMs) * time.Millisecond,
 		TraceRing:    *traceRing,
+		Cluster:      clusterCfg,
+		RatePerSec:   *rate,
+		RateBurst:    *burst,
 	})
 
 	handler := srv.Handler()
@@ -121,7 +191,8 @@ func run() error {
 	go func() {
 		logger.Info("listening", "addr", *addr,
 			"workers", *workers, "queue", *queueDepth, "cache", *cacheSize,
-			"pprof", *pprofOn, "slow_ms", *slowMs, "log_level", *logLevel)
+			"pprof", *pprofOn, "slow_ms", *slowMs, "log_level", *logLevel,
+			"cluster", clusterCfg != nil, "rate", *rate)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -16,6 +16,7 @@ var DetRand = &Analyzer{
 	Doc: "forbid global math/rand, wall-clock reads, and opaque rand.New " +
 		"sources in determinism-critical packages",
 	Packages: []string{
+		"ftclust/internal/cluster",
 		"ftclust/internal/core",
 		"ftclust/internal/graph",
 		"ftclust/internal/rng",

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiter is the per-client token-bucket admission controller: each
+// client (keyed on X-Client-ID or the remote address) owns a bucket
+// refilled at rate tokens/second up to burst. A request that finds the
+// bucket empty is shed with 429 and a Retry-After telling the client
+// when the next token lands — overload degrades into crisp, spaced
+// retries instead of a convoy of queue-full failures.
+//
+// The table is bounded: past maxClients buckets, admitting a new client
+// evicts the one idle longest (a full bucket's owner by construction,
+// so eviction never forgives a debt).
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	max     int
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time // last refill
+}
+
+// NewRateLimiter builds a limiter admitting rate requests/second with
+// the given burst per client, tracking at most maxClients buckets. The
+// clock is injected (production wires time.Now). rate must be > 0;
+// burst < 1 is raised to 1 so a fresh client can always send one
+// request.
+func NewRateLimiter(rate float64, burst int, maxClients int, now func() time.Time) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients <= 0 {
+		maxClients = 4096
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		max:     maxClients,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from client's bucket. When the bucket is
+// empty it reports false plus how long until the next token accrues —
+// the Retry-After the caller should surface.
+func (l *RateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[client]
+	if !exists {
+		if len(l.buckets) >= l.max {
+			l.evictIdlest()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / l.rate * float64(time.Second))
+}
+
+// Len returns the number of tracked client buckets.
+func (l *RateLimiter) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// evictIdlest drops the bucket refilled longest ago. Callers hold l.mu.
+// Linear scan: it only runs when the table is at capacity, and capacity
+// is a few thousand entries.
+func (l *RateLimiter) evictIdlest() {
+	var (
+		victim string
+		oldest time.Time
+		found  bool
+	)
+	for client, b := range l.buckets {
+		if !found || b.last.Before(oldest) || (b.last.Equal(oldest) && client < victim) {
+			victim, oldest, found = client, b.last, true
+		}
+	}
+	if found {
+		delete(l.buckets, victim)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-driven clock for limiter tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestRateLimiterBurstThenShed(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(1, 3, 16, clock.now)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("request %d within burst was shed", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("request past burst was admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %v, want (0, 1s] at rate 1/s", retry)
+	}
+
+	// Another client has its own bucket.
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Fatal("independent client shed by alice's exhaustion")
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(2, 2, 16, clock.now) // 2 tokens/s, burst 2
+
+	l.Allow("c")
+	l.Allow("c")
+	if ok, _ := l.Allow("c"); ok {
+		t.Fatal("bucket should be empty")
+	}
+	clock.advance(500 * time.Millisecond) // one token back
+	if ok, _ := l.Allow("c"); !ok {
+		t.Fatal("token not refilled after 500ms at 2/s")
+	}
+	if ok, _ := l.Allow("c"); ok {
+		t.Fatal("second token should not have accrued yet")
+	}
+	clock.advance(10 * time.Second) // refill caps at burst
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c"); !ok {
+			t.Fatalf("request %d within refilled burst was shed", i)
+		}
+	}
+	if ok, _ := l.Allow("c"); ok {
+		t.Fatal("refill must cap at burst, not accumulate 20 tokens")
+	}
+}
+
+func TestRateLimiterMinimumBurst(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(0.1, 0, 16, clock.now)
+	if ok, _ := l.Allow("x"); !ok {
+		t.Fatal("burst floor of 1 must admit a fresh client's first request")
+	}
+}
+
+func TestRateLimiterBoundedClients(t *testing.T) {
+	clock := newFakeClock()
+	l := NewRateLimiter(1, 1, 2, clock.now)
+
+	l.Allow("a")
+	clock.advance(time.Second)
+	l.Allow("b")
+	if l.Len() != 2 {
+		t.Fatalf("tracked clients = %d, want 2", l.Len())
+	}
+	clock.advance(time.Second)
+	l.Allow("c") // at capacity: evicts "a", the idlest
+	if l.Len() != 2 {
+		t.Fatalf("tracked clients = %d after eviction, want 2", l.Len())
+	}
+	// "a" was evicted, so it re-enters with a fresh (full) bucket; "c"
+	// just spent its only token and must be shed.
+	if ok, _ := l.Allow("c"); ok {
+		t.Fatal("c's bucket should be empty — eviction must not have forgiven c")
+	}
+}

@@ -1,0 +1,285 @@
+// Package cluster is the stdlib-only peer tier that turns ftserved from
+// a single process into a horizontally scalable cluster, the serving
+// analogue of the membership substrate every distributed dominating-set
+// algorithm presumes (the CONGEST neighborhood-discovery layer of
+// Deurer–Kuhn–Maus and the local peer views of Penso–Barbosa): nodes
+// discover each other with a heartbeat-driven push-pull peer-exchange
+// protocol (periodic shuffles of bounded peer views over HTTP JSON,
+// liveness via missed-heartbeat suspicion and eventual eviction, seed
+// bootstrap from `ftserved -join`), and the converged member list feeds
+// a rendezvous (highest-random-weight) hash ring so each instance's
+// existing LRU solution cache owns a shard of the keyspace. The serving
+// layer consults Route per request and transparently proxies non-owned
+// keys to their owner; a loop-guard header keeps a momentarily stale
+// ring from ping-ponging a request, and a suspect owner degrades to a
+// local solve instead of a timeout.
+//
+// The package is determinism-disciplined like the solver core (it is in
+// ftlint's detrand scope): it never reads the wall clock or the global
+// math/rand source directly — the clock and the jitter RNG are injected
+// through Config, so tests can drive membership with a fake clock and
+// gossip target selection replays bit-identically from a seed.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftclust/internal/obs"
+)
+
+// Config tunes a cluster node. Self, Now and Rand are required; zero
+// values elsewhere select the documented defaults.
+type Config struct {
+	// Self is this node's advertised host:port — the address peers dial
+	// for gossip exchanges and forwarded solves.
+	Self string
+	// Seeds are the bootstrap peers (host:port) contacted when the view
+	// is empty: at first start, and again whenever every known peer has
+	// been evicted (rejoin after a partition).
+	Seeds []string
+	// GossipInterval is the base period between shuffle rounds (default
+	// 1s). Each round's actual delay is jittered ±25% by Rand so a
+	// co-started fleet does not synchronize its rounds.
+	GossipInterval time.Duration
+	// SuspectAfter marks a peer suspect once no fresh heartbeat has been
+	// seen for this long (default 5× GossipInterval). Suspect peers stay
+	// in the ring — keys do not flap during a transient stall — but the
+	// router solves their keys locally instead of proxying to them.
+	SuspectAfter time.Duration
+	// EvictAfter removes a peer from the view entirely (default 3×
+	// SuspectAfter). Eviction moves the evictee's keyspace shard to the
+	// surviving members.
+	EvictAfter time.Duration
+	// Fanout is how many peers each round shuffles with (default 2).
+	Fanout int
+	// ViewSize bounds the number of peer entries carried in one gossip
+	// message (default 64); larger views send the most recently heard-of
+	// members first.
+	ViewSize int
+	// Now is the injected clock (required; production wires time.Now).
+	Now func() time.Time
+	// Rand is the injected, seeded jitter/selection source (required;
+	// production wires rng.New(seed)). Only the gossip loop goroutine
+	// draws from it.
+	Rand *rand.Rand
+	// Client performs gossip exchanges and is shared with the serving
+	// layer for request forwarding (default: 2s total timeout).
+	Client *http.Client
+	// Logger receives membership transitions (default: discard).
+	Logger *slog.Logger
+	// Registry receives the ftclust_cluster_* series (default: a private
+	// registry, so a registry-less node still counts internally).
+	Registry *obs.Registry
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Self == "" {
+		return errors.New("cluster: Config.Self is required")
+	}
+	if c.Now == nil {
+		return errors.New("cluster: Config.Now is required (inject time.Now)")
+	}
+	if c.Rand == nil {
+		return errors.New("cluster: Config.Rand is required (inject a seeded rng)")
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 5 * c.GossipInterval
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 3 * c.SuspectAfter
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 2
+	}
+	if c.ViewSize <= 0 {
+		c.ViewSize = 64
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return nil
+}
+
+// Node is one cluster member: the membership table, the gossip loop and
+// the rendezvous router over the converged view. Create with New, mount
+// Handler's endpoints on the serving mux, call Start to begin gossiping
+// and Stop to leave.
+type Node struct {
+	cfg     Config
+	self    PeerInfo // Addr + this process's incarnation epoch
+	mem     *membership
+	metrics *Metrics
+	logger  *slog.Logger
+
+	hbSeq atomic.Int64 // this node's heartbeat counter, bumped per round
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// New validates cfg and builds a node. The node's incarnation epoch is
+// drawn from the injected clock, so a restarted process supersedes its
+// previous incarnation in every peer's view.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:    cfg,
+		self:   PeerInfo{Addr: cfg.Self, Epoch: cfg.Now().UnixNano()},
+		mem:    newMembership(cfg.Self),
+		logger: cfg.Logger,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	n.metrics = newMetrics(cfg.Registry, func() float64 { return float64(n.mem.size()) })
+	now := cfg.Now()
+	for _, seed := range cfg.Seeds {
+		if seed != "" && seed != cfg.Self {
+			n.mem.insertSeed(seed, now)
+		}
+	}
+	return n, nil
+}
+
+// Self returns this node's advertised address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Client returns the HTTP client peers are dialed with; the serving
+// layer reuses it for request forwarding so gossip and proxy traffic
+// share one timeout policy.
+func (n *Node) Client() *http.Client { return n.cfg.Client }
+
+// Metrics exposes the node's ftclust_cluster_* handles; the serving
+// layer feeds the forward counters and latency histogram.
+func (n *Node) Metrics() *Metrics { return n.metrics }
+
+// NumMembers returns the membership size including self.
+func (n *Node) NumMembers() int { return n.mem.size() }
+
+// Members returns the current member addresses (self included),
+// ascending — the rendezvous ring's input.
+func (n *Node) Members() []string { return n.mem.members() }
+
+// Route decides where key should be served: owner is the rendezvous
+// winner over the current view, and local reports whether this node
+// should solve it itself — because it owns the key, or because the
+// owner is currently suspect (proxying to a stalled peer would trade a
+// cache hit for a timeout).
+func (n *Node) Route(key string) (owner string, local bool) {
+	owner = Owner(key, n.mem.members())
+	if owner == "" || owner == n.cfg.Self || n.mem.isSuspect(owner) {
+		return owner, true
+	}
+	return owner, false
+}
+
+// Start launches the gossip loop. It returns immediately; Stop (or a
+// second Start) must not be called concurrently with it.
+func (n *Node) Start() {
+	go n.loop()
+}
+
+// Stop terminates the gossip loop and waits for it to exit. Safe to
+// call more than once.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}
+
+// loop runs shuffle rounds forever, jittering each delay so co-started
+// nodes spread their traffic.
+func (n *Node) loop() {
+	defer close(n.done)
+	timer := time.NewTimer(n.jitter())
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-timer.C:
+			n.round()
+			timer.Reset(n.jitter())
+		}
+	}
+}
+
+// jitter returns the next round delay: GossipInterval ±25%, drawn from
+// the injected seeded source (never the global one — detrand enforces
+// this package-wide).
+func (n *Node) jitter() time.Duration {
+	base := n.cfg.GossipInterval
+	span := int64(base) / 2
+	if span <= 0 {
+		return base
+	}
+	return base - base/4 + time.Duration(n.cfg.Rand.Int63n(span))
+}
+
+// round is one gossip heartbeat: advance our own heartbeat counter,
+// age the view (suspicion and eviction), then push-pull shuffle with a
+// random fanout of peers — falling back to the seeds whenever the view
+// is empty so a partitioned or freshly started node (re)joins.
+func (n *Node) round() {
+	n.hbSeq.Add(1)
+	now := n.cfg.Now()
+	suspected, evicted := n.mem.age(now, n.cfg.SuspectAfter, n.cfg.EvictAfter)
+	for _, addr := range suspected {
+		n.logger.Info("cluster peer suspected", "peer", addr)
+	}
+	for _, addr := range evicted {
+		n.metrics.Evictions.Inc()
+		n.logger.Info("cluster peer evicted", "peer", addr)
+	}
+
+	targets := n.mem.pickTargets(n.cfg.Rand, n.cfg.Fanout)
+	if len(targets) == 0 {
+		targets = n.seedTargets()
+	}
+	if len(targets) == 0 {
+		return
+	}
+	n.metrics.Shuffles.Inc()
+	for _, addr := range targets {
+		n.exchange(addr)
+	}
+}
+
+// seedTargets returns the configured seeds (minus self), the bootstrap
+// and rejoin path for an empty view.
+func (n *Node) seedTargets() []string {
+	out := make([]string, 0, len(n.cfg.Seeds))
+	for _, s := range n.cfg.Seeds {
+		if s != "" && s != n.cfg.Self {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// selfInfo is this node's current wire entry.
+func (n *Node) selfInfo() PeerInfo {
+	return PeerInfo{Addr: n.self.Addr, Epoch: n.self.Epoch, Heartbeat: n.hbSeq.Load()}
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("cluster.Node(%s, %d members)", n.cfg.Self, n.mem.size())
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// GossipPath is the cluster-internal endpoint peers exchange views on;
+// the serving layer mounts Node.HandleGossip there.
+const GossipPath = "/cluster/v1/gossip"
+
+// PeersPath serves a read-only JSON view of the membership table, for
+// debugging and the CI convergence probe.
+const PeersPath = "/cluster/v1/peers"
+
+// gossipMsg is one push-pull message: the sender's own entry plus its
+// bounded view. The response to a push is the receiver's gossipMsg, so
+// one round trip merges both directions.
+type gossipMsg struct {
+	From  PeerInfo   `json:"from"`
+	Peers []PeerInfo `json:"peers"`
+}
+
+// maxGossipBody caps inbound gossip bodies; a view of ViewSize entries
+// is a few KiB, so 1 MiB is generous headroom, not a limit anyone hits.
+const maxGossipBody = 1 << 20
+
+// HandleGossip serves POST /cluster/v1/gossip: merge the sender's view,
+// answer with ours. Every processed message counts as one heartbeat
+// received.
+func (n *Node) HandleGossip(w http.ResponseWriter, r *http.Request) {
+	var msg gossipMsg
+	r.Body = http.MaxBytesReader(w, r.Body, maxGossipBody)
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		http.Error(w, "malformed gossip message: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := n.cfg.Now()
+	// Direct contact beats digest freshness rules: the sender provably
+	// lives at this instant even if its heartbeat number already reached
+	// us transitively through a faster path.
+	n.mem.touch(msg.From, now)
+	n.mem.merge(msg.Peers, now)
+	n.metrics.Heartbeats.Inc()
+
+	resp := gossipMsg{From: n.selfInfo(), Peers: n.mem.digest(n.selfInfo(), n.cfg.ViewSize)}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// HandlePeers serves GET /cluster/v1/peers: the membership view as
+// JSON, self first, then peers ascending by address.
+func (n *Node) HandlePeers(w http.ResponseWriter, r *http.Request) {
+	view := struct {
+		Self    string     `json:"self"`
+		Members []string   `json:"members"`
+		Peers   []PeerInfo `json:"peers"`
+	}{
+		Self:    n.cfg.Self,
+		Members: n.mem.members(),
+		Peers:   n.mem.digest(n.selfInfo(), 0),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(view)
+}
+
+// exchange performs one push-pull shuffle with addr: POST our view,
+// merge the returned one. Errors are deliberately quiet — an unreachable
+// peer simply stops refreshing its row and ages into suspicion, which
+// is the liveness signal, not the error itself.
+func (n *Node) exchange(addr string) {
+	msg := gossipMsg{From: n.selfInfo(), Peers: n.mem.digest(n.selfInfo(), n.cfg.ViewSize)}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+GossipPath, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		n.logger.Debug("gossip exchange failed", "peer", addr, "err", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		n.logger.Debug("gossip exchange rejected", "peer", addr, "status", resp.StatusCode)
+		return
+	}
+	var reply gossipMsg
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxGossipBody)).Decode(&reply); err != nil {
+		n.logger.Debug("gossip reply malformed", "peer", addr, "err", err)
+		return
+	}
+	now := n.cfg.Now()
+	n.mem.touch(reply.From, now)
+	n.mem.merge(reply.Peers, now)
+	n.metrics.Heartbeats.Inc()
+}

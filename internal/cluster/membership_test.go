@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMergeFreshnessRules(t *testing.T) {
+	m := newMembership("self:1")
+	t0 := time.Unix(1700000000, 0)
+
+	if added := m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 5, Heartbeat: 10}}, t0); added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	// Self entries and empty addresses are ignored.
+	if added := m.merge([]PeerInfo{{Addr: "self:1", Epoch: 99}, {Addr: ""}}, t0); added != 0 {
+		t.Fatalf("self/empty entries added %d members", added)
+	}
+
+	// Stale: older epoch, and equal epoch without heartbeat advance.
+	m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 4, Heartbeat: 99}}, t0.Add(time.Second))
+	m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 5, Heartbeat: 10}}, t0.Add(time.Second))
+	if p := m.peers["p1:1"]; !p.lastSeen.Equal(t0) {
+		t.Fatal("stale entry refreshed lastSeen")
+	}
+
+	// Fresh: heartbeat advance, then epoch advance (restart supersedes
+	// even with a lower heartbeat).
+	m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 5, Heartbeat: 11}}, t0.Add(2*time.Second))
+	if p := m.peers["p1:1"]; !p.lastSeen.Equal(t0.Add(2*time.Second)) || p.info.Heartbeat != 11 {
+		t.Fatalf("heartbeat advance not applied: %+v", p)
+	}
+	m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 6, Heartbeat: 1}}, t0.Add(3*time.Second))
+	if p := m.peers["p1:1"]; p.info.Epoch != 6 || p.info.Heartbeat != 1 {
+		t.Fatalf("new incarnation not adopted: %+v", p)
+	}
+}
+
+func TestAgeSuspicionAndEviction(t *testing.T) {
+	m := newMembership("self:1")
+	t0 := time.Unix(1700000000, 0)
+	m.merge([]PeerInfo{
+		{Addr: "fresh:1", Epoch: 1, Heartbeat: 1},
+		{Addr: "slow:1", Epoch: 1, Heartbeat: 1},
+		{Addr: "dead:1", Epoch: 1, Heartbeat: 1},
+	}, t0)
+	// Refresh "fresh" so only the others idle out.
+	m.merge([]PeerInfo{{Addr: "fresh:1", Epoch: 1, Heartbeat: 2}}, t0.Add(9*time.Second))
+	m.merge([]PeerInfo{{Addr: "slow:1", Epoch: 1, Heartbeat: 2}}, t0.Add(4*time.Second))
+
+	suspected, evicted := m.age(t0.Add(10*time.Second), 5*time.Second, 9*time.Second)
+	if !reflect.DeepEqual(suspected, []string{"slow:1"}) {
+		t.Fatalf("suspected = %v, want [slow:1]", suspected)
+	}
+	if !reflect.DeepEqual(evicted, []string{"dead:1"}) {
+		t.Fatalf("evicted = %v, want [dead:1]", evicted)
+	}
+	if !m.isSuspect("slow:1") || m.isSuspect("fresh:1") || m.isSuspect("dead:1") {
+		t.Fatal("suspicion flags wrong after age")
+	}
+	if got := m.members(); !reflect.DeepEqual(got, []string{"fresh:1", "self:1", "slow:1"}) {
+		t.Fatalf("members after eviction = %v", got)
+	}
+
+	// A suspect stays a ring member, and a fresh heartbeat clears it.
+	m.merge([]PeerInfo{{Addr: "slow:1", Epoch: 1, Heartbeat: 3}}, t0.Add(11*time.Second))
+	if m.isSuspect("slow:1") {
+		t.Fatal("fresh heartbeat must clear suspicion")
+	}
+}
+
+func TestTouchRefreshesOnEqualHeartbeat(t *testing.T) {
+	m := newMembership("self:1")
+	t0 := time.Unix(1700000000, 0)
+	m.merge([]PeerInfo{{Addr: "p:1", Epoch: 3, Heartbeat: 7}}, t0)
+
+	// merge with an equal heartbeat is stale; touch is direct contact and
+	// refreshes even without an advance.
+	m.merge([]PeerInfo{{Addr: "p:1", Epoch: 3, Heartbeat: 7}}, t0.Add(time.Second))
+	if p := m.peers["p:1"]; !p.lastSeen.Equal(t0) {
+		t.Fatal("merge must not refresh on equal heartbeat")
+	}
+	m.touch(PeerInfo{Addr: "p:1", Epoch: 3, Heartbeat: 7}, t0.Add(time.Second))
+	if p := m.peers["p:1"]; !p.lastSeen.Equal(t0.Add(time.Second)) {
+		t.Fatal("touch must refresh on equal heartbeat (direct contact)")
+	}
+}
+
+func TestDigestBoundedAndSorted(t *testing.T) {
+	m := newMembership("self:1")
+	t0 := time.Unix(1700000000, 0)
+	for i := 0; i < 10; i++ {
+		m.merge([]PeerInfo{{Addr: string(rune('a'+i)) + ":1", Epoch: 1, Heartbeat: int64(i)}},
+			t0.Add(time.Duration(i)*time.Second))
+	}
+	self := PeerInfo{Addr: "self:1", Epoch: 9, Heartbeat: 42}
+	d := m.digest(self, 4)
+	if len(d) != 4 {
+		t.Fatalf("digest length %d, want 4 (self + 3 freshest)", len(d))
+	}
+	foundSelf := false
+	for i, e := range d {
+		if e.Addr == "self:1" {
+			foundSelf = true
+		}
+		if i > 0 && d[i-1].Addr >= e.Addr {
+			t.Fatalf("digest not strictly sorted by addr: %v", d)
+		}
+	}
+	if !foundSelf {
+		t.Fatal("digest must always carry self")
+	}
+	// Freshest-first truncation: the oldest peers (a..f) are dropped.
+	for _, e := range d {
+		if e.Addr == "a:1" || e.Addr == "b:1" {
+			t.Fatalf("digest kept stale entry %s over fresher ones", e.Addr)
+		}
+	}
+}
+
+func TestPickTargetsPrefersAlive(t *testing.T) {
+	m := newMembership("self:1")
+	t0 := time.Unix(1700000000, 0)
+	m.merge([]PeerInfo{
+		{Addr: "alive:1", Epoch: 1, Heartbeat: 5},
+		{Addr: "stale:1", Epoch: 1, Heartbeat: 1},
+	}, t0)
+	m.merge([]PeerInfo{{Addr: "alive:1", Epoch: 1, Heartbeat: 6}}, t0.Add(8*time.Second))
+	m.age(t0.Add(10*time.Second), 5*time.Second, time.Hour)
+
+	r := rand.New(rand.NewSource(1))
+	got := m.pickTargets(r, 2)
+	if !reflect.DeepEqual(got, []string{"alive:1"}) {
+		t.Fatalf("pickTargets = %v, want only the alive peer", got)
+	}
+
+	// With every peer suspect, shuffling still reaches out (a suspect
+	// that answers clears itself).
+	m.age(t0.Add(time.Hour/2), 5*time.Second, time.Hour)
+	got = m.pickTargets(r, 2)
+	if len(got) != 2 {
+		t.Fatalf("pickTargets over all-suspect view = %v, want both", got)
+	}
+}
+
+// Two nodes wired through real HTTP handlers discover each other in one
+// push-pull exchange: A learns B from the reply, B learns A from the
+// inbound message.
+func TestGossipExchangeConverges(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+	mk := func(self string, seeds []string) *Node {
+		n, err := New(Config{
+			Self:   self,
+			Seeds:  seeds,
+			Now:    clock,
+			Rand:   rand.New(rand.NewSource(1)),
+			Logger: slog.Default(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	var b *Node
+	tsB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.HandleGossip(w, r)
+	}))
+	defer tsB.Close()
+	addrB := tsB.Listener.Addr().String()
+
+	a := mk("a.example:1", []string{addrB})
+	b = mk(addrB, nil)
+
+	a.hbSeq.Add(1)
+	b.hbSeq.Add(1)
+	a.exchange(addrB)
+
+	if got := a.Members(); !reflect.DeepEqual(got, sortedAddrs("a.example:1", addrB)) {
+		t.Fatalf("A's view after exchange = %v", got)
+	}
+	if got := b.Members(); !reflect.DeepEqual(got, sortedAddrs("a.example:1", addrB)) {
+		t.Fatalf("B's view after exchange = %v", got)
+	}
+	if a.Metrics().Heartbeats.Value() != 1 || b.Metrics().Heartbeats.Value() != 1 {
+		t.Fatalf("heartbeat counters: a=%d b=%d, want 1 each",
+			a.Metrics().Heartbeats.Value(), b.Metrics().Heartbeats.Value())
+	}
+}
+
+func sortedAddrs(a, b string) []string {
+	if a < b {
+		return []string{a, b}
+	}
+	return []string{b, a}
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import "ftclust/internal/obs"
+
+// Metric names of the ftclust_cluster_* family. Compile-time constants
+// by contract (ftlint obsconst): the exposition's name set must be
+// identical on every peer so fleet-wide scrapes aggregate cleanly.
+const (
+	metricPeers         = "ftclust_cluster_peers"
+	metricHeartbeats    = "ftclust_cluster_heartbeats_total"
+	metricShuffles      = "ftclust_cluster_shuffles_total"
+	metricForwards      = "ftclust_cluster_forwards_total"
+	metricForwardErrors = "ftclust_cluster_forward_errors_total"
+	metricEvictions     = "ftclust_cluster_evictions_total"
+	metricForwardDur    = "ftclust_cluster_forward_duration_seconds"
+)
+
+// Metrics are the cluster's observability handles, registered on the
+// serving registry so they appear in the existing /metrics exposition.
+// The gossip layer feeds Heartbeats/Shuffles/Evictions; the serving
+// layer's router feeds Forwards/ForwardErrors/ForwardDur around each
+// proxied request.
+type Metrics struct {
+	Heartbeats    *obs.Counter
+	Shuffles      *obs.Counter
+	Forwards      *obs.Counter
+	ForwardErrors *obs.Counter
+	Evictions     *obs.Counter
+	ForwardDur    *obs.Histogram
+}
+
+// newMetrics registers the cluster series on reg; peers is the
+// membership-size gauge callback (self included).
+func newMetrics(reg *obs.Registry, peers func() float64) *Metrics {
+	reg.Gauge(metricPeers, "cluster members currently in the view (self included)", peers)
+	return &Metrics{
+		Heartbeats: reg.Counter(metricHeartbeats,
+			"gossip heartbeats processed (inbound messages plus pull replies)"),
+		Shuffles: reg.Counter(metricShuffles,
+			"push-pull shuffle rounds initiated"),
+		Forwards: reg.Counter(metricForwards,
+			"requests proxied to their rendezvous owner"),
+		ForwardErrors: reg.Counter(metricForwardErrors,
+			"forward attempts that failed and fell back to a local solve"),
+		Evictions: reg.Counter(metricEvictions,
+			"peers evicted after exceeding the missed-heartbeat deadline"),
+		ForwardDur: reg.Histogram(metricForwardDur,
+			"wall time of one forwarded request (dial to full response)",
+			obs.DurationBuckets()),
+	}
+}

@@ -1,0 +1,40 @@
+package cluster
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing assigns every key to the
+// member with the highest hash(member, key) score. Unlike a mod-N ring
+// it needs no virtual-node bookkeeping, every node computes the same
+// owner from the same member list with no coordination, and membership
+// changes are minimally disruptive: when one of N members leaves, only
+// the keys it owned (≈ M/N of them) move, each to its second-highest
+// scorer — exactly the stability the per-node LRU solution caches need.
+
+// score is the HRW weight of member for key: FNV-1a over the member
+// address, a separator that cannot appear in a host:port, and the key.
+func score(member, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the rendezvous winner for key among members, or "" for
+// an empty member list. Score ties (vanishingly rare with a 64-bit
+// hash) break toward the lexicographically smaller address so every
+// node still agrees.
+func Owner(key string, members []string) string {
+	var (
+		best      string
+		bestScore uint64
+		first     = true
+	)
+	for _, m := range members {
+		s := score(m, key)
+		if first || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore, first = m, s, false
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%08x/k=2/t=3/seed=%d", i*2654435761, i)
+	}
+	return keys
+}
+
+// Every node must compute the same owner from the same member set, no
+// matter how its local copy of the list happens to be ordered.
+func TestOwnerDeterministic(t *testing.T) {
+	members := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.4:8080"}
+	keys := testKeys(256)
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = Owner(k, members)
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i, k := range keys {
+			if got := Owner(k, shuffled); got != want[i] {
+				t.Fatalf("trial %d key %q: owner %q, want %q (order must not matter)", trial, k, got, want[i])
+			}
+		}
+	}
+}
+
+func TestOwnerEmptyMembers(t *testing.T) {
+	if got := Owner("anything", nil); got != "" {
+		t.Fatalf("owner of empty member list = %q, want \"\"", got)
+	}
+	if got := Owner("anything", []string{"a:1"}); got != "a:1" {
+		t.Fatalf("single member must own everything, got %q", got)
+	}
+}
+
+// HRW's balance guarantee: each of N members owns roughly M/N keys.
+func TestOwnerBalance(t *testing.T) {
+	members := []string{"n1:9000", "n2:9000", "n3:9000", "n4:9000", "n5:9000"}
+	keys := testKeys(5000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[Owner(k, members)]++
+	}
+	expect := len(keys) / len(members)
+	for _, m := range members {
+		c := counts[m]
+		if c < expect/2 || c > expect*2 {
+			t.Fatalf("member %s owns %d of %d keys (expected ≈%d): badly skewed", m, c, len(keys), expect)
+		}
+	}
+}
+
+// Minimal disruption: removing one of N members moves exactly the keys
+// it owned (≈ M/N), and every other key keeps its owner. Adding it back
+// restores the original assignment exactly.
+func TestOwnerStabilityUnderMembershipChange(t *testing.T) {
+	members := []string{"n1:9000", "n2:9000", "n3:9000", "n4:9000", "n5:9000"}
+	keys := testKeys(4000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = Owner(k, members)
+	}
+
+	gone := "n3:9000"
+	survivors := make([]string, 0, len(members)-1)
+	for _, m := range members {
+		if m != gone {
+			survivors = append(survivors, m)
+		}
+	}
+	moved := 0
+	for _, k := range keys {
+		after := Owner(k, survivors)
+		switch {
+		case before[k] == gone:
+			moved++
+			if after == gone {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+		case after != before[k]:
+			t.Fatalf("key %q moved %s→%s although its owner survived", k, before[k], after)
+		}
+	}
+	expect := len(keys) / len(members)
+	if moved < expect/2 || moved > expect*2 {
+		t.Fatalf("removal moved %d keys, expected ≈%d (M/N)", moved, expect)
+	}
+
+	// Rejoin: bit-identical to the original assignment.
+	for _, k := range keys {
+		if got := Owner(k, members); got != before[k] {
+			t.Fatalf("after rejoin key %q owner %q, want %q", k, got, before[k])
+		}
+	}
+}

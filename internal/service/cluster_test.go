@@ -1,0 +1,368 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clusterNode is one in-process ftserved instance wired into a test
+// cluster: a real Server behind a real listener, so gossip and request
+// forwarding travel over actual HTTP.
+type clusterNode struct {
+	srv  *Server
+	ts   *httptest.Server
+	addr string
+	stop sync.Once
+}
+
+// fastGossip returns cluster timings tight enough for tests to converge
+// in tens of milliseconds without flaking under load.
+func fastGossip(self string, seeds []string) *ClusterConfig {
+	return &ClusterConfig{
+		Self:           self,
+		Seeds:          seeds,
+		GossipInterval: 20 * time.Millisecond,
+		SuspectAfter:   200 * time.Millisecond,
+		EvictAfter:     600 * time.Millisecond,
+	}
+}
+
+// startClusterNode boots a cluster member. The listener must exist
+// before service.New so the node can advertise its real address; the
+// handler indirects through the pointer, which is assigned before
+// Start spawns any serving goroutine.
+func startClusterNode(t *testing.T, seeds []string, mutate func(*Config)) *clusterNode {
+	t.Helper()
+	n := &clusterNode{}
+	n.ts = httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.srv.Handler().ServeHTTP(w, r)
+	}))
+	n.addr = n.ts.Listener.Addr().String()
+	cfg := Config{Cluster: fastGossip(n.addr, seeds)}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n.srv = New(cfg)
+	n.ts.Start()
+	t.Cleanup(n.kill)
+	return n
+}
+
+// kill shuts the node down hard: stop serving, leave the gossip loop.
+// Idempotent so tests can kill explicitly and rely on cleanup too.
+func (n *clusterNode) kill() {
+	n.stop.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		n.srv.Shutdown(ctx)
+		n.ts.Close()
+	})
+}
+
+// waitPeers polls until every node sees exactly want members.
+func waitPeers(t *testing.T, nodes []*clusterNode, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		converged := true
+		for _, n := range nodes {
+			if n.srv.ClusterPeers() != want {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+		if time.Now().After(deadline) {
+			views := make([]string, len(nodes))
+			for i, n := range nodes {
+				views[i] = fmt.Sprintf("%s=%d", n.addr, n.srv.ClusterPeers())
+			}
+			t.Fatalf("cluster never converged on %d members: %s", want, strings.Join(views, " "))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func solveBodyForSeed(seed int) string {
+	return fmt.Sprintf(`{"family":{"name":"gnp","n":60,"degree":5,"seed":%d},"k":2,"t":2}`, seed)
+}
+
+// Three nodes bootstrapped off one seed converge on full membership;
+// a killed node is evicted from the survivors' views; a late joiner
+// brings the count back up.
+func TestClusterMembershipConvergence(t *testing.T) {
+	n1 := startClusterNode(t, nil, nil)
+	n2 := startClusterNode(t, []string{n1.addr}, nil)
+	n3 := startClusterNode(t, []string{n1.addr}, nil)
+	waitPeers(t, []*clusterNode{n1, n2, n3}, 3)
+
+	// Kill: the dead node stops heartbeating and ages out of both views.
+	n3.kill()
+	waitPeers(t, []*clusterNode{n1, n2}, 2)
+
+	// Join: a fresh node seeded off n2 propagates to n1 transitively.
+	n4 := startClusterNode(t, []string{n2.addr}, nil)
+	waitPeers(t, []*clusterNode{n1, n2, n4}, 3)
+}
+
+// Cache-shard locality: 64 distinct keys sprayed round-robin across 3
+// nodes are each solved exactly once cluster-wide — every non-owner
+// proxies to the owner instead of solving and caching its own copy.
+func TestClusterExactlyOnceSolves(t *testing.T) {
+	n1 := startClusterNode(t, nil, nil)
+	n2 := startClusterNode(t, []string{n1.addr}, nil)
+	n3 := startClusterNode(t, []string{n1.addr}, nil)
+	nodes := []*clusterNode{n1, n2, n3}
+	waitPeers(t, nodes, 3)
+
+	const keys = 64
+	forwarded := 0
+	for i := 0; i < keys; i++ {
+		node := nodes[i%len(nodes)]
+		resp, body := postJSON(t, node.ts.URL+"/v1/solve", solveBodyForSeed(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("key %d on %s: status %d, body %s", i, node.addr, resp.StatusCode, body)
+		}
+		switch route := resp.Header.Get("X-Cluster-Route"); route {
+		case "local":
+		case "forwarded":
+			forwarded++
+		default:
+			t.Fatalf("key %d: X-Cluster-Route = %q", i, route)
+		}
+	}
+
+	var solves int64
+	for _, n := range nodes {
+		solves += n.srv.Metrics().Solves
+	}
+	if solves != keys {
+		t.Fatalf("cluster-wide solves = %d, want exactly %d (each key owned once)", solves, keys)
+	}
+	// With 3 nodes, ≈2/3 of round-robin placements miss the owner.
+	if forwarded == 0 {
+		t.Fatal("no request was forwarded; routing is not engaging")
+	}
+
+	// Replay every key against a different node than before: all cache
+	// hits somewhere in the cluster, zero new solves.
+	for i := 0; i < keys; i++ {
+		node := nodes[(i+1)%len(nodes)]
+		resp, body := postJSON(t, node.ts.URL+"/v1/solve", solveBodyForSeed(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replay key %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+			t.Fatalf("replay key %d: X-Cache = %q, want hit", i, xc)
+		}
+	}
+	var after int64
+	for _, n := range nodes {
+		after += n.srv.Metrics().Solves
+	}
+	if after != keys {
+		t.Fatalf("replay re-solved keys: solves went %d → %d", keys, after)
+	}
+}
+
+// A forwarded response must be byte-identical to the one the owner
+// serves directly, and exactly one of the three nodes may claim a key
+// as local.
+func TestClusterForwardedByteIdentical(t *testing.T) {
+	n1 := startClusterNode(t, nil, nil)
+	n2 := startClusterNode(t, []string{n1.addr}, nil)
+	n3 := startClusterNode(t, []string{n1.addr}, nil)
+	nodes := []*clusterNode{n1, n2, n3}
+	waitPeers(t, nodes, 3)
+
+	body := solveBodyForSeed(1000)
+	var bodies [][]byte
+	locals, forwards := 0, 0
+	for _, n := range nodes {
+		resp, b := postJSON(t, n.ts.URL+"/v1/solve", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve on %s: status %d, body %s", n.addr, resp.StatusCode, b)
+		}
+		switch resp.Header.Get("X-Cluster-Route") {
+		case "local":
+			locals++
+		case "forwarded":
+			forwards++
+		}
+		bodies = append(bodies, b)
+	}
+	if locals != 1 || forwards != 2 {
+		t.Fatalf("route split local=%d forwarded=%d, want 1/2", locals, forwards)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// The loop guard: a request already carrying the forwarded marker is
+// served locally even by a non-owner, so divergent rings cannot bounce
+// a request between nodes.
+func TestClusterLoopGuard(t *testing.T) {
+	n1 := startClusterNode(t, nil, nil)
+	n2 := startClusterNode(t, []string{n1.addr}, nil)
+	waitPeers(t, []*clusterNode{n1, n2}, 2)
+
+	// Find a seed whose key n1 does NOT own (it would forward).
+	var body string
+	found := false
+	for seed := 0; seed < 64 && !found; seed++ {
+		b := solveBodyForSeed(2000 + seed)
+		var req SolveRequest
+		if !jsonDecode(b, &req) {
+			t.Fatal("bad test body")
+		}
+		_, key, _, err := n1.srv.prepareSolve(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, local := n1.srv.cluster.Route(key); !local {
+			body, found = b, true
+		}
+	}
+	if !found {
+		t.Fatal("no non-owned key found in 64 tries (hash degenerate?)")
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, n1.ts.URL+"/v1/solve", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Cluster-Forwarded", "phantom.example:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loop-guarded solve: status %d", resp.StatusCode)
+	}
+	if route := resp.Header.Get("X-Cluster-Route"); route != "local" {
+		t.Fatalf("loop-guarded request routed %q, want local (one hop max)", route)
+	}
+}
+
+func jsonDecode(s string, dst any) bool {
+	return json.Unmarshal([]byte(s), dst) == nil
+}
+
+// The per-client token bucket sheds with 429 + Retry-After, keys on
+// X-Client-ID, exempts forwarded peer traffic, and never sheds the
+// metrics endpoint.
+func TestRateLimitSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{RatePerSec: 0.5, RateBurst: 2})
+
+	post := func(client string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(gnpSolveBody))
+		req.Header.Set("Content-Type", "application/json")
+		if client != "" {
+			req.Header.Set("X-Client-ID", client)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := post("alice"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d within burst: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := post("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	// A different client has its own bucket.
+	if resp := post("bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("independent client shed: status %d", resp.StatusCode)
+	}
+	// Forwarded peer traffic bypasses the bucket (the origin node
+	// already charged the client).
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(gnpSolveBody))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", "alice")
+	req.Header.Set("X-Cluster-Forwarded", "peer.example:1")
+	fr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Body.Close()
+	if fr.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded request shed: status %d", fr.StatusCode)
+	}
+	// Observability endpoints stay reachable during shedding.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics shed: status %d", mr.StatusCode)
+	}
+
+	if m := s.Metrics(); m.ShedRatelimit < 1 {
+		t.Fatalf("shed_ratelimit = %d, want ≥1", m.ShedRatelimit)
+	}
+}
+
+// Queue overflow sheds with 429 + Retry-After and bumps the
+// reason="queue" counter; 503 stays reserved for drain/shutdown.
+func TestQueueOverflowReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	slow := func(seed int) string {
+		return fmt.Sprintf(`{"family":{"name":"gnp","n":40000,"degree":6,"seed":%d},"k":3,"t":6}`, seed)
+	}
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			resp, _ := postJSON(t, ts.URL+"/v1/solve", slow(i))
+			done <- resp.StatusCode
+		}(i)
+	}
+	// Wait until one solve occupies the worker and one the backlog slot.
+	deadline := time.Now().Add(15 * time.Second)
+	for s.Metrics().InFlight == 0 || s.Metrics().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never saturated: %+v", s.Metrics())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", slow(99))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow solve: status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("overflow 429 missing Retry-After")
+	}
+	if m := s.Metrics(); m.ShedQueue < 1 || m.QueueRejected < 1 {
+		t.Fatalf("shed counters after overflow: %+v", m)
+	}
+
+	for i := 0; i < 2; i++ {
+		if status := <-done; status != http.StatusOK {
+			t.Fatalf("saturating solve %d finished with status %d", i, status)
+		}
+	}
+}

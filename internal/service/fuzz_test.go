@@ -46,6 +46,7 @@ func FuzzSolveRequestDecode(f *testing.F) {
 		case http.StatusOK,
 			http.StatusBadRequest,
 			http.StatusRequestEntityTooLarge,
+			http.StatusTooManyRequests,
 			http.StatusInternalServerError,
 			http.StatusServiceUnavailable,
 			http.StatusGatewayTimeout:

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -99,12 +101,15 @@ type BatchSolveRequest struct {
 // BatchSolveItem is one per-request outcome inside a batch response:
 // exactly one of Solution and Error is set. Status carries the HTTP status
 // the request would have received from /v1/solve; Cache mirrors the
-// X-Cache header (hit, miss or coalesced).
+// X-Cache header (hit, miss or coalesced). In cluster mode Route mirrors
+// the X-Cluster-Route header: "local" when this node owned the item's
+// key, "forwarded" when it was proxied to the owner.
 type BatchSolveItem struct {
 	Solution *SolutionJSON `json:"solution,omitempty"`
 	Error    string        `json:"error,omitempty"`
 	Status   int           `json:"status"`
 	Cache    string        `json:"cache,omitempty"`
+	Route    string        `json:"route,omitempty"`
 }
 
 // BatchSolveResponse is the body of POST /v1/solvebatch; Results holds one
@@ -240,6 +245,37 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
+// readBody drains a size-capped request body into memory — the routing
+// layer needs the raw bytes to proxy a non-owned key verbatim. Status
+// and error shape match decodeJSON's.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+		}
+		return nil, false
+	}
+	return b, true
+}
+
+// decodeBody strictly decodes an already-read body, mirroring
+// decodeJSON's 400 shape.
+func decodeBody(w http.ResponseWriter, body []byte, dst any) bool {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %v", err))
+		return false
+	}
+	return true
+}
+
 // buildGraph materializes the instance a request describes.
 func (s *Server) buildGraph(gs *GraphSpec, fs *FamilySpec) (*graph.Graph, error) {
 	switch {
@@ -273,18 +309,14 @@ const (
 	cacheCoalesced = "coalesced"
 )
 
-// solve is the shared engine behind /v1/solve, /v1/solvebatch and session
-// creation: build the instance, consult the cache, join an identical
-// in-flight solve if one exists, otherwise lead a fresh solve on the
-// bounded worker pool under the request deadline. It returns the graph so
-// session creation can keep it, plus the cache status for the X-Cache
-// header. parent scopes this call's spans inside the request trace (nil =
-// under the root; batch items pass their per-item span).
-func (s *Server) solve(ctx context.Context, req *SolveRequest, parent *obs.Span) (*SolveResponse, *graph.Graph, string, int, error) {
-	tr := obs.TraceFrom(ctx)
+// prepareSolve validates a request, fills its defaults, materializes
+// the instance and computes the cache/routing key — the part of a solve
+// every node does locally even for keys it forwards, because the key is
+// the canonical graph hash plus the solver parameters.
+func (s *Server) prepareSolve(req *SolveRequest) (*graph.Graph, string, int, error) {
 	g, err := s.buildGraph(req.Graph, req.Family)
 	if err != nil {
-		return nil, nil, "", http.StatusBadRequest, err
+		return nil, "", http.StatusBadRequest, err
 	}
 	if req.T == 0 {
 		req.T = 3
@@ -293,15 +325,40 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, parent *obs.Span)
 		req.Seed = 1
 	}
 	if req.T < 1 || req.T > 64 {
-		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
+		return nil, "", http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
 	}
+	return g, solveCacheKey(g.CanonicalHash(), req.K, req.T, req.Seed, req.Local), 0, nil
+}
 
+// solve is the shared engine behind session creation and the local leg
+// of /v1/solve: prepare the instance, then run the cached/coalesced
+// solve. It returns the graph so session creation can keep it, plus the
+// cache status for the X-Cache header. parent scopes this call's spans
+// inside the request trace (nil = under the root; batch items pass
+// their per-item span).
+func (s *Server) solve(ctx context.Context, req *SolveRequest, parent *obs.Span) (*SolveResponse, *graph.Graph, string, int, error) {
+	g, key, status, err := s.prepareSolve(req)
+	if err != nil {
+		return nil, nil, "", status, err
+	}
+	resp, cacheStatus, status, err := s.solvePrepared(ctx, req, g, key, parent)
+	if err != nil {
+		return nil, nil, "", status, err
+	}
+	return resp, g, cacheStatus, status, nil
+}
+
+// solvePrepared runs the cache → coalesce → lead pipeline for an
+// already-prepared request: consult the cache, join an identical
+// in-flight solve if one exists, otherwise lead a fresh solve on the
+// bounded worker pool under the request deadline.
+func (s *Server) solvePrepared(ctx context.Context, req *SolveRequest, g *graph.Graph, key string, parent *obs.Span) (*SolveResponse, string, int, error) {
+	tr := obs.TraceFrom(ctx)
 	lookup := time.Now()
-	key := solveCacheKey(g.CanonicalHash(), req.K, req.T, req.Seed, req.Local)
 	if resp, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		tr.AddSpan(parent, "cache", lookup, time.Now()).SetAttr("decision", cacheHit)
-		return resp, g, cacheHit, http.StatusOK, nil
+		return resp, cacheHit, http.StatusOK, nil
 	}
 
 	// Identical request already being solved? Wait for its result instead
@@ -313,15 +370,15 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, parent *obs.Span)
 		select {
 		case <-f.done:
 			if f.err != nil {
-				return nil, nil, "", f.status, f.err
+				return nil, "", f.status, f.err
 			}
 			s.metrics.coalesced.Add(1)
 			sp.SetAttr("decision", cacheCoalesced)
-			return f.resp, g, cacheCoalesced, http.StatusOK, nil
+			return f.resp, cacheCoalesced, http.StatusOK, nil
 		case <-ctx.Done():
 			s.metrics.canceled.Add(1)
 			sp.SetAttr("decision", "abandoned")
-			return nil, nil, "", http.StatusGatewayTimeout,
+			return nil, "", http.StatusGatewayTimeout,
 				fmt.Errorf("solve abandoned: %w", ctx.Err())
 		}
 	}
@@ -330,9 +387,9 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, parent *obs.Span)
 	resp, status, err := s.leadSolve(ctx, req, g, key, parent)
 	s.flights.finish(key, f, resp, status, err)
 	if err != nil {
-		return nil, nil, "", status, err
+		return nil, "", status, err
 	}
-	return resp, g, cacheMiss, http.StatusOK, nil
+	return resp, cacheMiss, http.StatusOK, nil
 }
 
 // leadSolve runs the actual solver job for a flight leader and populates
@@ -412,7 +469,16 @@ func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Grap
 		resp = NewSolutionJSON(g, sol, req.K)
 	})
 	switch {
-	case errors.Is(err, errQueueFull), errors.Is(err, errDraining):
+	case errors.Is(err, errQueueFull):
+		// Backlog overflow is transient by construction (the pool is
+		// draining it right now): shed with 429 + Retry-After computed
+		// from the backlog so clients space their retries. 503 stays
+		// reserved for drain/shutdown, where retrying this process is
+		// pointless.
+		s.metrics.queueRejected.Add(1)
+		s.metrics.shedQueue.Inc()
+		return nil, http.StatusTooManyRequests, err
+	case errors.Is(err, errDraining):
 		s.metrics.queueRejected.Add(1)
 		return nil, http.StatusServiceUnavailable, err
 	case err != nil: // request context fired while waiting
@@ -436,13 +502,35 @@ func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Grap
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req SolveRequest
-	if !s.decodeJSON(w, r, &req) {
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	resp, _, cacheStatus, status, err := s.solve(r.Context(), &req, nil)
+	var req SolveRequest
+	if !decodeBody(w, body, &req) {
+		return
+	}
+	g, key, status, err := s.prepareSolve(&req)
 	if err != nil {
 		writeError(w, status, err)
+		return
+	}
+	// Cluster routing: proxy a non-owned key to its rendezvous owner
+	// (one hop — forwarded requests always land here as local). A
+	// suspect owner or a failed forward degrades to a local solve.
+	if s.shouldRoute(r.Header) {
+		if owner, local := s.cluster.Route(key); !local {
+			if s.forwardSolve(w, r, owner, body) {
+				return
+			}
+		}
+	}
+	if s.cluster != nil {
+		w.Header().Set(clusterRouteHeader, routeLocal)
+	}
+	resp, cacheStatus, status, err := s.solvePrepared(r.Context(), &req, g, key, nil)
+	if err != nil {
+		s.writeSolveError(w, status, err)
 		return
 	}
 	w.Header().Set("X-Cache", cacheStatus)
@@ -457,7 +545,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // solution cache and the coalescing group with every other request, so a
 // batch of identical entries costs one solve. Each item contends for the
 // same bounded queue as /v1/solve; batches far larger than the backlog
-// surface the overflow as per-item 503s rather than unbounded queueing.
+// surface the overflow as per-item 429s rather than unbounded queueing.
 func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSolveRequest
 	if !s.decodeJSON(w, r, &req) {
@@ -474,6 +562,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.batches.Add(1)
 	results := make([]BatchSolveItem, len(req.Requests))
+	routable := s.shouldRoute(r.Header)
 	var wg sync.WaitGroup
 	for i := range req.Requests {
 		wg.Add(1)
@@ -481,16 +570,48 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sp := obs.TraceFrom(r.Context()).StartSpan(nil, "item-"+strconv.Itoa(i))
 			defer sp.End()
-			resp, _, cacheStatus, status, err := s.solve(r.Context(), &req.Requests[i], sp)
-			if err != nil {
-				results[i] = BatchSolveItem{Error: err.Error(), Status: status}
-				return
-			}
-			results[i] = BatchSolveItem{Solution: resp, Status: status, Cache: cacheStatus}
+			results[i] = s.solveBatchItem(r.Context(), &req.Requests[i], routable, sp)
 		}(i)
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchSolveResponse{Results: results})
+}
+
+// solveBatchItem runs one batch entry: prepare locally, and either
+// proxy it to the key's rendezvous owner (routable cluster mode, key
+// not owned here) or solve it on this node's pool. Forward failures
+// fall back to a local solve exactly like /v1/solve.
+func (s *Server) solveBatchItem(ctx context.Context, req *SolveRequest, routable bool, sp *obs.Span) BatchSolveItem {
+	g, key, status, err := s.prepareSolve(req)
+	if err != nil {
+		return BatchSolveItem{Error: err.Error(), Status: status}
+	}
+	route := ""
+	if s.cluster != nil {
+		route = routeLocal
+	}
+	if routable {
+		if owner, local := s.cluster.Route(key); !local {
+			resp, cacheStatus, fwdStatus, err := s.forwardSolveItem(ctx, owner, req)
+			switch {
+			case err == nil:
+				return BatchSolveItem{Solution: resp, Status: fwdStatus, Cache: cacheStatus, Route: routeForwarded}
+			case fwdStatus != 0:
+				// The owner answered with its own rejection (shedding,
+				// validation): that is the item's authoritative outcome.
+				return BatchSolveItem{Error: err.Error(), Status: fwdStatus, Route: routeForwarded}
+			default:
+				s.cluster.Metrics().ForwardErrors.Inc()
+				s.logger.Warn("cluster forward failed; solving locally",
+					"owner", owner, "path", "/v1/solvebatch", "err", err)
+			}
+		}
+	}
+	resp, cacheStatus, status, err := s.solvePrepared(ctx, req, g, key, sp)
+	if err != nil {
+		return BatchSolveItem{Error: err.Error(), Status: status, Route: route}
+	}
+	return BatchSolveItem{Solution: resp, Status: status, Cache: cacheStatus, Route: route}
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -541,7 +662,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, g, _, status, err := s.solve(r.Context(), &req, nil)
 	if err != nil {
-		writeError(w, status, err)
+		s.writeSolveError(w, status, err)
 		return
 	}
 	mask := make([]bool, g.NumNodes())
@@ -551,7 +672,19 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.sessions.create(g, req.K, mask, time.Now())
 	if err != nil {
 		if errors.Is(err, errTooManySessions) {
-			writeError(w, http.StatusServiceUnavailable, err)
+			// A full session table is client-visible backpressure like a full
+			// queue, not a drain: shed with 429 so 503 keeps meaning "this
+			// node is going away". Slots free on delete or TTL sweep, so the
+			// suggested retry is one janitor interval (quarter TTL), bounded.
+			retry := 1
+			if s.cfg.SessionTTL > 0 {
+				retry = retryAfterSeconds(s.cfg.SessionTTL / 4)
+				if retry > 60 {
+					retry = 60
+				}
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests, err)
 			return
 		}
 		// The solve is verified feasible, so engine seeding cannot fail on

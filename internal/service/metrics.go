@@ -19,6 +19,7 @@ var endpointLabels = []string{
 	"/v1/solve", "/v1/solvebatch", "/v1/verify",
 	"/v1/session", "/v1/session/{id}", "/v1/session/{id}/fail",
 	"/v1/session/{id}/delta",
+	"/cluster/v1/gossip", "/cluster/v1/peers",
 	"/metrics", "/debug/metrics", "/debug/trace", "/debug/trace/{id}",
 	"/healthz", "other",
 }
@@ -27,6 +28,7 @@ var endpointLabels = []string{
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/solve", "/v1/solvebatch", "/v1/verify", "/v1/session",
+		"/cluster/v1/gossip", "/cluster/v1/peers",
 		"/metrics", "/debug/metrics", "/debug/trace", "/healthz":
 		return path
 	}
@@ -65,9 +67,15 @@ type metrics struct {
 	coalesced     *obs.Counter // requests served by joining an in-flight solve
 	batches       *obs.Counter // /v1/solvebatch requests (items count individually above)
 	verifies      *obs.Counter
-	queueRejected *obs.Counter // 503s from a full queue or drain
+	queueRejected *obs.Counter // overload rejections (full queue or drain)
 	canceled      *obs.Counter // solves lost to deadline/disconnect
 	slowRequests  *obs.Counter // requests over the slow-log threshold
+
+	// Admission-control sheds, split by reason so dashboards can tell a
+	// saturated solve queue from an abusive client: both surface as 429
+	// but only the former says "add capacity".
+	shedQueue *obs.Counter // 429s from queue overflow
+	shedRate  *obs.Counter // 429s from the per-client token bucket
 
 	sessionsCreated *obs.Counter
 	repairs         *obs.Counter // accepted mutation batches (fail + delta)
@@ -126,6 +134,11 @@ func newMetrics(now time.Time) *metrics {
 		queueRejected: reg.Counter("ftclust_queue_rejected_total", "solves rejected by a full queue or drain"),
 		canceled:      reg.Counter("ftclust_canceled_total", "solves lost to deadline or disconnect"),
 		slowRequests:  reg.Counter("ftclust_slow_requests_total", "requests over the slow-request threshold"),
+
+		shedQueue: reg.Counter("ftclust_shed_total",
+			"requests shed by admission control, by reason", "reason", "queue"),
+		shedRate: reg.Counter("ftclust_shed_total",
+			"requests shed by admission control, by reason", "reason", "ratelimit"),
 
 		sessionsCreated: reg.Counter("ftclust_sessions_created_total", "sessions created"),
 		repairs:         reg.Counter("ftclust_repairs_total", "session failure repairs"),
@@ -234,6 +247,8 @@ type MetricsSnapshot struct {
 	Verifies        int64   `json:"verifies"`
 	QueueDepth      int     `json:"queue_depth"`
 	QueueRejected   int64   `json:"queue_rejected"`
+	ShedQueue       int64   `json:"shed_queue"`
+	ShedRatelimit   int64   `json:"shed_ratelimit"`
 	Canceled        int64   `json:"canceled"`
 	InFlight        int64   `json:"in_flight"`
 	SlowRequests    int64   `json:"slow_requests"`
@@ -265,6 +280,8 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		Verifies:        m.verifies.Value(),
 		QueueDepth:      m.queueDepth(),
 		QueueRejected:   m.queueRejected.Value(),
+		ShedQueue:       m.shedQueue.Value(),
+		ShedRatelimit:   m.shedRate.Value(),
 		Canceled:        m.canceled.Value(),
 		InFlight:        m.inFlight.Load(),
 		SlowRequests:    m.slowRequests.Value(),

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cluster routing headers.
+const (
+	// clusterRouteHeader reports on every routed response whether this
+	// node solved the key itself or proxied it to its rendezvous owner.
+	clusterRouteHeader = "X-Cluster-Route"
+	// clusterForwardedHeader marks a request as already forwarded once:
+	// the origin node's address travels in it, and any node receiving it
+	// serves locally no matter what its own (possibly stale) ring says —
+	// a single-hop loop guard, so two nodes with momentarily divergent
+	// views cannot ping-pong a request.
+	clusterForwardedHeader = "X-Cluster-Forwarded"
+	// clientIDHeader lets a caller identify itself for admission
+	// control; absent, the token bucket keys on the remote address.
+	clientIDHeader = "X-Client-ID"
+)
+
+// clusterRouteHeader values.
+const (
+	routeLocal     = "local"
+	routeForwarded = "forwarded"
+)
+
+// withAdmission is the per-client token-bucket gate in front of the API
+// routes. Forwarded peer traffic is exempt — the origin node already
+// spent a token for the client — as are the metrics, debug and cluster
+// endpoints (shedding a scrape hides the overload it should expose).
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") && r.Header.Get(clusterForwardedHeader) == "" {
+			ok, retryAfter := s.limiter.Allow(clientKey(r))
+			if !ok {
+				s.metrics.shedRate.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+				writeError(w, http.StatusTooManyRequests,
+					errors.New("rate limit exceeded; retry after the indicated delay"))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the caller for admission control: the
+// self-reported X-Client-ID when present (bounded length), else the
+// remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get(clientIDHeader); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a wait as whole seconds, at least 1 — a
+// Retry-After of 0 would invite an immediate identical failure.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// queueRetryAfterSeconds estimates how long the current backlog needs
+// to drain one slot: mean solve time × (depth+1) ÷ workers, clamped to
+// [1, 60]. Before any solve has completed the mean defaults to one
+// second.
+func (s *Server) queueRetryAfterSeconds() int {
+	avg := 1.0
+	if c := s.metrics.solveLat.Count(); c > 0 {
+		if m := s.metrics.solveLat.Sum() / float64(c); m > 0 {
+			avg = m
+		}
+	}
+	secs := int(math.Ceil(avg * float64(s.queue.Depth()+1) / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeSolveError writes a solve-path error response; overload statuses
+// carry the queue-derived Retry-After so shed clients back off for a
+// meaningful interval instead of hammering.
+func (s *Server) writeSolveError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", strconv.Itoa(s.queueRetryAfterSeconds()))
+	}
+	writeError(w, status, err)
+}
+
+// shouldRoute reports whether a request may be proxied: cluster mode is
+// on and the request did not already take its one forwarding hop.
+func (s *Server) shouldRoute(hdr http.Header) bool {
+	return s.cluster != nil && hdr.Get(clusterForwardedHeader) == ""
+}
+
+// forwardSolve proxies a /v1/solve request body to the key's owner and
+// relays the response verbatim — status, X-Cache, Retry-After and body
+// bytes — so a forwarded response is byte-identical to the one the
+// owner would serve directly. It reports whether the request was
+// handled; a transport failure reports false and the caller solves
+// locally (the owner is probably dying; its suspicion is the gossip
+// layer's job).
+func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+	resp, err := s.proxyPost(r.Context(), owner, r.URL.Path, body, r.Header.Get(clientIDHeader))
+	if err != nil {
+		s.cluster.Metrics().ForwardErrors.Inc()
+		s.logger.Warn("cluster forward failed; solving locally",
+			"owner", owner, "path", r.URL.Path, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if xc := resp.Header.Get("X-Cache"); xc != "" {
+		w.Header().Set("X-Cache", xc)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(clusterRouteHeader, routeForwarded)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// forwardSolveItem proxies one batch item to owner as a single
+// /v1/solve and decodes the outcome into batch-item form. The owner's
+// non-2xx statuses (its own shedding, validation) are relayed as the
+// item's status; transport errors return an error so the caller falls
+// back to a local solve.
+func (s *Server) forwardSolveItem(ctx context.Context, owner string, req *SolveRequest) (*SolveResponse, string, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", http.StatusInternalServerError, err
+	}
+	resp, err := s.proxyPost(ctx, owner, "/v1/solve", body, "")
+	if err != nil {
+		return nil, "", 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, "", 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(payload, &eb) == nil && eb.Error != "" {
+			return nil, "", resp.StatusCode, errors.New(eb.Error)
+		}
+		return nil, "", resp.StatusCode, fmt.Errorf("owner %s: status %d", owner, resp.StatusCode)
+	}
+	var sol SolveResponse
+	if err := json.Unmarshal(payload, &sol); err != nil {
+		return nil, "", 0, fmt.Errorf("owner %s: malformed solution: %w", owner, err)
+	}
+	return &sol, resp.Header.Get("X-Cache"), http.StatusOK, nil
+}
+
+// proxyPost performs the single forwarding hop: POST body to owner,
+// marked with this node's address as the loop guard, timed into the
+// forward-latency histogram.
+func (s *Server) proxyPost(ctx context.Context, owner, path string, body []byte, clientID string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+owner+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(clusterForwardedHeader, s.cluster.Self())
+	if clientID != "" {
+		req.Header.Set(clientIDHeader, clientID)
+	}
+	m := s.cluster.Metrics()
+	start := time.Now()
+	resp, err := s.cluster.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	m.Forwards.Inc()
+	m.ForwardDur.ObserveDuration(time.Since(start))
+	return resp, nil
+}
+
+// ClusterPeers returns the cluster membership size this node currently
+// sees (self included), or 0 when cluster mode is off — the harness and
+// smoke tests poll it for convergence.
+func (s *Server) ClusterPeers() int {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.NumMembers()
+}

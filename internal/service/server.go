@@ -44,7 +44,9 @@ import (
 	"sync"
 	"time"
 
+	"ftclust/internal/cluster"
 	"ftclust/internal/obs"
+	"ftclust/internal/rng"
 )
 
 // Config tunes the server. Zero values select the documented defaults.
@@ -88,6 +90,38 @@ type Config struct {
 	// (default 256). Only /v1/* requests are retained; probe endpoints
 	// would otherwise flush real solves out of the ring.
 	TraceRing int
+	// Cluster enables cluster mode when non-nil: this node gossips
+	// membership with its peers and routes /v1/solve and /v1/solvebatch
+	// keys to their rendezvous owners.
+	Cluster *ClusterConfig
+	// RatePerSec enables per-client token-bucket admission on the /v1/*
+	// routes: each client accrues this many requests per second up to
+	// RateBurst, and an empty bucket is shed with 429 + Retry-After
+	// (default 0: disabled).
+	RatePerSec float64
+	// RateBurst is the per-client burst allowance (default 2× RatePerSec,
+	// minimum 1).
+	RateBurst int
+}
+
+// ClusterConfig wires this server into a ftserved cluster. Self is
+// required; everything else defaults sensibly.
+type ClusterConfig struct {
+	// Self is the advertised host:port peers reach this node on.
+	Self string
+	// Seeds are the bootstrap peers (the -join flag).
+	Seeds []string
+	// GossipInterval is the base shuffle period (default 1s).
+	GossipInterval time.Duration
+	// SuspectAfter / EvictAfter are the missed-heartbeat deadlines
+	// (defaults 5× interval and 3× SuspectAfter).
+	SuspectAfter time.Duration
+	EvictAfter   time.Duration
+	// Seed seeds the gossip jitter/selection source (default 1).
+	Seed int64
+	// Client overrides the HTTP client used for gossip and forwarding
+	// (default 2s timeout).
+	Client *http.Client
 }
 
 func (c *Config) fillDefaults() {
@@ -124,6 +158,12 @@ func (c *Config) fillDefaults() {
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
 	}
+	if c.RatePerSec > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(2 * c.RatePerSec)
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
 }
 
 // Server is the clustering service. Create with New, mount Handler on an
@@ -139,6 +179,8 @@ type Server struct {
 	sessions *sessionStore
 	traces   *obs.Ring
 	logger   *slog.Logger
+	cluster  *cluster.Node
+	limiter  *cluster.RateLimiter
 
 	janitorStop chan struct{}
 	janitorOnce sync.Once
@@ -162,6 +204,35 @@ func New(cfg Config) *Server {
 	s.metrics.queueDepth = s.queue.Depth
 	s.metrics.activeSessions = s.sessions.len
 
+	if cfg.RatePerSec > 0 {
+		s.limiter = cluster.NewRateLimiter(cfg.RatePerSec, cfg.RateBurst, 4096, time.Now)
+	}
+	if cfg.Cluster != nil {
+		cc := cfg.Cluster
+		seed := cc.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		node, err := cluster.New(cluster.Config{
+			Self:           cc.Self,
+			Seeds:          cc.Seeds,
+			GossipInterval: cc.GossipInterval,
+			SuspectAfter:   cc.SuspectAfter,
+			EvictAfter:     cc.EvictAfter,
+			Now:            time.Now,
+			Rand:           rng.New(seed),
+			Client:         cc.Client,
+			Logger:         cfg.Logger,
+			Registry:       s.metrics.reg,
+		})
+		if err != nil {
+			// Only reachable through a programming error (empty Self):
+			// every runtime input is validated by the flag layer.
+			panic("service: invalid cluster config: " + err.Error())
+		}
+		s.cluster = node
+	}
+
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solvebatch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -175,7 +246,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/trace", s.handleTraceList)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.handler = s.withObservability(s.mux)
+	if s.cluster != nil {
+		s.mux.HandleFunc("POST "+cluster.GossipPath, s.cluster.HandleGossip)
+		s.mux.HandleFunc("GET "+cluster.PeersPath, s.cluster.HandlePeers)
+	}
+	s.handler = s.withObservability(s.withAdmission(s.mux))
 
 	s.janitorDone = make(chan struct{})
 	if cfg.SessionTTL > 0 {
@@ -183,6 +258,9 @@ func New(cfg Config) *Server {
 		go s.sessionJanitor(s.janitorStop)
 	} else {
 		close(s.janitorDone)
+	}
+	if s.cluster != nil {
+		s.cluster.Start()
 	}
 	return s
 }
@@ -225,6 +303,12 @@ func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot(time.Now(
 // this). The context bounds the wait; on expiry the pool keeps draining
 // in the background but Shutdown returns ctx.Err().
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.cluster != nil {
+		// Leave the gossip loop first: a draining node should stop
+		// advertising itself as a forwarding target. Peers age it into
+		// suspicion and route around it.
+		s.cluster.Stop()
+	}
 	if s.janitorStop != nil {
 		s.janitorOnce.Do(func() { close(s.janitorStop) })
 		<-s.janitorDone

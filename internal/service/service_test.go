@@ -537,15 +537,37 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
-// Sessions are capped; the cap reports 503, not a crash.
+// Sessions are capped; the cap sheds with 429 + Retry-After (503 is
+// reserved for drain/shutdown), and a delete frees the slot.
 func TestSessionLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxSessions: 1})
-	resp, _ := postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
+	resp, body := postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("first session: %d", resp.StatusCode)
 	}
+	var created SessionCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("unmarshal create: %v", err)
+	}
 	resp, _ = postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("over-limit session: status %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit session: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("over-limit session response missing Retry-After")
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+created.SessionID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE session: %v", err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusNoContent && del.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE session: status %d", del.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/session", gnpSolveBody)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-delete session: status %d, want 201", resp.StatusCode)
 	}
 }

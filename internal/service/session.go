@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftclust"
@@ -41,23 +42,56 @@ type session struct {
 	fallbacks     int
 
 	// lastUsed is touched on every session access; the store's janitor
-	// sweeps sessions idle past the TTL. Guarded by the STORE's mutex,
-	// not s.mu, so sweeps never contend with long repairs.
+	// sweeps sessions idle past the TTL. Guarded by the owning SHARD's
+	// mutex, not s.mu, so sweeps never contend with long repairs.
 	lastUsed time.Time
 }
 
-// sessionStore is the in-memory registry of live sessions. IDs are
-// monotonic ("s1", "s2", …): deterministic, log-friendly, and unique for
-// the process lifetime.
+// sessionStoreShards stripes the store so concurrent session traffic on
+// different sessions rarely shares a lock. A power of two keeps the
+// hash→shard mapping a mask.
+const sessionStoreShards = 16
+
+// sessionShard is one stripe: a mutex and the sessions hashed onto it.
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[string]*session
+}
+
+// sessionStore is the in-memory registry of live sessions, striped into
+// sessionStoreShards mutex-guarded shards keyed by FNV-1a of the session
+// ID. IDs are monotonic ("s1", "s2", …): deterministic, log-friendly,
+// and unique for the process lifetime. The global bound and size live in
+// atomics — create reserves a slot before touching any shard lock and
+// rolls the reservation back on overflow, so the cap holds exactly even
+// under concurrent creates across shards.
 type sessionStore struct {
-	mu   sync.Mutex
-	m    map[string]*session
-	next int64
-	max  int
+	shards [sessionStoreShards]sessionShard
+	next   atomic.Int64
+	count  atomic.Int64
+	max    int
 }
 
 func newSessionStore(max int) *sessionStore {
-	return &sessionStore{m: make(map[string]*session), max: max}
+	st := &sessionStore{max: max}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*session)
+	}
+	return st
+}
+
+// shardFor maps a session ID onto its stripe (FNV-1a 32).
+func (st *sessionStore) shardFor(id string) *sessionShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &st.shards[h%sessionStoreShards]
 }
 
 func (st *sessionStore) create(g *graph.Graph, k int, mask []bool, now time.Time) (*session, error) {
@@ -65,26 +99,31 @@ func (st *sessionStore) create(g *graph.Graph, k int, mask []bool, now time.Time
 	if err != nil {
 		return nil, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(st.m) >= st.max {
+	// Reserve a slot against the global cap before picking a shard; on
+	// overflow the reservation is returned, so racing creates can never
+	// land more than max sessions between them.
+	if st.count.Add(1) > int64(st.max) {
+		st.count.Add(-1)
 		return nil, errTooManySessions
 	}
-	st.next++
 	s := &session{
-		id:       fmt.Sprintf("s%d", st.next),
+		id:       fmt.Sprintf("s%d", st.next.Add(1)),
 		k:        k,
 		engine:   eng,
 		lastUsed: now,
 	}
-	st.m[s.id] = s
+	sh := st.shardFor(s.id)
+	sh.mu.Lock()
+	sh.m[s.id] = s
+	sh.mu.Unlock()
 	return s, nil
 }
 
 func (st *sessionStore) get(id string, now time.Time) (*session, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	s, ok := st.m[id]
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.m[id]
 	if !ok {
 		return nil, errNoSession
 	}
@@ -93,32 +132,39 @@ func (st *sessionStore) get(id string, now time.Time) (*session, error) {
 }
 
 func (st *sessionStore) delete(id string) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.m[id]; !ok {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[id]; !ok {
 		return errNoSession
 	}
-	delete(st.m, id)
+	delete(sh.m, id)
+	st.count.Add(-1)
 	return nil
 }
 
 func (st *sessionStore) len() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return len(st.m)
+	return int(st.count.Load())
 }
 
 // sweep removes sessions idle since before the deadline and returns how
-// many it dropped.
+// many it dropped. Each shard is locked independently, so a sweep never
+// stalls traffic on more than one stripe at a time.
 func (st *sessionStore) sweep(deadline time.Time) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	removed := 0
-	for id, s := range st.m {
-		if s.lastUsed.Before(deadline) {
-			delete(st.m, id)
-			removed++
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			if s.lastUsed.Before(deadline) {
+				delete(sh.m, id)
+				removed++
+			}
 		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		st.count.Add(int64(-removed))
 	}
 	return removed
 }
