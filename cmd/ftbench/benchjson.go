@@ -47,10 +47,11 @@ type benchRecord struct {
 	AllocsOp int64  `json:"allocs_op"`
 	BytesOp  int64  `json:"bytes_op"`
 	// SpeedupVsSequential is ns_op(workers=1)/ns_op for the same
-	// (op, family, n); 0 on the sequential record itself. Only emitted on
-	// machines with more than one CPU — on a single core the ratio
-	// measures worker-pool overhead, not speedup, and readers kept
-	// mistaking it for a regression.
+	// (op, family, n); 0 on the sequential record itself. Always
+	// populated on parallel records — read it together with num_cpu: on
+	// a single-core machine the ratio documents worker-pool overhead
+	// (≈ 1 is the pass bar there), while ≥ 4-core speedup claims are
+	// asserted by the CI smoke job, not by a committed report.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 }
 
@@ -88,13 +89,49 @@ func runBenchJSON(path string, scale float64) error {
 	workerCounts := []int{1, par}
 
 	rep := benchReport{
-		Schema:       "ftclust-bench-core/v1",
+		Schema:       "ftclust-bench-core/v2",
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
 		GnpGenerator: graph.GnpGenerator,
 		Scale:        scale,
+	}
+
+	// measure runs one configuration under testing.Benchmark, appends the
+	// record and returns its ns/op so callers can compute speedup ratios.
+	measure := func(op, family string, n, workers int, fn func() error) (int64, error) {
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return 0, fmt.Errorf("bench %s/%s/n=%d: %w", op, family, n, benchErr)
+		}
+		rec := benchRecord{
+			Op: op, Family: family, N: n, K: k, T: t,
+			Workers:  workers,
+			NsPerOp:  r.NsPerOp(),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		fmt.Fprintf(os.Stderr, "bench %-24s %-8s n=%-6d workers=%-2d %12d ns/op %8d allocs/op\n",
+			op, family, n, workers, rec.NsPerOp, rec.AllocsOp)
+		return r.NsPerOp(), nil
+	}
+	// setSpeedup back-fills speedup_vs_sequential on the record just
+	// appended.
+	setSpeedup := func(seqNs, parNs int64) {
+		if seqNs > 0 && parNs > 0 {
+			rep.Benchmarks[len(rep.Benchmarks)-1].SpeedupVsSequential = float64(seqNs) / float64(parNs)
+		}
 	}
 
 	for _, family := range []string{"gnp", "grid", "powerlaw"} {
@@ -118,12 +155,19 @@ func runBenchJSON(path string, scale float64) error {
 				costs[v] = 1 + float64(v%9)
 			}
 
+			sc := core.NewScratch()
 			ops := []struct {
 				name string
 				run  func(workers int) error
 			}{
 				{"SolveFractional", func(workers int) error {
 					_, err := core.SolveFractional(g, kVec, core.FractionalOptions{T: t, Workers: workers})
+					return err
+				}},
+				{"SolveFractional/scratch", func(workers int) error {
+					_, err := core.SolveFractional(g, kVec, core.FractionalOptions{
+						T: t, Workers: workers, Scratch: sc,
+					})
 					return err
 				}},
 				{"RoundSolution", func(workers int) error {
@@ -142,36 +186,47 @@ func runBenchJSON(path string, scale float64) error {
 			for _, op := range ops {
 				var seqNs int64
 				for _, workers := range workerCounts {
-					workers := workers
-					var benchErr error
-					r := testing.Benchmark(func(b *testing.B) {
-						b.ReportAllocs()
-						for i := 0; i < b.N; i++ {
-							if err := op.run(workers); err != nil {
-								benchErr = err
-								b.Fatal(err)
-							}
-						}
-					})
-					if benchErr != nil {
-						return fmt.Errorf("bench %s/%s/n=%d: %w", op.name, family, n, benchErr)
-					}
-					rec := benchRecord{
-						Op: op.name, Family: family, N: n, K: k, T: t,
-						Workers:  workers,
-						NsPerOp:  r.NsPerOp(),
-						AllocsOp: r.AllocsPerOp(),
-						BytesOp:  r.AllocedBytesPerOp(),
+					ns, err := measure(op.name, family, n, workers, func() error { return op.run(workers) })
+					if err != nil {
+						return err
 					}
 					if workers == 1 {
-						seqNs = r.NsPerOp()
-					} else if seqNs > 0 && r.NsPerOp() > 0 && runtime.NumCPU() > 1 {
-						rec.SpeedupVsSequential = float64(seqNs) / float64(r.NsPerOp())
+						seqNs = ns
+					} else {
+						setSpeedup(seqNs, ns)
 					}
-					rep.Benchmarks = append(rep.Benchmarks, rec)
-					fmt.Fprintf(os.Stderr, "bench %-16s %-8s n=%-6d workers=%-2d %12d ns/op %8d allocs/op\n",
-						op.name, family, n, workers, rec.NsPerOp, rec.AllocsOp)
 				}
+			}
+		}
+	}
+
+	// Large-scale section: one gnp instance at n=100000 (scaled), fractional
+	// solve only — the regime the bitset gating, guided chunking and
+	// per-worker lanes are tuned for. Scratch-backed so the records track
+	// compute, not first-touch allocation.
+	{
+		largeN := int(float64(100000) * scale)
+		if largeN < 10 {
+			largeN = 10
+		}
+		g := graph.GnpAvgDegree(largeN, 12, 3)
+		kVec := core.EffectiveDemands(g, k)
+		sc := core.NewScratch()
+		var seqNs int64
+		for _, workers := range workerCounts {
+			ns, err := measure("SolveFractional/scratch", "gnp", largeN, workers, func() error {
+				_, err := core.SolveFractional(g, kVec, core.FractionalOptions{
+					T: t, Workers: workers, Scratch: sc,
+				})
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if workers == 1 {
+				seqNs = ns
+			} else {
+				setSpeedup(seqNs, ns)
 			}
 		}
 	}

@@ -14,7 +14,13 @@
 //	                        # instead: benchmark the request→solution
 //	                        # pipeline (generate, hash, solve with and
 //	                        # without scratch, HTTP service QPS, observer
-//	                        # overhead)
+//	                        # overhead, sustained-load quantiles)
+//	ftbench -load-json BENCH_pipeline.json -load-seconds 10
+//	                        # instead: only the sustained-load window —
+//	                        # hold concurrent solve traffic against an
+//	                        # in-process service, scrape its /metrics
+//	                        # histograms and merge p50/p99 into the
+//	                        # pipeline report's "load" section
 //	ftbench -trace          # instead: one instrumented solve, printed as
 //	                        # a per-phase span breakdown
 package main
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
 	"ftclust"
@@ -50,15 +57,34 @@ func run() error {
 		benchJSON    = flag.String("bench-json", "", "benchmark the core engines and write this JSON report instead of running experiments")
 		pipelineJSON = flag.String("pipeline-json", "", "benchmark the request→solution pipeline and write this JSON report instead of running experiments")
 		repairJSON   = flag.String("repair-json", "", "benchmark incremental repair vs full re-solve and write this JSON report instead of running experiments")
+		loadJSON     = flag.String("load-json", "", "run only the sustained-load window and merge its record into this pipeline JSON report")
+		loadSeconds  = flag.Float64("load-seconds", 5, "wall-clock duration of the sustained-load window")
 		doTrace      = flag.Bool("trace", false, "run one instrumented solve and print its per-phase span breakdown instead of experiments")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	loadDur := time.Duration(*loadSeconds * float64(time.Second))
 	if *benchJSON != "" {
 		return runBenchJSON(*benchJSON, *scale)
 	}
 	if *pipelineJSON != "" {
-		return runPipelineJSON(*pipelineJSON, *scale)
+		return runPipelineJSON(*pipelineJSON, *scale, loadDur)
+	}
+	if *loadJSON != "" {
+		return runLoadJSON(*loadJSON, *scale, loadDur)
 	}
 	if *repairJSON != "" {
 		return runRepairJSON(*repairJSON, *scale, *seed)

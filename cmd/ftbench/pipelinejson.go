@@ -27,6 +27,10 @@ import (
 	"ftclust/internal/service"
 )
 
+// pipelineSchema names the current BENCH_pipeline.json schema. v2 added
+// the sustained-load section ("load") with histogram-scraped quantiles.
+const pipelineSchema = "ftclust-bench-pipeline/v2"
+
 // pipelineReport is the top-level BENCH_pipeline.json document.
 type pipelineReport struct {
 	Schema      string `json:"schema"`
@@ -44,6 +48,11 @@ type pipelineReport struct {
 	// solve/scratch, in percent. The acceptance bar is < 3%.
 	ObserverOverheadPct float64       `json:"observer_overhead_pct"`
 	Service             serviceRecord `json:"service"`
+	// Load is the sustained-load section (see loadRecord): p50/p99 scraped
+	// from the service's /metrics histograms after a fixed-duration window.
+	// Written by -load-json (and refreshed by -pipeline-json, which runs a
+	// short window as part of the full regeneration).
+	Load *loadRecord `json:"load,omitempty"`
 }
 
 // pipelineRecord is one measured pipeline stage.
@@ -72,9 +81,10 @@ type serviceRecord struct {
 	Coalesced       int64   `json:"coalesced"`
 }
 
-// runPipelineJSON measures the pipeline stages and the service and writes
-// the report to path. scale shrinks instance sizes for smoke runs.
-func runPipelineJSON(path string, scale float64) error {
+// runPipelineJSON measures the pipeline stages, the service and a
+// loadDur sustained-load window, and writes the report to path. scale
+// shrinks instance sizes for smoke runs.
+func runPipelineJSON(path string, scale float64, loadDur time.Duration) error {
 	if scale <= 0 || scale > 1 {
 		return fmt.Errorf("pipeline-json: scale must be in (0,1], got %v", scale)
 	}
@@ -87,7 +97,7 @@ func runPipelineJSON(path string, scale float64) error {
 	const k, t, deg = 2, 3, 8
 
 	rep := pipelineReport{
-		Schema:       "ftclust-bench-pipeline/v1",
+		Schema:       pipelineSchema,
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
@@ -207,6 +217,16 @@ func runPipelineJSON(path string, scale float64) error {
 	rep.Service = svc
 	fmt.Fprintf(os.Stderr, "pipeline %-18s %d requests, %.0f solve QPS (%d solves, %d hits, %d coalesced)\n",
 		"service/http", svc.Requests, svc.QPS, svc.Solves, svc.CacheHits, svc.Coalesced)
+
+	load, err := measureLoad(scale, loadDur)
+	if err != nil {
+		return err
+	}
+	rep.Load = &load
+	fmt.Fprintf(os.Stderr,
+		"pipeline %-18s %.1fs, %.0f QPS, solve p50/p99 %.2f/%.2f ms, http p50/p99 %.2f/%.2f ms\n",
+		"load/http-solve", load.DurationSec, load.QPS,
+		load.SolveP50Ms, load.SolveP99Ms, load.HTTPP50Ms, load.HTTPP99Ms)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -181,6 +181,8 @@ type config struct {
 	localDelta bool
 	fanOut     int
 	workers    int
+	float32    bool
+	bitset     core.BitsetMode
 	ctx        context.Context
 	scratch    *Scratch
 	observer   *SolveObserver
@@ -213,6 +215,47 @@ func WithFanOut(f int) Option { return func(c *config) { c.fanOut = f } }
 // sequential execution for equal seeds, whatever the worker count.
 // Ignored by the UDG solver.
 func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
+
+// WithFloat32 switches Algorithm 1's per-node numeric state (fractional
+// values, coverage, dual shares) from float64 to float32, halving the
+// memory bandwidth of the dense per-round sweeps — worthwhile on large
+// instances where the solve is memory-bound. Precision contract: the
+// reported FractionalObjective and CertifiedLowerBound agree with the
+// float64 engine to ~1e-3 relative on the benchmark families, while the
+// integral dominating set remains exactly feasible — the rounding and
+// repair phases consume the widened values and verify coverage in exact
+// integer arithmetic. Individual fractional values can differ by a full
+// increment step where a discrete threshold decision flips (rare, ≤ 1%
+// of nodes). The float32 path is itself fully deterministic: equal seeds
+// give bit-identical results at every worker count. Honored by
+// SolveKMDS; ignored by the weighted and UDG solvers.
+func WithFloat32() Option { return func(c *config) { c.float32 = true } }
+
+// BitsetMode selects whether the rounding phase's dense coverage sweeps
+// run over packed []uint64 closed-neighborhood rows (AND + popcount)
+// instead of the CSR adjacency scan. Results are identical either way —
+// the bitset kernels visit candidates in the same ascending order the
+// CSR scan does — only the constant factor changes, in the packed
+// kernels' favor on dense graphs.
+type BitsetMode = core.BitsetMode
+
+// Bitset modes for WithBitset.
+const (
+	// BitsetAuto (the default) packs rows only when the instance is dense
+	// enough for popcount scans to win: average closed neighborhood at
+	// least a quarter of the packed row stride, and at most 128 MiB of
+	// rows in total.
+	BitsetAuto = core.BitsetAuto
+	// BitsetOn forces the packed kernels (subject to the memory cap).
+	BitsetOn = core.BitsetOn
+	// BitsetOff forces the CSR scan.
+	BitsetOff = core.BitsetOff
+)
+
+// WithBitset overrides the automatic bitset-kernel gating of the
+// rounding phase; see BitsetMode. Honored by SolveKMDS and
+// SolveWeightedKMDS; ignored by the UDG solver.
+func WithBitset(m BitsetMode) Option { return func(c *config) { c.bitset = m } }
 
 // WithScratch makes SolveKMDS draw its working arrays from the reusable
 // arena s instead of allocating fresh ones; see Scratch for the aliasing
@@ -261,6 +304,8 @@ func SolveKMDS(g *Graph, k int, opts ...Option) (*Solution, error) {
 		Seed:       c.seed,
 		LocalDelta: c.localDelta,
 		Workers:    c.workers,
+		Float32:    c.float32,
+		Bitset:     c.bitset,
 		Ctx:        c.ctx,
 		Observer:   c.observer,
 	}
@@ -333,7 +378,8 @@ func SolveWeightedKMDS(g *Graph, k int, costs []float64, opts ...Option) (*Solut
 		o(&c)
 	}
 	res, err := core.SolveWeighted(g, core.WeightedOptions{
-		K: float64(k), T: c.t, Seed: c.seed, Costs: costs, Workers: c.workers, Ctx: c.ctx,
+		K: float64(k), T: c.t, Seed: c.seed, Costs: costs,
+		Workers: c.workers, Bitset: c.bitset, Ctx: c.ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -87,6 +87,75 @@ func TestWithWorkersBitIdentical(t *testing.T) {
 	}
 }
 
+// WithBitset must not change any observable output either: the packed
+// kernels scan candidates in the same ascending order as the CSR path.
+func TestWithBitsetBitIdentical(t *testing.T) {
+	g, err := GenerateGraph("gnp", 250, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := make([]float64, g.NumNodes())
+	for v := range costs {
+		costs[v] = 1 + float64(v%5)
+	}
+	for _, workers := range []int{1, 4} {
+		off, err := SolveKMDS(g, 3, WithSeed(5), WithWorkers(workers), WithBitset(BitsetOff))
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := SolveKMDS(g, 3, WithSeed(5), WithWorkers(workers), WithBitset(BitsetOn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range off.InSet {
+			if off.InSet[v] != on.InSet[v] {
+				t.Fatalf("workers=%d node %d: InSet diverges with WithBitset", workers, v)
+			}
+		}
+		woff, err := SolveWeightedKMDS(g, 2, costs, WithSeed(5), WithWorkers(workers), WithBitset(BitsetOff))
+		if err != nil {
+			t.Fatal(err)
+		}
+		won, err := SolveWeightedKMDS(g, 2, costs, WithSeed(5), WithWorkers(workers), WithBitset(BitsetOn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range woff.InSet {
+			if woff.InSet[v] != won.InSet[v] {
+				t.Fatalf("workers=%d node %d: weighted InSet diverges with WithBitset", workers, v)
+			}
+		}
+	}
+}
+
+// WithFloat32 trades per-entry precision for bandwidth but must keep the
+// integral solution exactly feasible and stay deterministic.
+func TestWithFloat32FeasibleAndDeterministic(t *testing.T) {
+	g, err := GenerateGraph("gnp", 400, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SolveKMDS(g, 2, WithSeed(3), WithFloat32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, a, 2, ClosedPP); err != nil {
+		t.Fatalf("float32 solution fails Verify: %v", err)
+	}
+	b, err := SolveKMDS(g, 2, WithSeed(3), WithFloat32(), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatalf("node %d: float32 InSet diverges across worker counts", v)
+		}
+	}
+	if a.FractionalObjective != b.FractionalObjective {
+		t.Error("float32 objective diverges across worker counts")
+	}
+}
+
 // SolveWeightedKMDS must report the engine-derived round count (2t² + 4),
 // not a façade-side reconstruction.
 func TestWeightedRoundsDerivedFromEngine(t *testing.T) {

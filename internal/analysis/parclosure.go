@@ -3,19 +3,22 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // ParClosure re-enforces the PR 3 escape-analysis rule: Go's escape
 // analysis is flow-insensitive, so a function literal passed to par.For
-// is heap-allocated even on the workers==1 path that never spawns a
-// goroutine. The scratch arena's ≤4-allocs steady state only survives if
-// every such literal is either replaced by a named method value or kept
-// behind a branch that proves workers > 1 (the sequential path then
-// calls a literal-free body).
+// or (*par.Pool).Run is heap-allocated even on the workers==1 path that
+// never spawns a goroutine. The scratch arena's low-alloc steady state
+// only survives if every such literal is either replaced by a named
+// method value (or a closure bound once and cached), or kept behind a
+// branch that proves the parallel path: workers > 1 for par.For, or a
+// pool != nil check for pool.Run — by convention a non-nil started
+// *par.Pool only exists on workers > 1 paths.
 var ParClosure = &Analyzer{
 	Name: "parclosure",
-	Doc: "function literals passed to par.For must be reachable only " +
-		"under a workers > 1 guard",
+	Doc: "function literals passed to par.For or (*par.Pool).Run must be " +
+		"reachable only under a workers > 1 (or pool != nil) guard",
 	Run: runParClosure,
 }
 
@@ -28,13 +31,20 @@ func runParClosure(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			if !isPkgFunc(calleeFunc(pass.Info, call), parPkgPath, "For") {
+			fn := calleeFunc(pass.Info, call)
+			var site string
+			switch {
+			case isPkgFunc(fn, parPkgPath, "For"):
+				site = "par.For"
+			case isMethodOn(fn, parPkgPath, "Pool") && fn.Name() == "Run":
+				site = "(*par.Pool).Run"
+			default:
 				return true
 			}
 			for _, arg := range call.Args {
 				if lit, ok := arg.(*ast.FuncLit); ok && !guardedParallel(stack) {
 					pass.Reportf(lit.Pos(),
-						"function literal passed to par.For outside a workers > 1 guard: escape analysis heap-allocates it even on the sequential path (use a named method, or branch on workers)")
+						"function literal passed to %s outside a workers > 1 guard: escape analysis heap-allocates it even on the sequential path (use a named method, bind the closure once, or branch on workers / pool != nil)", site)
 				}
 			}
 			return true
@@ -68,8 +78,9 @@ func guardedParallel(stack []ast.Node) bool {
 	return false
 }
 
-// impliesParallel reports whether cond being true proves a worker count
-// above one: workers > 1, workers >= 2, or a conjunction containing one.
+// impliesParallel reports whether cond being true proves the parallel
+// path: workers > 1, workers >= 2, pool != nil, or a conjunction
+// containing one.
 func impliesParallel(cond ast.Expr) bool {
 	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !ok {
@@ -88,12 +99,15 @@ func impliesParallel(cond ast.Expr) bool {
 		return isIntLit(b.X, "1") && workersLike(b.Y)
 	case token.LEQ: // 2 <= workers
 		return isIntLit(b.X, "2") && workersLike(b.Y)
+	case token.NEQ: // pool != nil / nil != pool
+		return (poolLike(b.X) && isNilIdent(b.Y)) || (isNilIdent(b.X) && poolLike(b.Y))
 	}
 	return false
 }
 
 // impliesSequential reports whether cond being FALSE (the else branch)
-// proves workers > 1: workers <= 1, workers < 2, and mirrors.
+// proves the parallel path: workers <= 1, workers < 2, pool == nil, and
+// mirrors.
 func impliesSequential(cond ast.Expr) bool {
 	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !ok {
@@ -110,8 +124,31 @@ func impliesSequential(cond ast.Expr) bool {
 		return isIntLit(b.X, "1") && workersLike(b.Y)
 	case token.GTR: // 2 > workers
 		return isIntLit(b.X, "2") && workersLike(b.Y)
+	case token.EQL: // pool == nil / nil == pool
+		return (poolLike(b.X) && isNilIdent(b.Y)) || (isNilIdent(b.X) && poolLike(b.Y))
 	}
 	return false
+}
+
+// poolLike reports whether e names something that reads as a worker
+// pool: an identifier or selector whose name contains "pool".
+func poolLike(e ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "pool")
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
 }
 
 // isIntLit reports whether e is the integer literal text.

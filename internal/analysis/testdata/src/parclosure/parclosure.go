@@ -1,6 +1,7 @@
 // Fixture for the parclosure analyzer: function literals passed to
-// par.For must sit behind a workers > 1 guard so the sequential path
-// stays literal-free and allocation-free.
+// par.For or (*par.Pool).Run must sit behind a workers > 1 (or
+// pool != nil) guard so the sequential path stays literal-free and
+// allocation-free.
 package parclosure
 
 import "ftclust/internal/par"
@@ -8,6 +9,8 @@ import "ftclust/internal/par"
 type engine struct {
 	x       []float64
 	workers int
+	pool    *par.Pool
+	sweepFn func(worker, lo, hi int)
 }
 
 // sweepRange is the sanctioned literal-free form: a named method value.
@@ -64,6 +67,48 @@ func goodElseGuarded(e *engine) {
 // goodMethodValue needs no guard: a method value is not a literal.
 func goodMethodValue(e *engine) {
 	par.For(len(e.x), e.workers, e.sweepRange)
+}
+
+// badPoolUnguarded passes a literal to pool.Run with no guard: even the
+// nil-pool (sequential) path pays the heap allocation.
+func badPoolUnguarded(e *engine) {
+	e.pool.Run(len(e.x), func(_, lo, hi int) { // want `function literal passed to \(\*par.Pool\).Run outside a workers > 1 guard`
+		e.sweepRange(lo, hi)
+	})
+}
+
+// goodPoolNilGuarded branches on pool != nil — by convention a non-nil
+// started pool only exists on workers > 1 paths.
+func goodPoolNilGuarded(e *engine) {
+	n := len(e.x)
+	if e.pool != nil {
+		e.pool.Run(n, func(_, lo, hi int) {
+			e.sweepRange(lo, hi)
+		})
+	} else {
+		e.sweepRange(0, n)
+	}
+}
+
+// goodPoolElseGuarded is the inverted branch shape.
+func goodPoolElseGuarded(e *engine) {
+	n := len(e.x)
+	if e.pool == nil {
+		e.sweepRange(0, n)
+	} else {
+		e.pool.Run(n, func(_, lo, hi int) {
+			e.sweepRange(lo, hi)
+		})
+	}
+}
+
+// goodPoolBoundOnce passes a cached closure variable, not a literal —
+// the bind-once pattern the fractional engine uses.
+func goodPoolBoundOnce(e *engine) {
+	if e.sweepFn == nil {
+		e.sweepFn = func(_, lo, hi int) { e.sweepRange(lo, hi) }
+	}
+	e.pool.Run(len(e.x), e.sweepFn)
 }
 
 // allowedUnguarded shows the reasoned waiver.

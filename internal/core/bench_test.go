@@ -127,6 +127,31 @@ func BenchmarkSolveEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveFractionalLarge is the hotspot-profiling configuration:
+// one large sparse instance, scratch-backed so profiles show compute,
+// not first-touch allocation. Profile with
+//
+//	go test ./internal/core -run '^$' -bench SolveFractionalLarge \
+//	    -benchtime 3x -cpuprofile cpu.out
+func BenchmarkSolveFractionalLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large instance (n=100000)")
+	}
+	g := benchGraph(b, "gnp", 100000)
+	k := EffectiveDemands(g, 2)
+	sc := NewScratch()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveFractional(g, k, FractionalOptions{T: 3, Workers: workers, Scratch: sc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkNewLayout(b *testing.B) {
 	g := benchGraph(b, "gnp", 5000)
 	b.ReportAllocs()

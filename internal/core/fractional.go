@@ -13,10 +13,16 @@
 //
 // The in-memory engine stores all per-node state in flat contiguous
 // arrays over a shared closed-neighborhood CSR layout (layout.go) and can
-// distribute each per-round sweep over a worker pool (FractionalOptions.
-// Workers). Every sweep touches only the state of the node it iterates,
-// so the deterministic chunk-by-node-ID split keeps results bit-identical
-// to the sequential execution — and therefore to the sim.Program.
+// distribute each per-round sweep over a work-claiming pool
+// (FractionalOptions.Workers; par.Pool). Every sweep touches only the
+// state of the node it iterates, so results are bit-identical to the
+// sequential execution whatever the worker count or chunk interleaving.
+//
+// The per-node numeric state is generic over float64 and float32
+// (fracStateG): the float64 instantiation is the reference engine, the
+// float32 instantiation (FractionalOptions.Float32) halves the memory
+// traffic of the dense sweeps at a documented precision cost — see the
+// Float32 field for the contract.
 package core
 
 import (
@@ -46,11 +52,30 @@ type FractionalOptions struct {
 	// Values ≤ 1 run sequentially. Results are bit-identical for every
 	// worker count and equal seeds.
 	Workers int
+	// Float32 switches the engine's per-node numeric state (x, duals,
+	// coverage, α/β shares) from float64 to float32, halving the memory
+	// bandwidth of the dense per-round sweeps. Precision contract (pinned
+	// by TestFloat32CloseToFloat64): the returned vectors are float32
+	// values widened to float64; primal x entries stay within ~1e-3 of
+	// the float64 engine except where a discrete threshold decision flips
+	// (a node crossing c ≥ k one iteration earlier or later — rare, ≤ 1%
+	// of nodes on the bench families), and the primal and dual objectives
+	// agree to ~1e-3 relative. Per-entry DUAL values carry no closeness
+	// guarantee: y_i takes one of the discrete levels (Δ+1)^{-p/t}, so a
+	// flipped threshold moves it a full level. The float32 path is itself
+	// fully deterministic: equal seeds give bit-identical results for
+	// every worker count and interleaving.
+	Float32 bool
 	// Scratch, when non-nil, supplies every working array from a reusable
 	// arena: repeated solves on same-shape graphs allocate nothing in
 	// steady state. The returned X/Y/Z vectors then alias the arena and
 	// are overwritten by the next solve using it; see Scratch.
 	Scratch *Scratch
+
+	// pool, when non-nil, is a started work-claiming pool owned by the
+	// caller (Solve shares one across both phases); nil with Workers > 1
+	// makes the phase start its own.
+	pool *par.Pool
 }
 
 // FractionalResult carries the primal solution, the dual certificate, and
@@ -145,71 +170,107 @@ func solveFractionalWithLayout(g *graph.Graph, lay *layout, k []float64, opts Fr
 		deltas = g.MaxDegreeWithinHops(2)
 	}
 
-	st := newFracState(lay, k, deltas, globalDelta, t, opts.Workers, opts.Scratch)
+	pool := opts.pool
+	if pool == nil && opts.Workers > 1 {
+		pool = poolFor(opts.Scratch)
+		pool.Start(opts.Workers)
+		defer pool.Stop()
+	}
+
+	meta := FractionalResult{
+		Kappa:      float64(t) * math.Pow(float64(globalDelta+1), 1/float64(t)),
+		Delta:      globalDelta,
+		T:          t,
+		LoopRounds: 2 * t * t,
+	}
+
+	if opts.Float32 {
+		st := frac32StateFor(opts.Scratch)
+		if err := runFractional(st, lay, k, deltas, globalDelta, t, pool, opts.Ctx); err != nil {
+			return FractionalResult{}, err
+		}
+		meta.X, meta.Y, meta.Z = widenResults(opts.Scratch, st.x, st.y, st.z)
+		meta.BetaSum = st.betaSum()
+		return meta, nil
+	}
+	st := fracStateFor(opts.Scratch)
+	if err := runFractional(st, lay, k, deltas, globalDelta, t, pool, opts.Ctx); err != nil {
+		return FractionalResult{}, err
+	}
+	meta.X, meta.Y, meta.Z = st.x, st.y, st.z
+	meta.BetaSum = st.betaSum()
+	return meta, nil
+}
+
+// runFractional executes Algorithm 1's double loop on a prepared state.
+func runFractional[F floatT](st *fracStateG[F], lay *layout, k []float64, deltas []int, globalDelta, t int, pool *par.Pool, ctx context.Context) error {
+	st.prepare(lay, k, deltas, globalDelta, t, pool)
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
-			if err := checkCtx(opts.Ctx); err != nil {
-				return FractionalResult{}, err
+			if err := checkCtx(ctx); err != nil {
+				return err
 			}
 			st.innerIteration(p, q)
 		}
 	}
 	st.finishDuals()
-
-	return FractionalResult{
-		X:          st.x,
-		Y:          st.y,
-		Z:          st.z,
-		BetaSum:    st.betaSum(),
-		Kappa:      float64(t) * math.Pow(float64(globalDelta+1), 1/float64(t)),
-		Delta:      globalDelta,
-		T:          t,
-		LoopRounds: 2 * t * t,
-	}, nil
+	return nil
 }
 
-// fracState is the global emulation of Algorithm 1's per-node state. All
-// per-neighborhood quantities live in flat arrays aligned with the shared
-// CSR layout: alpha[s], beta[s] hold α_{j,v}, β_{j,v} where v is the node
-// owning slot s and j = lay.adj[s] — the share of neighbor j's x-increase
-// attributed to covering v.
-type fracState struct {
-	lay     *layout
-	mir     []int32 // mirror slots for finishDuals
-	n       int
-	t       int
-	workers int
-	k       []float64 // effective demands (capped)
-	x       []float64
-	xPlus   []float64
-	dyn     []int32 // dynamic degrees δ̃_i (white nodes in closed neighborhood)
-	white   []bool
-	turned  []bool // scratch: nodes whose color flipped this iteration
-	c       []float64
-	y, z    []float64
+// floatT enumerates the numeric types the engine instantiates over. The
+// float64 form is the reference; float32 trades ~1e-4 absolute precision
+// for half the memory traffic (see FractionalOptions.Float32).
+type floatT interface {
+	~float32 | ~float64
+}
+
+// fracStateG is the global emulation of Algorithm 1's per-node state,
+// generic over the numeric type. All per-neighborhood quantities live in
+// flat arrays aligned with the shared CSR layout: alpha[s], beta[s] hold
+// α_{j,v}, β_{j,v} where v is the node owning slot s and j = lay.adj[s] —
+// the share of neighbor j's x-increase attributed to covering v.
+type fracStateG[F floatT] struct {
+	lay    *layout
+	mir    []int32 // mirror slots for finishDuals
+	n      int
+	t      int
+	k      []F // effective demands (capped)
+	x      []F
+	xPlus  []F
+	dyn    []int32 // dynamic degrees δ̃_i (white nodes in closed neighborhood)
+	white  []bool
+	turned []bool // scratch: nodes whose color flipped this iteration
+	c      []F
+	y, z   []F
 	// Threshold tables (Δ_v+1)^{p/t} and their reciprocals. With a global
 	// Δ every node shares one t-entry table (perNode=false); under
 	// LocalDelta the tables are per-node, flattened as thresh[v*t+p].
-	thresh  []float64
-	inc     []float64
+	thresh  []F
+	inc     []F
 	perNode bool
-	alpha   []float64
-	beta    []float64
+	alpha   []F
+	beta    []F
+
+	// Parallel execution. pool is non-nil iff this solve runs with
+	// workers > 1. The sweep bodies are bound ONCE (cached across solves
+	// by the arena) and parameterized through the p/q fields, so a pooled
+	// sweep dispatch allocates nothing — binding a fresh closure or
+	// method value per par call was the dominant share of the old
+	// parallel path's 209 allocs/op.
+	pool       *par.Pool
+	p, q       int
+	nodeDeltas []int // transient: deltas slice during a pooled table fill
+	roundAFn   func(worker, lo, hi int)
+	roundBFn   func(worker, lo, hi int)
+	finishFn   func(worker, lo, hi int)
 }
 
-// newFracState initializes the emulation state. With a non-nil scratch it
-// reuses the arena's embedded state and array capacities (every slot is
-// either zeroed or overwritten below), so repeated solves allocate
-// nothing; with scratch == nil it allocates fresh arrays as before.
-func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, workers int, scratch *Scratch) *fracState {
+// prepare initializes the emulation state for one solve. On an
+// arena-embedded state it reuses every array capacity (slots are either
+// zeroed or overwritten below), so repeated solves allocate nothing.
+func (st *fracStateG[F]) prepare(lay *layout, k []float64, deltas []int, globalDelta, t int, pool *par.Pool) {
 	n := lay.n
-	var st *fracState
-	if scratch != nil {
-		st = &scratch.frac
-	} else {
-		st = new(fracState)
-	}
-	st.lay, st.n, st.t, st.workers = lay, n, t, workers
+	st.lay, st.n, st.t, st.pool = lay, n, t, pool
 	st.mir = lay.mirrorInto(st.mir)
 	st.k = growNoClear(st.k, n)
 	st.x = growZero(st.x, n)
@@ -222,6 +283,11 @@ func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, worker
 	st.z = growZero(st.z, n)
 	st.alpha = growZero(st.alpha, len(lay.adj))
 	st.beta = growZero(st.beta, len(lay.adj))
+	if pool != nil && st.roundAFn == nil {
+		st.roundAFn = func(_, lo, hi int) { st.roundA(lo, hi, st.p, st.q) }
+		st.roundBFn = func(_, lo, hi int) { st.roundB(lo, hi, st.p) }
+		st.finishFn = func(_, lo, hi int) { st.finishRange(lo, hi) }
+	}
 	if deltas == nil {
 		st.perNode = false
 		st.thresh = growNoClear(st.thresh, t)
@@ -231,47 +297,58 @@ func newFracState(lay *layout, k []float64, deltas []int, globalDelta, t, worker
 		st.perNode = true
 		st.thresh = growNoClear(st.thresh, n*t)
 		st.inc = growNoClear(st.inc, n*t)
-		if workers > 1 {
-			par.For(n, workers, func(lo, hi int) { st.fillNodeTables(deltas, lo, hi) })
+		if pool != nil {
+			st.nodeDeltas = deltas
+			st.pool.Run(n, st.tablesFor)
+			st.nodeDeltas = nil
 		} else {
 			st.fillNodeTables(deltas, 0, n)
 		}
 	}
 	for v := 0; v < n; v++ {
 		size := lay.size(v)
-		st.k[v] = math.Min(k[v], float64(size))
+		st.k[v] = F(math.Min(k[v], float64(size)))
 		st.white[v] = true
 		st.dyn[v] = int32(size)
 	}
-	return st
 }
 
-// fillPowTables fills dst[e] = (δ+1)^{e/t} and rec[e] = its reciprocal.
-func fillPowTables(dst, rec []float64, delta, t int) {
+// fillPowTables fills dst[e] = (δ+1)^{e/t} and rec[e] = its reciprocal,
+// computed in float64 and narrowed to F — both instantiations therefore
+// share one deterministic table source.
+func fillPowTables[F floatT](dst, rec []F, delta, t int) {
 	d1 := float64(delta + 1)
 	for e := 0; e < t; e++ {
-		dst[e] = math.Pow(d1, float64(e)/float64(t))
-		rec[e] = 1 / dst[e]
+		th := math.Pow(d1, float64(e)/float64(t))
+		dst[e] = F(th)
+		rec[e] = F(1 / th)
 	}
 }
 
 // fillNodeTables fills the per-node threshold tables for nodes [lo, hi).
-func (st *fracState) fillNodeTables(deltas []int, lo, hi int) {
+func (st *fracStateG[F]) fillNodeTables(deltas []int, lo, hi int) {
 	t := st.t
 	for v := lo; v < hi; v++ {
 		fillPowTables(st.thresh[v*t:(v+1)*t], st.inc[v*t:(v+1)*t], deltas[v], t)
 	}
 }
 
+// tablesFor is the pooled form of fillNodeTables: the deltas slice rides
+// in nodeDeltas for the duration of the dispatch (a method, not a
+// closure, so the init sweep allocates nothing).
+func (st *fracStateG[F]) tablesFor(_, lo, hi int) {
+	st.fillNodeTables(st.nodeDeltas, lo, hi)
+}
+
 // threshAt returns (Δ_v+1)^{e/t}; incAt its reciprocal.
-func (st *fracState) threshAt(v, e int) float64 {
+func (st *fracStateG[F]) threshAt(v, e int) F {
 	if st.perNode {
 		return st.thresh[v*st.t+e]
 	}
 	return st.thresh[e]
 }
 
-func (st *fracState) incAt(v, e int) float64 {
+func (st *fracStateG[F]) incAt(v, e int) F {
 	if st.perNode {
 		return st.inc[v*st.t+e]
 	}
@@ -284,17 +361,13 @@ func (st *fracState) incAt(v, e int) float64 {
 // incremental (each node turning black decrements its closed neighbors'
 // counters once, O(Δ) amortized per color flip), replacing the original
 // full O(n·Δ) neighborhood rescan per iteration.
-//
-// The closure literals handed to par.For live in the workers > 1 branch
-// only: par.For's fn parameter reaches a goroutine, so every such literal
-// is heap-allocated at creation even when it ends up running inline —
-// creating them unconditionally cost ~2 allocations per inner iteration
-// and kept scratch-backed sequential solves from reaching zero
-// steady-state allocations.
-func (st *fracState) innerIteration(p, q int) {
-	if st.workers > 1 {
-		par.For(st.n, st.workers, func(lo, hi int) { st.roundA(lo, hi, p, q) })
-		par.For(st.n, st.workers, func(lo, hi int) { st.roundB(lo, hi, p) })
+func (st *fracStateG[F]) innerIteration(p, q int) {
+	if st.pool != nil {
+		// The bound sweep bodies read p/q through the state; the pool's
+		// signal send orders these writes before any worker runs.
+		st.p, st.q = p, q
+		st.pool.Run(st.n, st.roundAFn)
+		st.pool.Run(st.n, st.roundBFn)
 	} else {
 		st.roundA(0, st.n, p, q)
 		st.roundB(0, st.n, p)
@@ -313,12 +386,18 @@ func (st *fracState) innerIteration(p, q int) {
 	}
 }
 
-// roundA raises x-values (Lines 5–8) for nodes in [lo, hi).
-func (st *fracState) roundA(lo, hi, p, q int) {
+// roundA raises x-values (Lines 5–8) for nodes in [lo, hi). The min is
+// spelled as a comparison rather than math.Min: for the positive finite
+// operands of this loop the two agree bit for bit, and the comparison
+// form instantiates for float32 too.
+func (st *fracStateG[F]) roundA(lo, hi, p, q int) {
 	for v := lo; v < hi; v++ {
 		st.xPlus[v] = 0
-		if st.x[v] < 1 && float64(st.dyn[v]) >= st.threshAt(v, p) {
-			xp := math.Min(st.incAt(v, q), 1-st.x[v])
+		if st.x[v] < 1 && F(st.dyn[v]) >= st.threshAt(v, p) {
+			xp := st.incAt(v, q)
+			if rem := 1 - st.x[v]; rem < xp {
+				xp = rem
+			}
 			st.xPlus[v] = xp
 			st.x[v] += xp
 		}
@@ -327,19 +406,21 @@ func (st *fracState) roundA(lo, hi, p, q int) {
 
 // roundB is Round B part 1: white nodes in [lo, hi) account coverage and
 // duals (Lines 10–21).
-func (st *fracState) roundB(lo, hi, p int) {
+func (st *fracStateG[F]) roundB(lo, hi, p int) {
 	for v := lo; v < hi; v++ {
 		if !st.white[v] {
 			continue
 		}
 		closed := st.lay.closed(v)
-		cPlus := 0.0
+		cPlus := F(0)
 		for _, w := range closed {
 			cPlus += st.xPlus[w]
 		}
-		lambda := 1.0
+		lambda := F(1)
 		if cPlus > 0 {
-			lambda = math.Min(1, (st.k[v]-st.c[v])/cPlus)
+			if l := (st.k[v] - st.c[v]) / cPlus; l < 1 {
+				lambda = l
+			}
 		}
 		st.c[v] += cPlus
 		base := int(st.lay.off[v])
@@ -362,17 +443,17 @@ func (st *fracState) roundB(lo, hi, p int) {
 // α_{i,j} and β_{i,j} are stored at node j (the covered side), so the
 // distributed execution needs one extra exchange round here; the engine
 // reads them through the precomputed mirror slots.
-func (st *fracState) finishDuals() {
-	if st.workers > 1 {
-		par.For(st.n, st.workers, st.finishRange)
+func (st *fracStateG[F]) finishDuals() {
+	if st.pool != nil {
+		st.pool.Run(st.n, st.finishFn)
 	} else {
 		st.finishRange(0, st.n)
 	}
 }
 
-func (st *fracState) finishRange(lo, hi int) {
+func (st *fracStateG[F]) finishRange(lo, hi int) {
 	for v := lo; v < hi; v++ {
-		sum := 0.0
+		sum := F(0)
 		for s := st.lay.off[v]; s < st.lay.off[v+1]; s++ {
 			w := st.lay.adj[s]
 			m := st.mir[s]
@@ -382,10 +463,13 @@ func (st *fracState) finishRange(lo, hi int) {
 	}
 }
 
-func (st *fracState) betaSum() float64 {
+// betaSum accumulates in float64 on both instantiations: the reduction is
+// sequential (deterministic order) and the float64 form is unchanged from
+// the reference engine.
+func (st *fracStateG[F]) betaSum() float64 {
 	total := 0.0
 	for _, b := range st.beta {
-		total += b
+		total += float64(b)
 	}
 	return total
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"ftclust/internal/graph"
 )
 
@@ -17,6 +15,7 @@ type layout struct {
 	n   int
 	off []int32
 	adj []graph.NodeID
+	cur []int32 // per-node cursors reused by mirrorInto
 }
 
 func newLayout(g *graph.Graph) *layout {
@@ -85,21 +84,26 @@ func (l *layout) maxSize() int {
 // mirror returns, for every slot s holding the pair (v, w) with
 // w = adj[s] ∈ N_v, the slot index of the reverse pair (w, v) in N_w. The
 // dual-finishing step needs α_{v,w}/β_{v,w} stored on the covered side w,
-// and this index array replaces the per-node position maps with one binary
-// search per edge at build time.
+// and this index array replaces the per-node position maps.
 func (l *layout) mirror() []int32 {
 	return l.mirrorInto(nil)
 }
 
-// mirrorInto is mirror writing into a reusable buffer.
+// mirrorInto is mirror writing into a reusable buffer. O(m) by cursor
+// advance: w ∈ N_v ⟺ v ∈ N_w, so scanning all slots in ascending-v order
+// visits row w's entries in exactly their stored (ascending) order — the
+// reverse slot is always row w's next unconsumed position. This replaces
+// the per-slot binary search of the original build.
 func (l *layout) mirrorInto(buf []int32) []int32 {
 	m := growNoClear(buf, len(l.adj))
+	l.cur = growNoClear(l.cur, l.n)
+	cur := l.cur
+	copy(cur, l.off[:l.n])
 	for v := 0; v < l.n; v++ {
 		for s := l.off[v]; s < l.off[v+1]; s++ {
-			w := int(l.adj[s])
-			cw := l.closed(w)
-			i := sort.Search(len(cw), func(i int) bool { return cw[i] >= graph.NodeID(v) })
-			m[s] = l.off[w] + int32(i)
+			w := l.adj[s]
+			m[s] = cur[w]
+			cur[w]++
 		}
 	}
 	return m

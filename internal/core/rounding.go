@@ -25,6 +25,9 @@ type RoundingOptions struct {
 	// goroutines (≤ 1 = sequential). Each node consumes only its own
 	// random stream, so results are bit-identical for every worker count.
 	Workers int
+	// Bitset selects the packed-row kernels for the REQ coverage and
+	// candidate scans; see BitsetMode. Results are identical either way.
+	Bitset BitsetMode
 	// Ctx, when non-nil, is checked before the sampling round and again
 	// before the REQ round; a done context aborts with a wrapped
 	// ErrCanceled.
@@ -34,6 +37,11 @@ type RoundingOptions struct {
 	// in place — state-identical to fresh ones, so results never change).
 	// The returned InSet then aliases the arena; see Scratch.
 	Scratch *Scratch
+
+	// pool, when non-nil, is a started work-claiming pool owned by the
+	// caller (Solve shares one across both phases); nil with Workers > 1
+	// makes the phase start its own.
+	pool *par.Pool
 }
 
 // RoundingResult is the outcome of Algorithm 2.
@@ -86,6 +94,13 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 		return RoundingResult{}, err
 	}
 
+	pool := opts.pool
+	if pool == nil && opts.Workers > 1 {
+		pool = poolFor(opts.Scratch)
+		pool.Start(opts.Workers)
+		defer pool.Stop()
+	}
+
 	// Sampling (Line 2). Seeding a per-node stream is the expensive part
 	// (rand.NewSource initializes a large state), so the sweep is worth
 	// parallelizing even before any graph work happens — and with a
@@ -102,13 +117,14 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 		inSet = make([]bool, n)
 		rnds = make([]*rand.Rand, n)
 	}
-	// Closure literals handed to par.For heap-allocate even when they run
-	// inline (fn reaches a goroutine), so both sweeps keep them in the
-	// workers > 1 branch and call the named body directly otherwise —
-	// the sequential scratch path must not allocate at all.
+	// Closure literals handed to the pool heap-allocate even when they
+	// never run (fn reaches a goroutine), so both sweeps keep them in the
+	// pool != nil branch and call the named body directly otherwise — the
+	// sequential scratch path must not allocate at all. (Two literals per
+	// solve here, constant; the per-round fractional sweeps cache theirs.)
 	sampled := 0
-	if opts.Workers > 1 {
-		par.For(n, opts.Workers, func(lo, hi int) {
+	if pool != nil {
+		pool.Run(n, func(_, lo, hi int) {
 			sampleSweep(lo, hi, opts.Seed, lnD, x, rnds, inSet)
 		})
 	} else {
@@ -131,9 +147,9 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 	// helps). inSet is frozen here, every node reads its own stream, and
 	// recruit slots only ever receive the value 1, so the sweep is
 	// order-independent; atomic stores keep the parallel path race-free.
-	// The sequential scratch path reuses one candidate/permutation buffer;
-	// the parallel path allocates one pair per chunk (never per node —
-	// permInto consumes exactly rand.Perm's draws into a reused buffer).
+	// Buffers: the sequential scratch path reuses one candidate/perm
+	// pair, the pooled path carves one pair per worker lane from the
+	// arena (never per node or per chunk).
 	var recruit []uint32
 	if scratch != nil {
 		scratch.recruit = growZero(scratch.recruit, n)
@@ -141,11 +157,37 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 	} else {
 		recruit = make([]uint32, n)
 	}
+
+	// Packed kernels: with inSet frozen, coverage is popcount(row &
+	// members) and candidates are the set bits of row &^ members.
+	var bits *bitRows
+	var inBits []uint64
+	if useBitset(opts.Bitset, lay) {
+		if scratch != nil {
+			bits = &scratch.bits
+			scratch.inBits = packInto(scratch.inBits, inSet)
+			inBits = scratch.inBits
+		} else {
+			bits = &bitRows{}
+			inBits = packInto(nil, inSet)
+		}
+		bits.rebuild(lay)
+	}
+
 	maxClosed := lay.maxSize()
-	if opts.Workers > 1 {
-		par.For(n, opts.Workers, func(lo, hi int) {
-			reqSweep(lo, hi, lay, k, inSet, rnds, recruit,
-				make([]graph.NodeID, 0, maxClosed), make([]int, maxClosed))
+	if pool != nil {
+		lanes := lanesFor(scratch, pool.Workers())
+		for i := range lanes {
+			lanes[i].cand = growNoClear(lanes[i].cand, maxClosed)[:0]
+			lanes[i].perm = growNoClear(lanes[i].perm, maxClosed)
+		}
+		pool.Run(n, func(worker, lo, hi int) {
+			ln := &lanes[worker]
+			if bits != nil {
+				reqSweepBits(lo, hi, lay, bits, inBits, k, rnds, recruit, ln.cand, ln.perm)
+			} else {
+				reqSweep(lo, hi, lay, k, inSet, rnds, recruit, ln.cand, ln.perm)
+			}
 		})
 	} else {
 		var candidates []graph.NodeID
@@ -158,7 +200,11 @@ func roundWithLayout(lay *layout, k []float64, x []float64, delta int, opts Roun
 			candidates = make([]graph.NodeID, 0, maxClosed)
 			permBuf = make([]int, maxClosed)
 		}
-		reqSweep(0, n, lay, k, inSet, rnds, recruit, candidates, permBuf)
+		if bits != nil {
+			reqSweepBits(0, n, lay, bits, inBits, k, rnds, recruit, candidates, permBuf)
+		} else {
+			reqSweep(0, n, lay, k, inSet, rnds, recruit, candidates, permBuf)
+		}
 	}
 	repaired := 0
 	for v := 0; v < n; v++ {
@@ -182,19 +228,17 @@ func sampleSweep(lo, hi int, seed int64, lnD float64, x []float64, rnds []*rand.
 }
 
 // reqSweep runs the REQ round (Lines 4–7) for nodes in [lo, hi), using the
-// caller-supplied candidate/permutation buffers (per chunk in the parallel
-// path, the scratch pair in the sequential path).
+// caller-supplied candidate/permutation buffers.
 func reqSweep(lo, hi int, lay *layout, k []float64, inSet []bool, rnds []*rand.Rand, recruit []uint32, candidates []graph.NodeID, permBuf []int) {
 	for v := lo; v < hi; v++ {
 		closed := lay.closed(v)
-		kv := math.Min(k[v], float64(len(closed)))
-		cov := 0.0
+		cov := 0
 		for _, w := range closed {
 			if inSet[w] {
 				cov++
 			}
 		}
-		deficit := int(math.Ceil(kv - cov - 1e-12))
+		deficit := reqDeficit(k[v], len(closed), cov)
 		if deficit <= 0 {
 			continue
 		}
@@ -204,11 +248,40 @@ func reqSweep(lo, hi int, lay *layout, k []float64, inSet []bool, rnds []*rand.R
 				candidates = append(candidates, w)
 			}
 		}
-		// |N_v| ≥ k_v guarantees enough candidates.
-		perm := permBuf[:len(candidates)]
-		permInto(rnds[v], perm)
-		for i := 0; i < deficit && i < len(candidates); i++ {
-			atomic.StoreUint32(&recruit[candidates[perm[i]]], 1)
+		reqRecruit(rnds[v], recruit, candidates, permBuf, deficit)
+	}
+}
+
+// reqSweepBits is reqSweep on the packed rows: identical deficits (exact
+// integer coverage either way) and identical candidate order (ascending
+// bit order = ascending CSR order), so identical recruits and random
+// draws.
+func reqSweepBits(lo, hi int, lay *layout, bits *bitRows, inBits []uint64, k []float64, rnds []*rand.Rand, recruit []uint32, candidates []graph.NodeID, permBuf []int) {
+	for v := lo; v < hi; v++ {
+		row := bits.row(v)
+		cov := countAnd(row, inBits)
+		deficit := reqDeficit(k[v], lay.size(v), cov)
+		if deficit <= 0 {
+			continue
 		}
+		candidates = appendAndNot(candidates[:0], row, inBits)
+		reqRecruit(rnds[v], recruit, candidates, permBuf, deficit)
+	}
+}
+
+// reqDeficit returns how many additional members node v must recruit.
+func reqDeficit(kv float64, closedSize, cov int) int {
+	kv = math.Min(kv, float64(closedSize))
+	return int(math.Ceil(kv - float64(cov) - 1e-12))
+}
+
+// reqRecruit draws a uniform permutation of the candidates from the
+// node's stream and recruits the first deficit of them.
+// |N_v| ≥ k_v guarantees enough candidates.
+func reqRecruit(r *rand.Rand, recruit []uint32, candidates []graph.NodeID, permBuf []int, deficit int) {
+	perm := permBuf[:len(candidates)]
+	permInto(r, perm)
+	for i := 0; i < deficit && i < len(candidates); i++ {
+		atomic.StoreUint32(&recruit[candidates[perm[i]]], 1)
 	}
 }

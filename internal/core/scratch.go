@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ftclust/internal/graph"
+	"ftclust/internal/par"
 	"ftclust/internal/rng"
 )
 
@@ -19,6 +20,13 @@ import (
 // phase, one large generator state per node) are re-seeded in place, which
 // yields bit-identical results to freshly constructed streams.
 //
+// Parallel solves (Workers > 1) draw their machinery from the arena too:
+// the work-claiming pool's signal channels, the pre-bound sweep closures
+// cached inside the fractional state, and one rounding lane (candidate +
+// permutation buffers) per worker — so a scratch-backed parallel solve
+// costs only the goroutine spawns on top of the sequential budget (pinned
+// by TestSolveParallelScratchSteadyStateAllocs).
+//
 // Results returned from a scratch-backed solve ALIAS the arena:
 // Result.InSet, .K and the Fractional X/Y/Z vectors are views into
 // Scratch-owned memory and are overwritten by the next solve that uses the
@@ -26,22 +34,103 @@ import (
 // safe for concurrent use; give each worker its own (the service's solver
 // pool does exactly that).
 type Scratch struct {
-	lay  layout
-	frac fracState
+	lay    layout
+	frac   fracStateG[float64]
+	frac32 fracStateG[float32]
+	pool   par.Pool
 
 	kEff []float64
 
-	// Rounding state.
+	// Float32 solves narrow internally and widen on the way out; these
+	// hold the widened X/Y/Z views handed to the caller.
+	xOut, yOut, zOut []float64
+
+	// Bitset kernels: packed closed-neighborhood rows plus the packed
+	// membership vector the coverage sweeps intersect against.
+	bits   bitRows
+	inBits []uint64
+
+	// Rounding state. cand/perm serve the sequential path; lanes carve a
+	// private (cand, perm) pair per pool worker.
 	inSet   []bool
 	rnds    []*rand.Rand
 	recruit []uint32
 	cand    []graph.NodeID
 	perm    []int
+	lanes   []reqLane
+}
+
+// reqLane is one worker's private rounding buffers: REQ candidate
+// collection and recruit permutation, reused across chunks and solves.
+type reqLane struct {
+	cand []graph.NodeID
+	perm []int
 }
 
 // NewScratch returns an empty arena; arrays are allocated lazily on first
 // use and sized to the largest (n, m) seen.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// fracStateFor returns the float64 fractional state, arena-embedded when
+// s is non-nil (reusing arrays and the cached sweep closures).
+func fracStateFor(s *Scratch) *fracStateG[float64] {
+	if s == nil {
+		return &fracStateG[float64]{}
+	}
+	return &s.frac
+}
+
+// frac32StateFor is fracStateFor for the float32 instantiation.
+func frac32StateFor(s *Scratch) *fracStateG[float32] {
+	if s == nil {
+		return &fracStateG[float32]{}
+	}
+	return &s.frac32
+}
+
+// poolFor returns a stopped pool ready to Start, arena-embedded when s is
+// non-nil so its signal channels persist across solves.
+func poolFor(s *Scratch) *par.Pool {
+	if s == nil {
+		return &par.Pool{}
+	}
+	return &s.pool
+}
+
+// lanesFor returns w rounding lanes, arena-embedded when s is non-nil.
+func lanesFor(s *Scratch, w int) []reqLane {
+	if s == nil {
+		return make([]reqLane, w)
+	}
+	s.lanes = growKeep(s.lanes, w)
+	return s.lanes
+}
+
+// widenResults converts the float32 engine's vectors to the float64 views
+// the public result type carries, drawing the output buffers from the
+// arena when available.
+func widenResults(s *Scratch, x, y, z []float32) (xo, yo, zo []float64) {
+	if s == nil {
+		xo = make([]float64, len(x))
+		yo = make([]float64, len(y))
+		zo = make([]float64, len(z))
+	} else {
+		s.xOut = growNoClear(s.xOut, len(x))
+		s.yOut = growNoClear(s.yOut, len(y))
+		s.zOut = growNoClear(s.zOut, len(z))
+		xo, yo, zo = s.xOut, s.yOut, s.zOut
+	}
+	for i, v := range x {
+		xo[i] = float64(v)
+	}
+	for i, v := range y {
+		yo[i] = float64(v)
+	}
+	for i, v := range z {
+		zo[i] = float64(v)
+	}
+	return xo, yo, zo
+}
 
 // growNoClear resizes buf to n reusing its capacity; contents are
 // unspecified — every slot must be written by the caller.
@@ -62,7 +151,8 @@ func growZero[T any](buf []T, n int) []T {
 // growKeep resizes buf to n preserving existing elements (and, when
 // shrinking then regrowing within capacity, resurrecting earlier ones) —
 // used for the rand.Rand stream cache, where any stale non-nil pointer is
-// a reusable generator that the sampling sweep re-seeds anyway.
+// a reusable generator that the sampling sweep re-seeds anyway, and for
+// the rounding lanes, where stale buffers are reusable capacity.
 func growKeep[T any](buf []T, n int) []T {
 	if cap(buf) >= n {
 		return buf[:n]

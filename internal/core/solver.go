@@ -6,6 +6,7 @@ import (
 
 	"ftclust/internal/graph"
 	"ftclust/internal/obs"
+	"ftclust/internal/par"
 	"ftclust/internal/verify"
 )
 
@@ -26,9 +27,20 @@ type Options struct {
 	// result may then be infeasible and Solve will report it).
 	SkipRepair bool
 	// Workers distributes both phases' per-round sweeps over this many
-	// goroutines (≤ 1 = sequential). Results are bit-identical to the
-	// sequential execution for equal seeds, whatever the worker count.
+	// goroutines (≤ 1 = sequential). One work-claiming pool spans both
+	// phases. Results are bit-identical to the sequential execution for
+	// equal seeds, whatever the worker count or chunk interleaving.
 	Workers int
+	// Float32 switches Algorithm 1's numeric state to float32; see
+	// FractionalOptions.Float32 for the precision contract. Rounding
+	// consumes the widened float64 x-vector, so the integral solution is
+	// still exact k-fold feasible — only the fractional values and the
+	// dual certificate carry the float32 tolerance.
+	Float32 bool
+	// Bitset selects packed []uint64 closed-neighborhood rows for the
+	// dense rounding sweeps; see BitsetMode. Results are identical in
+	// every mode.
+	Bitset BitsetMode
 	// Ctx, when non-nil, is checked between communication rounds of both
 	// phases; a done context aborts the solve with a wrapped ErrCanceled.
 	// Cancellation never yields a partial Result.
@@ -98,15 +110,24 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		ph = obs.NewPhaseClock(opts.Observer)
 	}
 
-	// One closed-neighborhood layout shared by both phases.
+	// One closed-neighborhood layout and one worker pool shared by both
+	// phases (spawning goroutines once per solve, not once per phase).
 	lay := layoutFor(g, opts.Scratch)
+	var pool *par.Pool
+	if opts.Workers > 1 {
+		pool = poolFor(opts.Scratch)
+		pool.Start(opts.Workers)
+		defer pool.Stop()
+	}
 	ph.Start()
 	frac, err := solveFractionalWithLayout(g, lay, k, FractionalOptions{
 		T:          opts.T,
 		LocalDelta: opts.LocalDelta,
 		Workers:    opts.Workers,
+		Float32:    opts.Float32,
 		Ctx:        opts.Ctx,
 		Scratch:    opts.Scratch,
+		pool:       pool,
 	})
 	if err != nil {
 		return Result{}, err
@@ -116,8 +137,10 @@ func Solve(g *graph.Graph, opts Options) (Result, error) {
 		Seed:       opts.Seed,
 		SkipRepair: opts.SkipRepair,
 		Workers:    opts.Workers,
+		Bitset:     opts.Bitset,
 		Ctx:        opts.Ctx,
 		Scratch:    opts.Scratch,
+		pool:       pool,
 	})
 	if err != nil {
 		return Result{}, err

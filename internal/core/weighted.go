@@ -51,6 +51,10 @@ type WeightedOptions struct {
 	// Workers distributes the per-round sweeps over this many goroutines
 	// (≤ 1 = sequential); results are bit-identical for equal seeds.
 	Workers int
+	// Bitset selects packed []uint64 closed-neighborhood rows for the
+	// repair sweep's coverage and candidate scans; see BitsetMode.
+	// Results are identical in every mode.
+	Bitset BitsetMode
 	// Ctx, when non-nil, is checked between communication rounds of both
 	// phases; a done context aborts with a wrapped ErrCanceled.
 	Ctx context.Context
@@ -102,11 +106,17 @@ func SolveWeighted(g *graph.Graph, opts WeightedOptions) (WeightedResult, error)
 	k := EffectiveDemands(g, opts.K)
 	delta := g.MaxDegree()
 	lay := newLayout(g)
-	x, loopRounds, err := weightedFractional(lay, k, opts.Costs, opts.T, delta, cMin, cMax, opts.Workers, opts.Ctx)
+	var pool *par.Pool
+	if opts.Workers > 1 {
+		pool = &par.Pool{}
+		pool.Start(opts.Workers)
+		defer pool.Stop()
+	}
+	x, loopRounds, err := weightedFractional(lay, k, opts.Costs, opts.T, delta, cMin, cMax, pool, opts.Ctx)
 	if err != nil {
 		return WeightedResult{}, err
 	}
-	inSet, err := weightedRound(lay, k, x, opts.Costs, delta, opts.Seed, opts.Workers, opts.Ctx)
+	inSet, err := weightedRound(lay, k, x, opts.Costs, delta, opts.Seed, opts.Bitset, pool, opts.Ctx)
 	if err != nil {
 		return WeightedResult{}, err
 	}
@@ -126,7 +136,7 @@ func SolveWeighted(g *graph.Graph, opts WeightedOptions) (WeightedResult, error)
 
 // weightedFractional is Algorithm 1 with the cost-effectiveness threshold.
 // It returns the fractional solution and the double loop's round count.
-func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMax float64, workers int, ctx context.Context) ([]float64, int, error) {
+func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMax float64, pool *par.Pool, ctx context.Context) ([]float64, int, error) {
 	n := lay.n
 	x := make([]float64, n)
 	xPlus := make([]float64, n)
@@ -148,20 +158,29 @@ func weightedFractional(lay *layout, k, costs []float64, t, delta int, cMin, cMa
 		return 1 / math.Pow(d1, float64(q)/float64(t))
 	}
 
+	// The sweep bodies are bound once, outside the double loop, and read
+	// the per-iteration threshold through captured variables (the pool's
+	// signal send orders the writes) — no per-iteration closures.
+	var thresholdS, incQ float64
+	var raiseFn, coverFn func(worker, lo, hi int)
+	if pool != nil {
+		raiseFn = func(_, lo, hi int) {
+			weightedRaiseSweep(lo, hi, x, xPlus, costs, dyn, thresholdS, incQ)
+		}
+		coverFn = func(_, lo, hi int) {
+			weightedCoverSweep(lo, hi, lay, k, xPlus, cov, white, turned)
+		}
+	}
 	for p := t - 1; p >= 0; p-- {
 		for q := t - 1; q >= 0; q-- {
 			if err := checkCtx(ctx); err != nil {
 				return nil, 0, err
 			}
-			thresholdS := sP(p)
-			incQ := inc(q)
-			if workers > 1 {
-				par.For(n, workers, func(lo, hi int) {
-					weightedRaiseSweep(lo, hi, x, xPlus, costs, dyn, thresholdS, incQ)
-				})
-				par.For(n, workers, func(lo, hi int) {
-					weightedCoverSweep(lo, hi, lay, k, xPlus, cov, white, turned)
-				})
+			thresholdS = sP(p)
+			incQ = inc(q)
+			if pool != nil {
+				pool.Run(n, raiseFn)
+				pool.Run(n, coverFn)
 			} else {
 				weightedRaiseSweep(0, n, x, xPlus, costs, dyn, thresholdS, incQ)
 				weightedCoverSweep(0, n, lay, k, xPlus, cov, white, turned)
@@ -242,26 +261,37 @@ func weightedSampleSweep(lo, hi int, x []float64, inSet []bool, lnD float64, see
 }
 
 // weightedRepairSweep recruits the cheapest non-member candidates for
-// every deficient node in [lo, hi). inSet is frozen and recruit slots
-// only ever receive 1 (atomically), so the sweep is order-independent.
-func weightedRepairSweep(lo, hi int, lay *layout, k, costs []float64, inSet []bool, recruit []uint32, maxClosed int) {
-	candidates := make([]graph.NodeID, 0, maxClosed)
+// every deficient node in [lo, hi), using the caller-supplied candidate
+// buffer (one per worker lane — with guided chunking a lane runs many
+// chunks, so a per-chunk buffer would allocate per claim). inSet is
+// frozen and recruit slots only ever receive 1 (atomically), so the
+// sweep is order-independent. With non-nil bits the coverage count and
+// candidate collection run on the packed rows — identical results, the
+// candidate sort re-orders by cost either way.
+func weightedRepairSweep(lo, hi int, lay *layout, bits *bitRows, inBits []uint64, k, costs []float64, inSet []bool, recruit []uint32, candidates []graph.NodeID) {
 	for v := lo; v < hi; v++ {
-		closed := lay.closed(v)
-		covV := 0.0
-		for _, w := range closed {
-			if inSet[w] {
-				covV++
+		var cov int
+		if bits != nil {
+			cov = countAnd(bits.row(v), inBits)
+		} else {
+			for _, w := range lay.closed(v) {
+				if inSet[w] {
+					cov++
+				}
 			}
 		}
-		deficit := int(math.Ceil(k[v] - covV - 1e-12))
+		deficit := int(math.Ceil(k[v] - float64(cov) - 1e-12))
 		if deficit <= 0 {
 			continue
 		}
-		candidates = candidates[:0]
-		for _, w := range closed {
-			if !inSet[w] {
-				candidates = append(candidates, w)
+		if bits != nil {
+			candidates = appendAndNot(candidates[:0], bits.row(v), inBits)
+		} else {
+			candidates = candidates[:0]
+			for _, w := range lay.closed(v) {
+				if !inSet[w] {
+					candidates = append(candidates, w)
+				}
 			}
 		}
 		sort.Slice(candidates, func(i, j int) bool {
@@ -279,15 +309,15 @@ func weightedRepairSweep(lo, hi int, lay *layout, k, costs []float64, inSet []bo
 
 // weightedRound samples like Algorithm 2 and repairs deficits with the
 // cheapest candidates.
-func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, workers int, ctx context.Context) ([]bool, error) {
+func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, mode BitsetMode, pool *par.Pool, ctx context.Context) ([]bool, error) {
 	n := lay.n
 	lnD := math.Log(float64(delta + 1))
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	inSet := make([]bool, n)
-	if workers > 1 {
-		par.For(n, workers, func(lo, hi int) {
+	if pool != nil {
+		pool.Run(n, func(_, lo, hi int) {
 			weightedSampleSweep(lo, hi, x, inSet, lnD, seed)
 		})
 	} else {
@@ -299,13 +329,24 @@ func weightedRound(lay *layout, k, x, costs []float64, delta int, seed int64, wo
 		return nil, err
 	}
 	recruit := make([]uint32, n)
+	var bits *bitRows
+	var inBits []uint64
+	if useBitset(mode, lay) {
+		bits = &bitRows{}
+		bits.rebuild(lay)
+		inBits = packInto(nil, inSet)
+	}
 	maxClosed := lay.maxSize()
-	if workers > 1 {
-		par.For(n, workers, func(lo, hi int) {
-			weightedRepairSweep(lo, hi, lay, k, costs, inSet, recruit, maxClosed)
+	if pool != nil {
+		lanes := make([][]graph.NodeID, pool.Workers())
+		for i := range lanes {
+			lanes[i] = make([]graph.NodeID, 0, maxClosed)
+		}
+		pool.Run(n, func(worker, lo, hi int) {
+			weightedRepairSweep(lo, hi, lay, bits, inBits, k, costs, inSet, recruit, lanes[worker])
 		})
 	} else {
-		weightedRepairSweep(0, n, lay, k, costs, inSet, recruit, maxClosed)
+		weightedRepairSweep(0, n, lay, bits, inBits, k, costs, inSet, recruit, make([]graph.NodeID, 0, maxClosed))
 	}
 	for v := 0; v < n; v++ {
 		if recruit[v] == 1 {

@@ -1,51 +1,248 @@
-// Package par provides the deterministic worker-pool primitive shared by
+// Package par provides the deterministic worker-pool primitives shared by
 // the in-memory engines (internal/core) and the message-passing simulator
-// (internal/sim): a parallel for over index chunks whose boundaries depend
-// only on (n, workers) — never on completion order — so any body that
-// touches only per-index state produces bit-identical results for every
-// worker count.
+// (internal/sim).
+//
+// Scheduling is dynamic: workers claim index ranges from a shared atomic
+// cursor (guided chunking — chunk sizes shrink as the range drains), so a
+// skewed workload (the degree tail of a gnp graph concentrating in a few
+// chunks) no longer serializes behind the unluckiest fixed chunk. Which
+// worker runs which range is therefore nondeterministic; results stay
+// bit-identical for every worker count and every interleaving because the
+// contract requires bodies to write only per-index state — outputs are
+// keyed by index (node ID), never by arrival order.
+//
+// Two entry points:
+//
+//   - For(n, workers, fn) spawns workers for one sweep and joins them —
+//     convenient for one-off scans (graph traversals, simulator steps).
+//   - Pool amortizes the goroutine spawns across many sweeps of one solve:
+//     Start once, Run per sweep (the caller participates as worker 0 and
+//     bodies receive their worker index for per-worker scratch lanes),
+//     Stop to join. A Pool's channels are reused across Start/Stop cycles,
+//     so a Pool embedded in a reusable arena adds only the goroutine
+//     spawns (workers−1 per Start) to the steady-state allocation budget.
 package par
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// For runs fn over contiguous chunks covering [0, n). workers ≤ 1 runs
-// fn(0, n) inline with no goroutines; worker counts above n, or above
-// 4×GOMAXPROCS (where extra goroutines only add scheduling overhead), are
-// clamped. Chunking is static, so clamping never changes which indices a
-// chunk contains relative to a larger machine — only how many run at once.
-func For(n, workers int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
+// minGrain is the smallest index range a worker claims: small enough to
+// balance heavy tails, large enough that two workers never contend for
+// slots within one cache line and the atomic traffic stays negligible.
+const minGrain = 128
+
+// forceGrain, when positive, overrides the guided chunk size. Test-only:
+// equivalence tests force tiny grains to exercise maximal work-stealing
+// interleavings. Atomic so concurrent tests do not race the scheduler.
+var forceGrain atomic.Int64
+
+// SetForceGrain overrides the scheduler's chunk size (0 restores guided
+// chunking). FOR TESTS ONLY — it is process-global. It returns the
+// previous value so tests can restore it.
+func SetForceGrain(g int) int { return int(forceGrain.Swap(int64(g))) }
+
+// clampWorkers applies the shared worker-count limits: never more workers
+// than indices, never more than 4×GOMAXPROCS (beyond that extra goroutines
+// only add scheduling overhead).
+func clampWorkers(n, workers int) int {
 	if workers > n {
 		workers = n
 	}
 	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
 		workers = max
 	}
+	return workers
+}
+
+// claim drains the range [cursor, n) in guided chunks: each claim takes
+// max(minGrain, remaining/(2·workers)) indices, so early chunks are large
+// (low cursor contention) and late chunks small (stragglers rebalance).
+func claim(cursor *atomic.Int64, n, workers int, fn func(lo, hi int)) {
+	n64 := int64(n)
+	fg := forceGrain.Load()
+	for {
+		cur := cursor.Load()
+		if cur >= n64 {
+			return
+		}
+		c := fg
+		if c <= 0 {
+			c = (n64 - cur) / int64(2*workers)
+			if c < minGrain {
+				c = minGrain
+			}
+		}
+		if cursor.CompareAndSwap(cur, cur+c) {
+			hi := cur + c
+			if hi > n64 {
+				hi = n64
+			}
+			fn(int(cur), int(hi))
+		}
+	}
+}
+
+// For runs fn over dynamically claimed chunks covering [0, n). workers ≤ 1
+// runs fn(0, n) inline with no goroutines. The calling goroutine
+// participates, so only workers−1 goroutines are spawned. fn must touch
+// only per-index state; then the result is bit-identical for every worker
+// count and chunk interleaving.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(n, workers)
 	if workers <= 1 {
 		fn(0, n)
 		return
 	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
+	for w := 1; w < workers; w++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			claim(&cursor, n, workers, fn)
+		}()
 	}
+	claim(&cursor, n, workers, fn)
 	wg.Wait()
+}
+
+// Worker commands sent on the per-worker signal channels; a channel value
+// (not a close) so the channels survive Stop and are reused by the next
+// Start — a Pool embedded in a reusable arena allocates them exactly once.
+const (
+	cmdRun  = uint8(0)
+	cmdStop = uint8(1)
+)
+
+// Pool is a reusable work-claiming executor for the many per-round sweeps
+// of one solve: Start spawns the workers, each Run dispatches one body
+// over [0, n) in guided chunks, Stop joins. Between Start and Stop the
+// spawned goroutines stay parked on their signal channels, so a Run costs
+// two synchronizations and zero allocations (given a non-literal body).
+//
+// Bodies receive (worker, lo, hi): worker ∈ [0, Workers()) identifies the
+// executing lane — the caller runs as worker 0 — so bodies can use
+// per-worker scratch buffers without locking. The same determinism
+// contract as For applies: bodies write only per-index state.
+//
+// A Pool is not safe for concurrent use: one goroutine owns
+// Start/Run/Stop. The zero value is ready; Start must precede Run.
+type Pool struct {
+	workers int            // total lanes including the caller
+	nw      int            // spawned goroutines (workers − 1)
+	sig     []chan uint8   // per-worker wake signals, reused across cycles
+	run     sync.WaitGroup // per-Run completion
+	join    sync.WaitGroup // Stop join
+	n       int
+	fn      func(worker, lo, hi int)
+	cursor  atomic.Int64
+}
+
+// Start spawns the pool's workers (clamped like For, so at most
+// 4×GOMAXPROCS lanes). Calling Start with workers ≤ 1 is allowed: Run then
+// executes bodies inline and Stop is a no-op.
+func (p *Pool) Start(workers int) {
+	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
+		workers = max
+	}
+	p.workers = workers
+	p.nw = workers - 1
+	if p.nw < 0 {
+		p.nw = 0
+	}
+	for len(p.sig) < p.nw {
+		p.sig = append(p.sig, make(chan uint8, 1))
+	}
+	p.join.Add(p.nw)
+	for i := 0; i < p.nw; i++ {
+		go p.worker(i + 1)
+	}
+}
+
+// Workers returns the number of lanes (1 when the pool is sequential);
+// bodies observe worker indices in [0, Workers()).
+func (p *Pool) Workers() int {
+	if p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+func (p *Pool) worker(id int) {
+	defer p.join.Done()
+	for {
+		if <-p.sig[id-1] == cmdStop {
+			return
+		}
+		p.claimLane(id)
+		p.run.Done()
+	}
+}
+
+// claimLane is claim specialized to the pool's current job: a method (not
+// a closure over the lane id) so a Run costs zero allocations.
+func (p *Pool) claimLane(id int) {
+	n64 := int64(p.n)
+	fg := forceGrain.Load()
+	for {
+		cur := p.cursor.Load()
+		if cur >= n64 {
+			return
+		}
+		c := fg
+		if c <= 0 {
+			c = (n64 - cur) / int64(2*p.workers)
+			if c < minGrain {
+				c = minGrain
+			}
+		}
+		if p.cursor.CompareAndSwap(cur, cur+c) {
+			hi := cur + c
+			if hi > n64 {
+				hi = n64
+			}
+			p.fn(id, int(cur), int(hi))
+		}
+	}
+}
+
+// Run executes fn over [0, n) on the pool's lanes and returns when every
+// index is done. The calling goroutine participates as worker 0. Writes
+// made before Run are visible to every lane (the signal send orders them),
+// and every lane's writes are visible after Run returns.
+func (p *Pool) Run(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.nw == 0 {
+		fn(0, 0, n)
+		return
+	}
+	p.n, p.fn = n, fn
+	p.cursor.Store(0)
+	p.run.Add(p.nw)
+	for i := 0; i < p.nw; i++ {
+		p.sig[i] <- cmdRun
+	}
+	p.claimLane(0)
+	p.run.Wait()
+	p.fn = nil
+}
+
+// Stop joins the pool's workers. The Pool may be Started again afterwards
+// (the signal channels are kept), so an arena-embedded Pool spans many
+// solve calls without leaking goroutines between them.
+func (p *Pool) Stop() {
+	for i := 0; i < p.nw; i++ {
+		p.sig[i] <- cmdStop
+	}
+	p.join.Wait()
+	p.nw = 0
+	p.workers = 0
 }

@@ -38,3 +38,122 @@ func TestForSequentialIsInline(t *testing.T) {
 		t.Fatalf("workers=1 made %d calls, want 1 inline call", calls)
 	}
 }
+
+// Forced tiny grains maximize chunk interleaving (every index range is a
+// separate claim); coverage must still be exactly once.
+func TestForForcedGrainCoversEveryIndexExactlyOnce(t *testing.T) {
+	defer SetForceGrain(SetForceGrain(1))
+	for _, n := range []int{1, 7, 129, 1000} {
+		for _, w := range []int{2, 4, 8} {
+			hit := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hit[i], 1)
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d grain=1: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+// A skewed workload (all the cost on the last indices) must not serialize:
+// with guided chunking the tail is split across many claims, so more than
+// one worker must observe tail indices. This is a scheduling property, not
+// a result property — results are index-keyed either way.
+func TestForGuidedChunkingSplitsTheTail(t *testing.T) {
+	const n = 100000
+	var claims int32
+	For(n, 4, func(lo, hi int) {
+		if hi > n*3/4 { // a claim overlapping the skewed tail
+			atomic.AddInt32(&claims, 1)
+		}
+	})
+	if claims < 2 {
+		t.Fatalf("tail covered by %d claims; guided chunking should split it", claims)
+	}
+}
+
+func TestPoolCoversEveryIndexExactlyOnceAndLanesInRange(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 9} {
+		var p Pool
+		p.Start(w)
+		for _, n := range []int{0, 1, 5, 300, 4096} {
+			hit := make([]int32, n)
+			p.Run(n, func(worker, lo, hi int) {
+				if worker < 0 || worker >= p.Workers() {
+					t.Errorf("worker id %d out of range [0,%d)", worker, p.Workers())
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hit[i], 1)
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("w=%d n=%d: index %d visited %d times", w, n, i, h)
+				}
+			}
+		}
+		p.Stop()
+	}
+}
+
+// A Pool must survive Start/Stop cycles (the arena embeds one and solves
+// repeatedly), and worker 0 must be the calling goroutine when sequential.
+func TestPoolRestart(t *testing.T) {
+	var p Pool
+	for cycle := 0; cycle < 3; cycle++ {
+		p.Start(4)
+		var sum int64
+		p.Run(1000, func(_, lo, hi int) {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			atomic.AddInt64(&sum, s)
+		})
+		if want := int64(1000 * 999 / 2); sum != want {
+			t.Fatalf("cycle %d: sum = %d, want %d", cycle, sum, want)
+		}
+		p.Stop()
+	}
+}
+
+// Steady-state Runs on a started pool must not allocate: the per-round
+// sweeps of a scratch-backed solve go through here 2t²+3 times per solve.
+func TestPoolRunSteadyStateAllocs(t *testing.T) {
+	var p Pool
+	p.Start(4)
+	defer p.Stop()
+	out := make([]int64, 10000)
+	body := func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int64(i)
+		}
+	}
+	p.Run(len(out), body) // warm
+	allocs := testing.AllocsPerRun(50, func() { p.Run(len(out), body) })
+	if allocs > 0 {
+		t.Errorf("Pool.Run steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// Sequential pools (workers ≤ 1) run bodies inline on the caller.
+func TestPoolSequentialInline(t *testing.T) {
+	var p Pool
+	p.Start(1)
+	defer p.Stop()
+	calls := 0
+	p.Run(10, func(worker, lo, hi int) {
+		calls++
+		if worker != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("inline run got (w=%d, lo=%d, hi=%d), want (0, 0, 10)", worker, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential pool made %d calls, want 1", calls)
+	}
+}

@@ -318,6 +318,13 @@ func (s *Server) prepareSolve(req *SolveRequest) (*graph.Graph, string, int, err
 	if err != nil {
 		return nil, "", http.StatusBadRequest, err
 	}
+	return s.prepareSolveWith(req, g, g.CanonicalHash())
+}
+
+// prepareSolveWith is prepareSolve for an already-materialized instance
+// with a precomputed canonical hash — the batch path materializes each
+// unique family once and prepares every item against the shared copy.
+func (s *Server) prepareSolveWith(req *SolveRequest, g *graph.Graph, hash string) (*graph.Graph, string, int, error) {
 	if req.T == 0 {
 		req.T = 3
 	}
@@ -327,7 +334,7 @@ func (s *Server) prepareSolve(req *SolveRequest) (*graph.Graph, string, int, err
 	if req.T < 1 || req.T > 64 {
 		return nil, "", http.StatusBadRequest, fmt.Errorf("t = %d out of range [1, 64]", req.T)
 	}
-	return g, solveCacheKey(g.CanonicalHash(), req.K, req.T, req.Seed, req.Local), 0, nil
+	return g, solveCacheKey(hash, req.K, req.T, req.Seed, req.Local), 0, nil
 }
 
 // solve is the shared engine behind session creation and the local leg
@@ -561,6 +568,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.batches.Add(1)
+	shared := s.prepareBatchFamilies(req.Requests)
 	results := make([]BatchSolveItem, len(req.Requests))
 	routable := s.shouldRoute(r.Header)
 	var wg sync.WaitGroup
@@ -570,19 +578,87 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			sp := obs.TraceFrom(r.Context()).StartSpan(nil, "item-"+strconv.Itoa(i))
 			defer sp.End()
-			results[i] = s.solveBatchItem(r.Context(), &req.Requests[i], routable, sp)
+			results[i] = s.solveBatchItem(r.Context(), &req.Requests[i], routable, sp, shared)
 		}(i)
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchSolveResponse{Results: results})
 }
 
-// solveBatchItem runs one batch entry: prepare locally, and either
-// proxy it to the key's rendezvous owner (routable cluster mode, key
-// not owned here) or solve it on this node's pool. Forward failures
-// fall back to a local solve exactly like /v1/solve.
-func (s *Server) solveBatchItem(ctx context.Context, req *SolveRequest, routable bool, sp *obs.Span) BatchSolveItem {
-	g, key, status, err := s.prepareSolve(req)
+// sharedInstance is a batch-wide once-materialized family instance: the
+// generated graph plus its canonical hash (the hash streams every edge,
+// so recomputing it per item costs as much as another generation pass).
+// The graph is immutable after build, so concurrent items read it freely;
+// failed generations park the error so every item of the family reports
+// it without retrying.
+type sharedInstance struct {
+	g      *graph.Graph
+	hash   string
+	status int
+	err    error
+}
+
+// batchFamilyKey identifies a family spec inside one batch.
+func batchFamilyKey(fs *FamilySpec) string {
+	return fmt.Sprintf("%s|%d|%g|%d", fs.Name, fs.N, fs.Degree, fs.Seed)
+}
+
+// prepareBatchFamilies materializes each unique family spec of a batch
+// exactly once, before the fan-out (the map is read-only afterwards, so
+// the item goroutines share it without locking). Beyond skipping the
+// duplicate generations and hashes, same-family items keep the solver
+// arenas warm: every queue worker's Scratch sees the same (n, m) shape,
+// so repeated items run at steady-state zero allocations. Items carrying
+// inline edge lists are not shared — identical lists still dedupe later
+// at the cache/coalescing layer.
+func (s *Server) prepareBatchFamilies(items []SolveRequest) map[string]*sharedInstance {
+	var shared map[string]*sharedInstance
+	for i := range items {
+		fs := items[i].Family
+		if fs == nil || items[i].Graph != nil {
+			continue
+		}
+		key := batchFamilyKey(fs)
+		if _, ok := shared[key]; ok {
+			s.metrics.batchShared.Add(1)
+			continue
+		}
+		inst := &sharedInstance{}
+		inst.g, inst.err = s.buildGraph(nil, fs)
+		if inst.err != nil {
+			inst.status = http.StatusBadRequest
+		} else {
+			inst.hash = inst.g.CanonicalHash()
+		}
+		if shared == nil {
+			shared = make(map[string]*sharedInstance)
+		}
+		shared[key] = inst
+	}
+	return shared
+}
+
+// solveBatchItem runs one batch entry: prepare locally (against the
+// batch's shared family instance when one exists), and either proxy it
+// to the key's rendezvous owner (routable cluster mode, key not owned
+// here) or solve it on this node's pool. Forward failures fall back to a
+// local solve exactly like /v1/solve.
+func (s *Server) solveBatchItem(ctx context.Context, req *SolveRequest, routable bool, sp *obs.Span, shared map[string]*sharedInstance) BatchSolveItem {
+	var g *graph.Graph
+	var key string
+	var status int
+	var err error
+	if req.Graph == nil && req.Family != nil {
+		if inst, ok := shared[batchFamilyKey(req.Family)]; ok {
+			if inst.err != nil {
+				return BatchSolveItem{Error: inst.err.Error(), Status: inst.status}
+			}
+			g, key, status, err = s.prepareSolveWith(req, inst.g, inst.hash)
+		}
+	}
+	if g == nil && err == nil {
+		g, key, status, err = s.prepareSolve(req)
+	}
 	if err != nil {
 		return BatchSolveItem{Error: err.Error(), Status: status}
 	}

@@ -66,6 +66,7 @@ type metrics struct {
 	cacheMisses   *obs.Counter // flight leaders only; followers count as coalesced
 	coalesced     *obs.Counter // requests served by joining an in-flight solve
 	batches       *obs.Counter // /v1/solvebatch requests (items count individually above)
+	batchShared   *obs.Counter // batch items that reused a shared per-family instance
 	verifies      *obs.Counter
 	queueRejected *obs.Counter // overload rejections (full queue or drain)
 	canceled      *obs.Counter // solves lost to deadline/disconnect
@@ -130,6 +131,7 @@ func newMetrics(now time.Time) *metrics {
 		cacheMisses:   reg.Counter("ftclust_cache_misses_total", "flight-leader cache misses"),
 		coalesced:     reg.Counter("ftclust_coalesced_total", "requests coalesced onto an in-flight identical solve"),
 		batches:       reg.Counter("ftclust_batches_total", "solvebatch requests"),
+		batchShared:   reg.Counter("ftclust_batch_shared_instances_total", "batch items that reused a once-materialized family instance"),
 		verifies:      reg.Counter("ftclust_verifies_total", "verify requests"),
 		queueRejected: reg.Counter("ftclust_queue_rejected_total", "solves rejected by a full queue or drain"),
 		canceled:      reg.Counter("ftclust_canceled_total", "solves lost to deadline or disconnect"),
@@ -244,6 +246,7 @@ type MetricsSnapshot struct {
 	CacheMisses     int64   `json:"cache_misses"`
 	Coalesced       int64   `json:"coalesced"`
 	Batches         int64   `json:"batches"`
+	BatchShared     int64   `json:"batch_shared_instances"`
 	Verifies        int64   `json:"verifies"`
 	QueueDepth      int     `json:"queue_depth"`
 	QueueRejected   int64   `json:"queue_rejected"`
@@ -277,6 +280,7 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		CacheMisses:     m.cacheMisses.Value(),
 		Coalesced:       m.coalesced.Value(),
 		Batches:         m.batches.Value(),
+		BatchShared:     m.batchShared.Value(),
 		Verifies:        m.verifies.Value(),
 		QueueDepth:      m.queueDepth(),
 		QueueRejected:   m.queueRejected.Value(),

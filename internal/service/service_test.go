@@ -429,6 +429,45 @@ func TestSolveBatchEndpoint(t *testing.T) {
 	}
 }
 
+// Same-family batch items must share one materialized instance (one
+// generation + one canonical hash for the whole batch) even when their
+// solver parameters differ — distinct cache keys, so the cache layer
+// cannot dedupe them.
+func TestSolveBatchSharesFamilyInstances(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	items := make([]string, 0, 6)
+	for k := 1; k <= 6; k++ {
+		items = append(items,
+			fmt.Sprintf(`{"family":{"name":"gnp","n":600,"degree":8,"seed":3},"k":%d}`, k))
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solvebatch",
+		`{"requests":[`+strings.Join(items, ",")+`]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchSolveResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[int]bool)
+	for i, r := range br.Results {
+		if r.Error != "" || r.Solution == nil || !r.Solution.Verified {
+			t.Fatalf("item %d: %+v", i, r)
+		}
+		sizes[len(r.Solution.Members)] = true
+	}
+	if len(sizes) < 2 {
+		t.Error("different k values produced identical solutions — items not solved independently")
+	}
+	m := s.Metrics()
+	if m.BatchShared != 5 {
+		t.Errorf("batch_shared_instances = %d, want 5 (six items, one family)", m.BatchShared)
+	}
+	if m.Solves != 6 {
+		t.Errorf("solves = %d, want 6 (distinct k → distinct cache keys)", m.Solves)
+	}
+}
+
 func mustMarshal(t *testing.T, v any) []byte {
 	t.Helper()
 	b, err := json.Marshal(v)
