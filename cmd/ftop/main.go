@@ -1,0 +1,202 @@
+// Command ftop is a live terminal dashboard for an ftserved fleet. It
+// polls one node's fleet endpoint (GET /cluster/v1/fleet) — which
+// itself scrapes and merges every alive peer's /metrics — plus the
+// cluster event log (GET /debug/events), and renders cluster-wide QPS,
+// solve latency quantiles, cache/coalesce/shed ratios, a per-peer
+// membership table and the newest events as plain ANSI text.
+//
+// Usage:
+//
+//	ftop [-target 127.0.0.1:8080] [-interval 2s] [-events 8]
+//	     [-timeout 3s] [-once]
+//
+// In the default loop mode the screen redraws every -interval and QPS
+// is the rolling rate of the cluster's merged request counter between
+// polls. -once prints a single frame and exits (QPS falls back to the
+// lifetime average requests/uptime) — the mode CI smokes use; any fetch
+// failure in -once mode exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ftclust/internal/obs"
+	"ftclust/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ftop:", err)
+		os.Exit(1)
+	}
+}
+
+// eventsBody is the GET /debug/events response shape.
+type eventsBody struct {
+	Events []obs.Event `json:"events"`
+}
+
+// fetchJSON GETs url and decodes the body into out.
+func fetchJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// frame is one poll's worth of dashboard state.
+type frame struct {
+	at     time.Time
+	fleet  service.FleetSummary
+	events []obs.Event
+}
+
+func fetchFrame(client *http.Client, target string, eventCount int) (frame, error) {
+	f := frame{at: time.Now()}
+	if err := fetchJSON(client, "http://"+target+service.FleetPath, &f.fleet); err != nil {
+		return f, err
+	}
+	var ev eventsBody
+	url := fmt.Sprintf("http://%s/debug/events?n=%d", target, eventCount)
+	if err := fetchJSON(client, url, &ev); err != nil {
+		return f, err
+	}
+	f.events = ev.Events
+	return f, nil
+}
+
+// ratio renders part/whole as a percentage, "-" when whole is zero.
+func ratio(part, whole float64) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/whole)
+}
+
+// attrString renders an event's attrs in sorted-key order.
+func attrString(attrs map[string]string) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// render writes one dashboard frame. qps < 0 means "unknown yet" (first
+// loop frame before two samples exist).
+func render(w io.Writer, target string, f frame, qps float64) {
+	agg := f.fleet.Aggregate
+
+	fmt.Fprintf(w, "ftop — fleet via %s — %s\n", target, f.at.Format("15:04:05"))
+	fmt.Fprintf(w, "members %d   scrape errors %d   uptime %s\n",
+		f.fleet.Members, f.fleet.ScrapeErrors,
+		(time.Duration(agg.UptimeSecondsMax) * time.Second).String())
+
+	qpsStr := "-"
+	if qps >= 0 {
+		qpsStr = fmt.Sprintf("%.1f", qps)
+	}
+	fmt.Fprintf(w, "\ncluster  qps %-8s solves %-8.0f p50 %-8s p99 %s\n",
+		qpsStr, agg.Solves,
+		fmt.Sprintf("%.2fms", agg.SolveP50Ms), fmt.Sprintf("%.2fms", agg.SolveP99Ms))
+	fmt.Fprintf(w, "         cache-hit %-6s coalesced %-6s shed queue/rate %s/%s   forwards %.0f\n",
+		ratio(agg.CacheHits, agg.CacheHits+agg.CacheMisses),
+		ratio(agg.Coalesced, agg.Solves+agg.Coalesced),
+		ratio(agg.ShedQueue, agg.HTTPRequests), ratio(agg.ShedRatelimit, agg.HTTPRequests),
+		agg.Forwards)
+
+	fmt.Fprintf(w, "\n%-22s %-8s %-10s %-8s %-10s %-10s %s\n",
+		"PEER", "STATE", "HB-AGE", "SCRAPE", "SOLVES", "REQS", "UPTIME")
+	for _, p := range f.fleet.Peers {
+		scrape := fmt.Sprintf("%.0fms", p.ScrapeMs)
+		if !p.ScrapeOK {
+			scrape = "FAIL"
+		}
+		hbAge := "-"
+		if !p.Self {
+			hbAge = fmt.Sprintf("%.0fms", p.HeartbeatAgeMs)
+		}
+		fmt.Fprintf(w, "%-22s %-8s %-10s %-8s %-10.0f %-10.0f %s\n",
+			p.Addr, p.State, hbAge, scrape, p.Solves, p.HTTPRequests,
+			(time.Duration(p.UptimeSeconds) * time.Second).String())
+		if p.Error != "" {
+			fmt.Fprintf(w, "    error: %s\n", p.Error)
+		}
+	}
+
+	fmt.Fprintf(w, "\nEVENTS (newest first)\n")
+	if len(f.events) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for _, e := range f.events {
+		fmt.Fprintf(w, "  %s  %-14s %s\n", e.Time.Format("15:04:05.000"), e.Type, attrString(e.Attrs))
+	}
+}
+
+func run() error {
+	var (
+		target     = flag.String("target", "127.0.0.1:8080", "any fleet member's host:port")
+		interval   = flag.Duration("interval", 2*time.Second, "poll period in loop mode")
+		eventCount = flag.Int("events", 8, "event-log tail length")
+		timeout    = flag.Duration("timeout", 3*time.Second, "per-poll HTTP timeout")
+		once       = flag.Bool("once", false, "print one frame and exit (CI mode)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+
+	if *once {
+		f, err := fetchFrame(client, *target, *eventCount)
+		if err != nil {
+			return err
+		}
+		// No second sample to rate against: report the lifetime average.
+		qps := -1.0
+		if agg := f.fleet.Aggregate; agg.UptimeSecondsMax > 0 {
+			qps = agg.HTTPRequests / agg.UptimeSecondsMax
+		}
+		render(os.Stdout, *target, f, qps)
+		return nil
+	}
+
+	// Loop mode: rolling QPS across the last few polls; a fetch error
+	// renders as a banner and the loop keeps trying (the fleet endpoint
+	// itself degrades rather than erroring, so failures here mean the
+	// polled node is unreachable).
+	window := obs.NewRateWindow(8)
+	for {
+		f, err := fetchFrame(client, *target, *eventCount)
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		if err != nil {
+			fmt.Printf("ftop — fleet via %s — %s\n\nfetch error: %v\n",
+				*target, time.Now().Format("15:04:05"), err)
+		} else {
+			window.Observe(f.at, f.fleet.Aggregate.HTTPRequests)
+			qps := -1.0
+			if r := window.Rate(); r > 0 {
+				qps = r
+			}
+			render(os.Stdout, *target, f, qps)
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -9,7 +9,7 @@
 //	ftserved [-addr :8080] [-workers N] [-queue 64] [-cache 128]
 //	         [-timeout 60s] [-max-body 16777216] [-max-nodes 1048576]
 //	         [-solve-threads 1] [-drain 30s] [-log-level info]
-//	         [-slow-ms 0] [-trace-ring 256] [-pprof]
+//	         [-slow-ms 0] [-trace-ring 256] [-event-ring 256] [-pprof]
 //	         [-join host:port,...] [-advertise host:port]
 //	         [-gossip-interval 1s] [-suspect-after 5s] [-evict-after 15s]
 //	         [-cluster-seed 1] [-rate 0] [-burst 0]
@@ -111,6 +111,7 @@ func run() error {
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		slowMs       = flag.Int("slow-ms", 0, "warn-log requests slower than this many ms (0 disables)")
 		traceRing    = flag.Int("trace-ring", 256, "recent request traces kept for /debug/trace")
+		eventRing    = flag.Int("event-ring", 256, "recent structured events kept for /debug/events")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		join           = flag.String("join", "", "comma-separated seed peers (host:port,...) — enables cluster mode")
@@ -158,6 +159,7 @@ func run() error {
 		Logger:       logger,
 		SlowRequest:  time.Duration(*slowMs) * time.Millisecond,
 		TraceRing:    *traceRing,
+		EventRing:    *eventRing,
 		Cluster:      clusterCfg,
 		RatePerSec:   *rate,
 		RateBurst:    *burst,

@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,10 @@ type Config struct {
 	// Registry receives the ftclust_cluster_* series (default: a private
 	// registry, so a registry-less node still counts internally).
 	Registry *obs.Registry
+	// Events receives structured membership-transition events (join,
+	// suspect, evict, incarnation, route-change). Optional: a nil ring
+	// drops them (EventRing is nil-safe), slog still sees everything.
+	Events *obs.EventRing
 }
 
 func (c *Config) fillDefaults() error {
@@ -243,11 +248,16 @@ func (n *Node) round() {
 	now := n.cfg.Now()
 	suspected, evicted := n.mem.age(now, n.cfg.SuspectAfter, n.cfg.EvictAfter)
 	for _, addr := range suspected {
+		n.cfg.Events.AddAt(now, "suspect", "peer", addr)
 		n.logger.Info("cluster peer suspected", "peer", addr)
 	}
 	for _, addr := range evicted {
 		n.metrics.Evictions.Inc()
+		n.cfg.Events.AddAt(now, "evict", "peer", addr)
 		n.logger.Info("cluster peer evicted", "peer", addr)
+	}
+	if len(evicted) > 0 {
+		n.noteRouteChange(now, "evict")
 	}
 
 	targets := n.mem.pickTargets(n.cfg.Rand, n.cfg.Fanout)
@@ -274,6 +284,52 @@ func (n *Node) seedTargets() []string {
 	}
 	return out
 }
+
+// noteChanges records membership transitions from a merge or touch in
+// the event log and slog. Joins also change rendezvous ownership, so a
+// batch containing one emits a route-change marker.
+func (n *Node) noteChanges(now time.Time, changes []memberChange) {
+	if len(changes) == 0 {
+		return
+	}
+	joined := false
+	for _, c := range changes {
+		n.cfg.Events.AddAt(now, c.kind,
+			"peer", c.addr,
+			"old_epoch", strconv.FormatInt(c.oldEpoch, 10),
+			"epoch", strconv.FormatInt(c.newEpoch, 10))
+		n.logger.Info("cluster membership change",
+			"kind", c.kind, "peer", c.addr, "old_epoch", c.oldEpoch, "epoch", c.newEpoch)
+		if c.kind == changeJoin {
+			joined = true
+		}
+	}
+	if joined {
+		n.noteRouteChange(now, changeJoin)
+	}
+}
+
+// noteRouteChange marks that the member set — and with it the
+// rendezvous key ownership — just changed.
+func (n *Node) noteRouteChange(now time.Time, cause string) {
+	members := n.mem.size()
+	n.cfg.Events.AddAt(now, "route-change",
+		"cause", cause, "members", strconv.Itoa(members))
+	n.logger.Info("cluster route ownership changed", "cause", cause, "members", members)
+}
+
+// PeerStatus is one membership row as the fleet endpoint reports it.
+type PeerStatus struct {
+	Addr      string    `json:"addr"`
+	State     string    `json:"state"` // "alive" or "suspect"
+	Epoch     int64     `json:"epoch"`
+	Heartbeat int64     `json:"heartbeat"`
+	LastSeen  time.Time `json:"last_seen"`
+}
+
+// PeerStatuses returns the remote members' liveness rows, ascending by
+// address (self is not a row — the caller knows itself best).
+func (n *Node) PeerStatuses() []PeerStatus { return n.mem.statuses() }
 
 // selfInfo is this node's current wire entry.
 func (n *Node) selfInfo() PeerInfo {

@@ -41,8 +41,9 @@ func (n *Node) HandleGossip(w http.ResponseWriter, r *http.Request) {
 	// Direct contact beats digest freshness rules: the sender provably
 	// lives at this instant even if its heartbeat number already reached
 	// us transitively through a faster path.
-	n.mem.touch(msg.From, now)
-	n.mem.merge(msg.Peers, now)
+	changes := n.mem.touch(msg.From, now)
+	changes = append(changes, n.mem.merge(msg.Peers, now)...)
+	n.noteChanges(now, changes)
 	n.metrics.Heartbeats.Inc()
 
 	resp := gossipMsg{From: n.selfInfo(), Peers: n.mem.digest(n.selfInfo(), n.cfg.ViewSize)}
@@ -97,7 +98,8 @@ func (n *Node) exchange(addr string) {
 		return
 	}
 	now := n.cfg.Now()
-	n.mem.touch(reply.From, now)
-	n.mem.merge(reply.Peers, now)
+	changes := n.mem.touch(reply.From, now)
+	changes = append(changes, n.mem.merge(reply.Peers, now)...)
+	n.noteChanges(now, changes)
 	n.metrics.Heartbeats.Inc()
 }

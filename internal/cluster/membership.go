@@ -35,6 +35,32 @@ type peer struct {
 	state    peerState
 }
 
+// Membership transition kinds, as they appear in the event log.
+const (
+	changeJoin        = "join"        // first real contact with a member
+	changeIncarnation = "incarnation" // known member restarted (epoch advanced)
+)
+
+// memberChange records one transition produced by merge or touch, the
+// input to the node's event log. A seed row (epoch 0) turning into a
+// real incarnation is a join, not an incarnation bump: the bootstrap
+// placeholder was never a live member.
+type memberChange struct {
+	addr     string
+	kind     string
+	oldEpoch int64
+	newEpoch int64
+}
+
+// classify turns an epoch advance into the transition it represents.
+func classify(addr string, oldEpoch, newEpoch int64) memberChange {
+	kind := changeIncarnation
+	if oldEpoch == 0 {
+		kind = changeJoin
+	}
+	return memberChange{addr: addr, kind: kind, oldEpoch: oldEpoch, newEpoch: newEpoch}
+}
+
 // membership is the mutex-guarded peer table. All methods are safe for
 // concurrent use by the gossip loop, the HTTP handlers and the router;
 // none of them performs I/O or blocks while holding the lock.
@@ -58,11 +84,12 @@ func (m *membership) insertSeed(addr string, now time.Time) {
 	}
 }
 
-// merge folds received entries into the table and reports how many new
-// members appeared. Self entries are ignored (this node is authoritative
-// for itself); stale entries (older epoch, or equal epoch without a
-// heartbeat advance) leave the row untouched so suspicion keeps accruing.
-func (m *membership) merge(infos []PeerInfo, now time.Time) (added int) {
+// merge folds received entries into the table and reports the
+// membership transitions (joins and incarnation bumps) in wire order.
+// Self entries are ignored (this node is authoritative for itself);
+// stale entries (older epoch, or equal epoch without a heartbeat
+// advance) leave the row untouched so suspicion keeps accruing.
+func (m *membership) merge(infos []PeerInfo, now time.Time) (changes []memberChange) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, in := range infos {
@@ -72,17 +99,20 @@ func (m *membership) merge(infos []PeerInfo, now time.Time) (added int) {
 		p, ok := m.peers[in.Addr]
 		if !ok {
 			m.peers[in.Addr] = &peer{info: in, lastSeen: now}
-			added++
+			changes = append(changes, classify(in.Addr, 0, in.Epoch))
 			continue
 		}
 		if in.Epoch > p.info.Epoch ||
 			(in.Epoch == p.info.Epoch && in.Heartbeat > p.info.Heartbeat) {
+			if in.Epoch > p.info.Epoch {
+				changes = append(changes, classify(in.Addr, p.info.Epoch, in.Epoch))
+			}
 			p.info = in
 			p.lastSeen = now
 			p.state = peerAlive
 		}
 	}
-	return added
+	return changes
 }
 
 // age classifies every row against the liveness deadlines: rows without
@@ -199,22 +229,50 @@ func (m *membership) size() int {
 }
 
 // touch refreshes a peer's liveness from direct contact (an inbound
-// gossip message or a successful exchange), inserting it if unknown.
-func (m *membership) touch(in PeerInfo, now time.Time) {
+// gossip message or a successful exchange), inserting it if unknown,
+// and reports the resulting transitions like merge does.
+func (m *membership) touch(in PeerInfo, now time.Time) (changes []memberChange) {
 	if in.Addr == "" || in.Addr == m.self {
-		return
+		return nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p, ok := m.peers[in.Addr]
 	if !ok {
 		m.peers[in.Addr] = &peer{info: in, lastSeen: now}
-		return
+		return []memberChange{classify(in.Addr, 0, in.Epoch)}
 	}
 	if in.Epoch > p.info.Epoch ||
 		(in.Epoch == p.info.Epoch && in.Heartbeat >= p.info.Heartbeat) {
+		if in.Epoch > p.info.Epoch {
+			changes = append(changes, classify(in.Addr, p.info.Epoch, in.Epoch))
+		}
 		p.info = in
 		p.lastSeen = now
 		p.state = peerAlive
 	}
+	return changes
+}
+
+// statuses renders the table (self excluded) sorted by address, for the
+// fleet endpoint's per-peer health view.
+func (m *membership) statuses() []PeerStatus {
+	m.mu.Lock()
+	out := make([]PeerStatus, 0, len(m.peers))
+	for _, p := range m.peers {
+		state := "alive"
+		if p.state == peerSuspect {
+			state = "suspect"
+		}
+		out = append(out, PeerStatus{
+			Addr:      p.info.Addr,
+			State:     state,
+			Epoch:     p.info.Epoch,
+			Heartbeat: p.info.Heartbeat,
+			LastSeen:  p.lastSeen,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }

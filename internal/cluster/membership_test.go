@@ -8,18 +8,21 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"ftclust/internal/obs"
 )
 
 func TestMergeFreshnessRules(t *testing.T) {
 	m := newMembership("self:1")
 	t0 := time.Unix(1700000000, 0)
 
-	if added := m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 5, Heartbeat: 10}}, t0); added != 1 {
-		t.Fatalf("added = %d, want 1", added)
+	changes := m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 5, Heartbeat: 10}}, t0)
+	if len(changes) != 1 || changes[0].kind != changeJoin || changes[0].addr != "p1:1" {
+		t.Fatalf("changes = %+v, want one join for p1:1", changes)
 	}
 	// Self entries and empty addresses are ignored.
-	if added := m.merge([]PeerInfo{{Addr: "self:1", Epoch: 99}, {Addr: ""}}, t0); added != 0 {
-		t.Fatalf("self/empty entries added %d members", added)
+	if changes := m.merge([]PeerInfo{{Addr: "self:1", Epoch: 99}, {Addr: ""}}, t0); len(changes) != 0 {
+		t.Fatalf("self/empty entries produced changes: %+v", changes)
 	}
 
 	// Stale: older epoch, and equal epoch without heartbeat advance.
@@ -35,9 +38,46 @@ func TestMergeFreshnessRules(t *testing.T) {
 	if p := m.peers["p1:1"]; !p.lastSeen.Equal(t0.Add(2*time.Second)) || p.info.Heartbeat != 11 {
 		t.Fatalf("heartbeat advance not applied: %+v", p)
 	}
-	m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 6, Heartbeat: 1}}, t0.Add(3*time.Second))
+	changes = m.merge([]PeerInfo{{Addr: "p1:1", Epoch: 6, Heartbeat: 1}}, t0.Add(3*time.Second))
 	if p := m.peers["p1:1"]; p.info.Epoch != 6 || p.info.Heartbeat != 1 {
 		t.Fatalf("new incarnation not adopted: %+v", p)
+	}
+	if len(changes) != 1 || changes[0].kind != changeIncarnation ||
+		changes[0].oldEpoch != 5 || changes[0].newEpoch != 6 {
+		t.Fatalf("epoch advance changes = %+v, want one incarnation 5→6", changes)
+	}
+}
+
+func TestTransitionClassification(t *testing.T) {
+	m := newMembership("self:1")
+	t0 := time.Unix(1700000000, 0)
+
+	// A seed placeholder (epoch 0) turning real is a join, not an
+	// incarnation bump.
+	m.insertSeed("seed:1", t0)
+	changes := m.merge([]PeerInfo{{Addr: "seed:1", Epoch: 7, Heartbeat: 1}}, t0.Add(time.Second))
+	if len(changes) != 1 || changes[0].kind != changeJoin || changes[0].newEpoch != 7 {
+		t.Fatalf("seed promotion changes = %+v, want one join", changes)
+	}
+
+	// touch reports the same transitions as merge.
+	if changes := m.touch(PeerInfo{Addr: "new:1", Epoch: 3, Heartbeat: 1}, t0); len(changes) != 1 || changes[0].kind != changeJoin {
+		t.Fatalf("touch insert changes = %+v, want one join", changes)
+	}
+	if changes := m.touch(PeerInfo{Addr: "new:1", Epoch: 3, Heartbeat: 2}, t0.Add(time.Second)); len(changes) != 0 {
+		t.Fatalf("heartbeat-only touch produced changes: %+v", changes)
+	}
+	if changes := m.touch(PeerInfo{Addr: "new:1", Epoch: 9, Heartbeat: 0}, t0.Add(2*time.Second)); len(changes) != 1 || changes[0].kind != changeIncarnation {
+		t.Fatalf("restart touch changes = %+v, want one incarnation", changes)
+	}
+
+	// statuses renders rows ascending by address.
+	sts := m.statuses()
+	if len(sts) != 2 || sts[0].Addr != "new:1" || sts[1].Addr != "seed:1" {
+		t.Fatalf("statuses = %+v", sts)
+	}
+	if sts[0].State != "alive" || sts[0].Epoch != 9 {
+		t.Fatalf("status row wrong: %+v", sts[0])
 	}
 }
 
@@ -191,6 +231,50 @@ func TestGossipExchangeConverges(t *testing.T) {
 	if a.Metrics().Heartbeats.Value() != 1 || b.Metrics().Heartbeats.Value() != 1 {
 		t.Fatalf("heartbeat counters: a=%d b=%d, want 1 each",
 			a.Metrics().Heartbeats.Value(), b.Metrics().Heartbeats.Value())
+	}
+}
+
+func TestNodeEmitsMembershipEvents(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	events := obs.NewEventRing(16)
+	n, err := New(Config{
+		Self:   "self:1",
+		Now:    func() time.Time { return now },
+		Rand:   rand.New(rand.NewSource(1)),
+		Events: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A gossiped join produces a join event plus a route-change marker.
+	n.noteChanges(now, n.mem.merge([]PeerInfo{{Addr: "p:1", Epoch: 4, Heartbeat: 1}}, now))
+	got := events.List(0)
+	if len(got) != 2 || got[1].Type != "join" || got[0].Type != "route-change" {
+		t.Fatalf("events after join = %+v", got)
+	}
+	if got[1].Attrs["peer"] != "p:1" || got[1].Attrs["epoch"] != "4" {
+		t.Fatalf("join attrs = %+v", got[1].Attrs)
+	}
+	if got[0].Attrs["members"] != "2" || got[0].Attrs["cause"] != "join" {
+		t.Fatalf("route-change attrs = %+v", got[0].Attrs)
+	}
+
+	// A restart produces an incarnation event, no route change.
+	n.noteChanges(now, n.mem.merge([]PeerInfo{{Addr: "p:1", Epoch: 9, Heartbeat: 1}}, now))
+	if got := events.List(1); got[0].Type != "incarnation" || got[0].Attrs["old_epoch"] != "4" {
+		t.Fatalf("events after restart = %+v", got)
+	}
+
+	// Aging into suspicion and eviction lands in the ring too.
+	now = now.Add(time.Hour)
+	n.round()
+	types := make(map[string]bool)
+	for _, e := range events.List(0) {
+		types[e.Type] = true
+	}
+	if !types["suspect"] && !types["evict"] {
+		t.Fatalf("aging produced no liveness events: %+v", events.List(0))
 	}
 }
 

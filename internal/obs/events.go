@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured entry in the cluster event log: a membership
+// transition (join, suspect, evict, incarnation), a route-ownership
+// change, or a service-side shed/fallback decision. Attrs carry the
+// specifics (peer address, reason, old/new epoch) as flat strings so
+// the log stays schema-free and cheap to render.
+type Event struct {
+	Seq   uint64            `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Type  string            `json:"type"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EventRing is a bounded, concurrency-safe ring of Events. Like Trace,
+// every method is nil-safe (no-op / empty), so emitting sites need no
+// guards when the log is disabled. Seq is a monotonically increasing
+// ring-lifetime sequence number: consumers can detect both ordering and
+// how many events were evicted between reads.
+type EventRing struct {
+	mu    sync.Mutex
+	slots []Event
+	next  int
+	seq   uint64
+	count int
+}
+
+// NewEventRing returns a ring holding up to n events (n ≥ 1).
+func NewEventRing(n int) *EventRing {
+	if n < 1 {
+		n = 1
+	}
+	return &EventRing{slots: make([]Event, n)}
+}
+
+// Add records an event stamped with the wall clock. attrs are pairwise
+// key, value arguments; a trailing odd key is dropped.
+func (r *EventRing) Add(typ string, attrs ...string) {
+	r.AddAt(time.Now(), typ, attrs...)
+}
+
+// AddAt records an event with an explicit timestamp — callers under an
+// injected-clock discipline (internal/cluster) pass their own Now.
+func (r *EventRing) AddAt(at time.Time, typ string, attrs ...string) {
+	if r == nil {
+		return
+	}
+	var m map[string]string
+	if len(attrs) >= 2 {
+		m = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.slots[r.next] = Event{Seq: r.seq, Time: at, Type: typ, Attrs: m}
+	r.next++
+	if r.next == len(r.slots) {
+		r.next = 0
+	}
+	if r.count < len(r.slots) {
+		r.count++
+	}
+}
+
+// Len returns the number of events currently held.
+func (r *EventRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// List returns up to limit events, newest first (limit ≤ 0 = all held).
+func (r *EventRing) List(limit int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Event, 0, n)
+	size := len(r.slots)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.slots[(r.next-i+size+size)%size])
+	}
+	return out
+}

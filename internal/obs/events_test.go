@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventRingBoundedNewestFirst(t *testing.T) {
+	r := NewEventRing(3)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r.AddAt(base, "join", "peer", "a")
+	r.AddAt(base.Add(time.Second), "join", "peer", "b")
+	r.AddAt(base.Add(2*time.Second), "suspect", "peer", "a")
+	r.AddAt(base.Add(3*time.Second), "evict", "peer", "a") // evicts oldest entry
+
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.List(0)
+	if len(got) != 3 {
+		t.Fatalf("list = %d entries", len(got))
+	}
+	if got[0].Type != "evict" || got[2].Type != "join" || got[2].Attrs["peer"] != "b" {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	// Seq is ring-lifetime monotone even across eviction.
+	if got[0].Seq != 4 || got[2].Seq != 2 {
+		t.Fatalf("seq wrong: %d … %d", got[0].Seq, got[2].Seq)
+	}
+	if lim := r.List(2); len(lim) != 2 || lim[0].Type != "evict" {
+		t.Fatalf("limited list wrong: %+v", lim)
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var r *EventRing
+	r.Add("join", "peer", "a") // must not panic
+	if r.Len() != 0 || r.List(5) != nil {
+		t.Fatal("nil ring not empty")
+	}
+}
+
+func TestEventRingOddAttrsDropped(t *testing.T) {
+	r := NewEventRing(2)
+	r.Add("shed", "reason", "queue", "dangling")
+	e := r.List(1)[0]
+	if len(e.Attrs) != 1 || e.Attrs["reason"] != "queue" {
+		t.Fatalf("attrs = %+v", e.Attrs)
+	}
+	if e.Time.IsZero() {
+		t.Fatal("Add did not stamp time")
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	w := NewRateWindow(4)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	if w.Rate() != 0 {
+		t.Fatal("empty window rate != 0")
+	}
+	w.Observe(base, 100)
+	w.Observe(base.Add(2*time.Second), 140)
+	if got := w.Rate(); got != 20 {
+		t.Fatalf("rate = %v, want 20", got)
+	}
+	// Capacity: oldest sample slides out.
+	w.Observe(base.Add(4*time.Second), 180)
+	w.Observe(base.Add(6*time.Second), 220)
+	w.Observe(base.Add(8*time.Second), 260) // evicts the base sample
+	if got := w.Rate(); got != 20 {
+		t.Fatalf("windowed rate = %v, want 20", got)
+	}
+	// Counter reset re-anchors instead of going negative.
+	w.Observe(base.Add(10*time.Second), 5)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("rate after reset = %v, want 0", got)
+	}
+	w.Observe(base.Add(12*time.Second), 25)
+	if got := w.Rate(); got != 10 {
+		t.Fatalf("rate after re-anchor = %v, want 10", got)
+	}
+	// Stale timestamps dropped.
+	w.Observe(base, 1000)
+	if got := w.Rate(); got != 10 {
+		t.Fatalf("rate after stale sample = %v, want 10", got)
+	}
+	// Nil-safe.
+	var nilw *RateWindow
+	nilw.Observe(base, 1)
+	if nilw.Rate() != 0 {
+		t.Fatal("nil window rate != 0")
+	}
+}

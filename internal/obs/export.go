@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Trace export/import: the wire form that lets a forwarded request's
+// remote span subtree travel back to the origin node in a response
+// header and be stitched under the origin's trace as a child — one tree
+// spanning both nodes at /debug/trace/{id}.
+//
+// The encoding is the existing SpanJSON tree, compact-marshaled and
+// base64'd (headers must stay token-safe; attr values are arbitrary
+// strings). Export is bounded: when the full tree exceeds the byte
+// budget the deepest levels are pruned first and the surviving root is
+// marked with a truncated="true" attr, so an overflowing trace degrades
+// to a shallower one instead of an oversized header. Import is strict
+// and bounded (size, span count, depth, attr and name lengths, finite
+// non-negative durations): arbitrary bytes are rejected with an error,
+// never a panic, and nothing is grafted on rejection — a hostile or
+// corrupt header cannot damage the origin's trace ring.
+
+// Export wire-form bounds. Decode rejects anything beyond them; encode
+// prunes until it fits the caller's byte budget.
+const (
+	// maxExportDecodedBytes caps the decoded JSON size.
+	maxExportDecodedBytes = 64 << 10
+	// maxExportSpans caps the total span count of an imported subtree.
+	maxExportSpans = 512
+	// maxExportDepth caps the nesting depth of an imported subtree.
+	maxExportDepth = 16
+	// maxExportAttrs caps the attrs carried by one imported span.
+	maxExportAttrs = 64
+	// maxExportStr caps imported span names and attr keys/values.
+	maxExportStr = 256
+	// maxExportDurationMs caps one imported span's duration (~11.5 days):
+	// anything longer is a corrupt or hostile value, not a measurement.
+	maxExportDurationMs = 1e9
+)
+
+// attrTruncated marks an exported root whose deeper levels were pruned
+// to fit the byte budget.
+const attrTruncated = "truncated"
+
+// EncodeTraceExport renders t's span tree in the export wire form,
+// guaranteed to fit maxBytes (the encoded length). When the full tree
+// is too large, child levels are pruned deepest-first and the root
+// gains a truncated="true" attr; if even the bare root does not fit,
+// it returns "" — the caller simply skips the header. The second
+// result reports whether pruning happened. Nil-safe: a nil trace
+// encodes to "".
+func EncodeTraceExport(t *Trace, maxBytes int) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	root := t.Snapshot().Root
+	for depth := maxExportDepth; depth >= 0; depth-- {
+		snap := pruneSpanDepth(root, depth)
+		truncated := depth < maxExportDepth
+		if truncated {
+			snap.Attrs = withTruncatedAttr(snap.Attrs)
+		}
+		b, err := json.Marshal(snap)
+		if err != nil {
+			return "", false // unreachable: SpanJSON marshals cleanly
+		}
+		if enc := base64.StdEncoding.EncodeToString(b); len(enc) <= maxBytes {
+			return enc, truncated
+		}
+	}
+	return "", true
+}
+
+// pruneSpanDepth copies s keeping children only down to the given depth
+// (0 = the span alone).
+func pruneSpanDepth(s SpanJSON, depth int) SpanJSON {
+	out := s
+	out.Children = nil
+	if depth == 0 {
+		return out
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, pruneSpanDepth(c, depth-1))
+	}
+	return out
+}
+
+func withTruncatedAttr(attrs map[string]string) map[string]string {
+	out := make(map[string]string, len(attrs)+1)
+	for k, v := range attrs {
+		out[k] = v
+	}
+	out[attrTruncated] = "true"
+	return out
+}
+
+// DecodeTraceExport parses and validates an export header value. Every
+// violation of the wire bounds is an error; the returned subtree is
+// safe to Graft.
+func DecodeTraceExport(enc string) (SpanJSON, error) {
+	var zero SpanJSON
+	if enc == "" {
+		return zero, errors.New("obs: empty trace export")
+	}
+	if len(enc) > base64.StdEncoding.EncodedLen(maxExportDecodedBytes) {
+		return zero, fmt.Errorf("obs: trace export exceeds %d bytes", maxExportDecodedBytes)
+	}
+	raw, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return zero, fmt.Errorf("obs: trace export is not base64: %w", err)
+	}
+	if len(raw) > maxExportDecodedBytes {
+		return zero, fmt.Errorf("obs: trace export exceeds %d bytes", maxExportDecodedBytes)
+	}
+	var sub SpanJSON
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		return zero, fmt.Errorf("obs: malformed trace export: %w", err)
+	}
+	spans := 0
+	if err := validateExportSpan(&sub, 0, &spans); err != nil {
+		return zero, err
+	}
+	return sub, nil
+}
+
+// validateExportSpan walks an imported subtree enforcing the wire
+// bounds.
+func validateExportSpan(s *SpanJSON, depth int, spans *int) error {
+	if depth > maxExportDepth {
+		return fmt.Errorf("obs: trace export deeper than %d levels", maxExportDepth)
+	}
+	*spans++
+	if *spans > maxExportSpans {
+		return fmt.Errorf("obs: trace export carries more than %d spans", maxExportSpans)
+	}
+	if s.Name == "" || len(s.Name) > maxExportStr {
+		return fmt.Errorf("obs: trace export span name length %d out of (0, %d]", len(s.Name), maxExportStr)
+	}
+	if math.IsNaN(s.DurationMs) || math.IsInf(s.DurationMs, 0) ||
+		s.DurationMs < 0 || s.DurationMs > maxExportDurationMs {
+		return fmt.Errorf("obs: trace export span %q has invalid duration %v", s.Name, s.DurationMs)
+	}
+	if len(s.Attrs) > maxExportAttrs {
+		return fmt.Errorf("obs: trace export span %q carries %d attrs (max %d)", s.Name, len(s.Attrs), maxExportAttrs)
+	}
+	for k, v := range s.Attrs {
+		if k == "" || len(k) > maxExportStr || len(v) > maxExportStr {
+			return fmt.Errorf("obs: trace export span %q has an attr outside the length bounds", s.Name)
+		}
+	}
+	for i := range s.Children {
+		if err := validateExportSpan(&s.Children[i], depth+1, spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Graft attaches an imported span subtree under parent (nil = root) as
+// regular spans, preserving the remote start times and durations, so
+// the stitched tree renders exactly like a locally recorded one.
+// Nil-safe on the trace; callers should only pass DecodeTraceExport
+// output (bounds already enforced).
+func (t *Trace) Graft(parent *Span, sub SpanJSON) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if parent == nil {
+		parent = t.root
+	}
+	sp := t.graftLocked(sub)
+	parent.children = append(parent.children, sp)
+	return sp
+}
+
+// graftLocked converts one SpanJSON node (and its children) into Spans
+// owned by t. Attr keys are emitted in sorted order: the wire form is a
+// map, and map range order must not leak into the rendered trace.
+func (t *Trace) graftLocked(s SpanJSON) *Span {
+	end := s.Start.Add(time.Duration(s.DurationMs * float64(time.Millisecond)))
+	sp := &Span{t: t, name: s.Name, start: s.Start, end: end}
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sp.attrs = append(sp.attrs, spanAttr{k, s.Attrs[k]})
+		}
+	}
+	for _, c := range s.Children {
+		sp.children = append(sp.children, t.graftLocked(c))
+	}
+	return sp
+}

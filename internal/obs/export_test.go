@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTestTrace makes a small two-level trace with attrs.
+func buildTestTrace() *Trace {
+	tr := NewTrace("deadbeef00000001", "solve")
+	sp := tr.StartSpan(nil, "phase")
+	sp.SetAttr("round", "3")
+	child := tr.StartSpan(sp, "verify")
+	child.End()
+	sp.End()
+	tr.Finish()
+	return tr
+}
+
+func TestTraceExportRoundTrip(t *testing.T) {
+	tr := buildTestTrace()
+	enc, truncated := EncodeTraceExport(tr, 64<<10)
+	if enc == "" || truncated {
+		t.Fatalf("encode: enc empty=%v truncated=%v", enc == "", truncated)
+	}
+	sub, err := DecodeTraceExport(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sub.Name != "solve" || len(sub.Children) != 1 {
+		t.Fatalf("round trip lost shape: %+v", sub)
+	}
+	if sub.Children[0].Attrs["round"] != "3" {
+		t.Fatalf("round trip lost attrs: %+v", sub.Children[0])
+	}
+	if sub.Children[0].Children[0].Name != "verify" {
+		t.Fatalf("round trip lost grandchild: %+v", sub.Children[0])
+	}
+}
+
+func TestTraceExportNilTrace(t *testing.T) {
+	enc, truncated := EncodeTraceExport(nil, 1024)
+	if enc != "" || truncated {
+		t.Fatalf("nil trace: enc=%q truncated=%v", enc, truncated)
+	}
+}
+
+func TestTraceExportTruncation(t *testing.T) {
+	tr := NewTrace("deadbeef00000002", "solve")
+	parent := (*Span)(nil)
+	for i := 0; i < 8; i++ {
+		sp := tr.StartSpan(parent, strings.Repeat("x", 200))
+		sp.End()
+		parent = sp
+	}
+	tr.Finish()
+
+	full, _ := EncodeTraceExport(tr, 1<<20)
+	enc, truncated := EncodeTraceExport(tr, len(full)-1)
+	if enc == "" {
+		t.Fatalf("budget one short of full should still encode a pruned tree")
+	}
+	if !truncated {
+		t.Fatalf("expected truncation under a tight budget")
+	}
+	sub, err := DecodeTraceExport(enc)
+	if err != nil {
+		t.Fatalf("decode truncated export: %v", err)
+	}
+	if sub.Attrs[attrTruncated] != "true" {
+		t.Fatalf("truncated root missing %s attr: %+v", attrTruncated, sub.Attrs)
+	}
+
+	// An impossible budget yields no header at all.
+	if enc, _ := EncodeTraceExport(tr, 8); enc != "" {
+		t.Fatalf("impossible budget returned %q", enc)
+	}
+}
+
+func TestDecodeTraceExportRejects(t *testing.T) {
+	mk := func(s SpanJSON) string {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base64.StdEncoding.EncodeToString(b)
+	}
+	now := time.Now()
+	cases := map[string]string{
+		"empty":         "",
+		"not base64":    "!!!not-base64!!!",
+		"not json":      base64.StdEncoding.EncodeToString([]byte("{")),
+		"no name":       mk(SpanJSON{Start: now, DurationMs: 1}),
+		"long name":     mk(SpanJSON{Name: strings.Repeat("n", maxExportStr+1), Start: now}),
+		"neg duration":  mk(SpanJSON{Name: "s", Start: now, DurationMs: -1}),
+		"huge duration": mk(SpanJSON{Name: "s", Start: now, DurationMs: maxExportDurationMs * 2}),
+		"long attr": mk(SpanJSON{Name: "s", Start: now,
+			Attrs: map[string]string{"k": strings.Repeat("v", maxExportStr+1)}}),
+		"oversized": base64.StdEncoding.EncodeToString(
+			[]byte(`{"name":"` + strings.Repeat("a", maxExportDecodedBytes) + `"}`)),
+	}
+	for label, enc := range cases {
+		if _, err := DecodeTraceExport(enc); err == nil {
+			t.Errorf("%s: decode accepted invalid export", label)
+		}
+	}
+
+	// Too many spans.
+	wide := SpanJSON{Name: "root", Start: now}
+	for i := 0; i <= maxExportSpans; i++ {
+		wide.Children = append(wide.Children, SpanJSON{Name: "c", Start: now})
+	}
+	if _, err := DecodeTraceExport(mk(wide)); err == nil {
+		t.Errorf("span-count bound not enforced")
+	}
+
+	// Too deep.
+	deep := SpanJSON{Name: "d0", Start: now}
+	node := &deep
+	for i := 0; i <= maxExportDepth; i++ {
+		node.Children = []SpanJSON{{Name: "d", Start: now}}
+		node = &node.Children[0]
+	}
+	if _, err := DecodeTraceExport(mk(deep)); err == nil {
+		t.Errorf("depth bound not enforced")
+	}
+}
+
+func TestGraftStitchesSubtree(t *testing.T) {
+	remote := buildTestTrace()
+	enc, _ := EncodeTraceExport(remote, 64<<10)
+	sub, err := DecodeTraceExport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	origin := NewTrace("cafe000000000001", "origin")
+	fwd := origin.StartSpan(nil, "forward")
+	grafted := origin.Graft(fwd, sub)
+	if grafted == nil {
+		t.Fatal("graft returned nil span")
+	}
+	fwd.End()
+	origin.Finish()
+
+	snap := origin.Snapshot()
+	if len(snap.Root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(snap.Root.Children))
+	}
+	f := snap.Root.Children[0]
+	if f.Name != "forward" || len(f.Children) != 1 {
+		t.Fatalf("forward span shape wrong: %+v", f)
+	}
+	r := f.Children[0]
+	if r.Name != "solve" || len(r.Children) != 1 || r.Children[0].Attrs["round"] != "3" {
+		t.Fatalf("grafted remote subtree wrong: %+v", r)
+	}
+	// Remote timing survives the stitch.
+	if r.Children[0].Children[0].Name != "verify" {
+		t.Fatalf("grandchild lost: %+v", r.Children[0])
+	}
+}
+
+func TestGraftNilSafe(t *testing.T) {
+	var tr *Trace
+	if sp := tr.Graft(nil, SpanJSON{Name: "x"}); sp != nil {
+		t.Fatalf("nil trace graft returned %v", sp)
+	}
+}
+
+// FuzzDecodeTraceExport feeds arbitrary header bytes through the full
+// decode → graft → ring → snapshot path: no input may panic, and a
+// decode error must leave the destination trace untouched.
+func FuzzDecodeTraceExport(f *testing.F) {
+	good, _ := EncodeTraceExport(buildTestTrace(), 64<<10)
+	f.Add(good)
+	f.Add("")
+	f.Add("AAAA")
+	f.Add(base64.StdEncoding.EncodeToString([]byte(`{"name":"x","duration_ms":1e309}`)))
+	f.Add(base64.StdEncoding.EncodeToString([]byte(`{"name":"x","children":[{"name":""}]}`)))
+	f.Fuzz(func(t *testing.T, enc string) {
+		sub, err := DecodeTraceExport(enc)
+		tr := NewTrace("fuzz000000000001", "origin")
+		before := len(tr.Snapshot().Root.Children)
+		if err == nil {
+			tr.Graft(nil, sub)
+		}
+		tr.Finish()
+		ring := NewRing(4)
+		ring.Add(tr)
+		snap := tr.Snapshot() // must not panic or hang
+		if err != nil && len(snap.Root.Children) != before {
+			t.Fatalf("rejected export still mutated the trace")
+		}
+		if len(ring.List()) != 1 {
+			t.Fatalf("ring corrupted")
+		}
+	})
+}
+
+// buildSolveShapedTrace mirrors the span tree a real forwarded solve
+// produces (solve root, per-phase children with numeric attrs) so the
+// benchmarks below price the actual stitching payload.
+func buildSolveShapedTrace() *Trace {
+	tr := NewTrace("beefcafe00000001", "request")
+	solve := tr.StartSpan(nil, "solve")
+	solve.SetAttr("n", "2000")
+	solve.SetAttr("k", "3")
+	for _, phase := range []string{"fractional", "rounding", "verify"} {
+		sp := tr.StartSpan(solve, phase)
+		sp.SetAttr("rounds", "18")
+		sp.SetAttr("wall_ms", "12.5")
+		sp.End()
+	}
+	enc := tr.StartSpan(nil, "encode")
+	enc.End()
+	solve.End()
+	tr.Finish()
+	return tr
+}
+
+func BenchmarkEncodeTraceExport(b *testing.B) {
+	tr := buildSolveShapedTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, _ := EncodeTraceExport(tr, 8<<10)
+		if enc == "" {
+			b.Fatal("empty encode")
+		}
+	}
+}
+
+func BenchmarkDecodeTraceExport(b *testing.B) {
+	enc, _ := EncodeTraceExport(buildSolveShapedTrace(), 8<<10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTraceExport(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraft(b *testing.B) {
+	sub, err := DecodeTraceExport(mustEncode(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrace("feedface00000001", "origin")
+		if tr.Graft(nil, sub) == nil {
+			b.Fatal("graft returned nil")
+		}
+	}
+}
+
+func mustEncode(b *testing.B) string {
+	b.Helper()
+	enc, _ := EncodeTraceExport(buildSolveShapedTrace(), 8<<10)
+	return enc
+}

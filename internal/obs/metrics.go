@@ -141,6 +141,46 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// Merge adds o's buckets into h. Both histograms must share the exact
+// bucket layout (same bounds, element-wise) — bucket-wise sum is only
+// meaningful then, and a mismatch returns an error without touching h.
+// Merging preserves quantile monotonicity: every per-bucket count, the
+// total, and the sum grow by o's non-negative contributions, so the
+// cumulative distribution of the merged histogram dominates both
+// inputs' and Quantile stays monotone in q. Safe for concurrent use
+// with Observe on h; o should be quiescent (a scraped snapshot) or the
+// copy is merely racy-but-consistent per bucket.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: histogram merge: %d buckets vs %d", len(h.bounds), len(o.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			return fmt.Errorf("obs: histogram merge: bound %d differs (%v vs %v)", i, h.bounds[i], o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	if n := o.total.Load(); n > 0 {
+		h.total.Add(n)
+	}
+	if s := o.Sum(); s != 0 {
+		for {
+			old := h.sum.Load()
+			if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+s)) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
 // metricKind tags a registered series for the exposition writer.
 type metricKind int
 

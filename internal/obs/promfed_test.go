@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramMergeBucketwise(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 4})
+	b := NewHistogram([]float64{1, 2, 4})
+	a.Observe(0.5)
+	a.Observe(3)
+	b.Observe(1.5)
+	b.Observe(100) // +Inf bucket
+	b.Observe(100)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Count() != 5 {
+		t.Fatalf("merged count = %d, want 5", a.Count())
+	}
+	wantSum := 0.5 + 3 + 1.5 + 100 + 100
+	if math.Abs(a.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("merged sum = %v, want %v", a.Sum(), wantSum)
+	}
+	// Bucket-wise: [0.5]→b0, [1.5]→b1, [3]→b2, [100,100]→+Inf.
+	wantCounts := []int64{1, 1, 1, 2}
+	for i, want := range wantCounts {
+		if got := a.counts[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	// +Inf ranks clamp to the top finite bound.
+	if q := a.Quantile(0.99); q != 4 {
+		t.Errorf("p99 = %v, want clamp to 4", q)
+	}
+}
+
+func TestHistogramMergeQuantileMonotone(t *testing.T) {
+	a := NewHistogram(DurationBuckets())
+	b := NewHistogram(DurationBuckets())
+	for i := 1; i <= 500; i++ {
+		a.Observe(float64(i) * 1e-4)
+		b.Observe(float64(i) * 3e-4)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := a.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone after merge: q=%v gives %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if a.Count() != 1000 {
+		t.Fatalf("merged count = %d, want 1000", a.Count())
+	}
+}
+
+func TestHistogramMergeRejectsMismatchedLayout(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 4})
+	a.Observe(1)
+	for _, o := range []*Histogram{
+		NewHistogram([]float64{1, 2}),
+		NewHistogram([]float64{1, 2, 8}),
+	} {
+		o.Observe(1)
+		if err := a.Merge(o); err == nil {
+			t.Fatalf("merge accepted mismatched layout %v", o.bounds)
+		}
+	}
+	// Rejection left a untouched.
+	if a.Count() != 1 {
+		t.Fatalf("failed merge mutated the receiver: count=%d", a.Count())
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+// registryText renders a small registry with one of each metric kind.
+func registryText(t *testing.T, scale int64) string {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("ft_solves_total", "solves", "endpoint", "/v1/solve")
+	c.Add(3 * scale)
+	r.Counter("ft_plain_total", "plain").Add(scale)
+	r.Gauge("ft_peers", "peers", func() float64 { return float64(2 * scale) })
+	h := r.Histogram("ft_dur_seconds", "dur", []float64{0.001, 0.01, 0.1})
+	for i := int64(0); i < scale; i++ {
+		h.Observe(0.005)
+		h.Observe(5) // +Inf
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	text := registryText(t, 2)
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, ok := snap.Value("ft_solves_total", "endpoint", "/v1/solve"); !ok || v != 6 {
+		t.Fatalf("counter = %v ok=%v, want 6", v, ok)
+	}
+	if v, ok := snap.Value("ft_plain_total"); !ok || v != 2 {
+		t.Fatalf("unlabeled counter = %v ok=%v, want 2", v, ok)
+	}
+	if v, ok := snap.Value("ft_peers"); !ok || v != 4 {
+		t.Fatalf("gauge = %v ok=%v, want 4", v, ok)
+	}
+	h, ok := snap.Hist("ft_dur_seconds")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.Count != 4 || len(h.Bounds) != 3 || len(h.Buckets) != 4 {
+		t.Fatalf("histogram shape: %+v", h)
+	}
+	if h.Buckets[1] != 2 || h.Buckets[3] != 2 {
+		t.Fatalf("de-cumulated buckets wrong: %+v", h.Buckets)
+	}
+
+	// Re-render and re-parse: stable.
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if v, _ := again.Value("ft_solves_total", "endpoint", "/v1/solve"); v != 6 {
+		t.Fatalf("reparse counter = %v", v)
+	}
+	h2, _ := again.Hist("ft_dur_seconds")
+	if h2 == nil || h2.Count != 4 || h2.Sum != h.Sum {
+		t.Fatalf("reparse histogram: %+v", h2)
+	}
+}
+
+func TestMergePrometheusSumsPeers(t *testing.T) {
+	agg := NewPromSnapshot()
+	for _, scale := range []int64{1, 2, 4} {
+		snap, err := ParsePrometheus(strings.NewReader(registryText(t, scale)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := MergePrometheus(agg, snap); err != nil {
+			t.Fatalf("merge scale %d: %v", scale, err)
+		}
+	}
+	if v, _ := agg.Value("ft_solves_total", "endpoint", "/v1/solve"); v != 21 {
+		t.Fatalf("merged counter = %v, want 21", v)
+	}
+	if v, _ := agg.Value("ft_peers"); v != 14 {
+		t.Fatalf("merged gauge = %v, want 14", v)
+	}
+	h, _ := agg.Hist("ft_dur_seconds")
+	if h == nil || h.Count != 14 {
+		t.Fatalf("merged histogram: %+v", h)
+	}
+	if h.Buckets[1] != 7 || h.Buckets[3] != 7 {
+		t.Fatalf("merged buckets: %+v", h.Buckets)
+	}
+	// Quantile well-defined on the merged result.
+	if q := h.Quantile(0.25); q <= 0 || q > 0.01 {
+		t.Fatalf("merged p25 = %v", q)
+	}
+
+	// Rendered aggregate has monotone cumulative buckets.
+	var sb strings.Builder
+	if err := agg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("aggregate does not reparse: %v", err)
+	}
+}
+
+func TestMergePrometheusRejectsLayoutMismatch(t *testing.T) {
+	mk := func(bounds []float64) *PromSnapshot {
+		r := NewRegistry()
+		r.Histogram("ft_dur_seconds", "dur", bounds).Observe(0.5)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ParsePrometheus(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	agg := NewPromSnapshot()
+	if err := MergePrometheus(agg, mk([]float64{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergePrometheus(agg, mk([]float64{1, 4})); err == nil {
+		t.Fatal("merge accepted mismatched bucket layout")
+	}
+	// All-or-nothing: the failed merge left the aggregate untouched.
+	h, _ := agg.Hist("ft_dur_seconds")
+	if h == nil || h.Count != 1 {
+		t.Fatalf("failed merge mutated aggregate: %+v", h)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no value":       "ft_x_total\n",
+		"bad value":      "ft_x_total abc\n",
+		"bad labels":     "ft_x_total{endpoint=\"/v1\" 3\n",
+		"decreasing cum": "# TYPE ft_d_seconds histogram\nft_d_seconds_bucket{le=\"1\"} 5\nft_d_seconds_bucket{le=\"+Inf\"} 3\nft_d_seconds_sum 1\nft_d_seconds_count 3\n",
+		"missing inf":    "# TYPE ft_d_seconds histogram\nft_d_seconds_bucket{le=\"1\"} 5\nft_d_seconds_sum 1\nft_d_seconds_count 5\n",
+		"count mismatch": "# TYPE ft_d_seconds histogram\nft_d_seconds_bucket{le=\"1\"} 5\nft_d_seconds_bucket{le=\"+Inf\"} 5\nft_d_seconds_sum 1\nft_d_seconds_count 9\n",
+		"bad type":       "# TYPE ft_x summary\n",
+	}
+	for label, text := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parse accepted malformed exposition", label)
+		}
+	}
+}
+
+func TestParsePrometheusSumSeries(t *testing.T) {
+	text := "# TYPE ft_http_total counter\n" +
+		"ft_http_total{endpoint=\"/a\"} 3\n" +
+		"ft_http_total{endpoint=\"/b\"} 4\n"
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.SumSeries("ft_http_total"); got != 7 {
+		t.Fatalf("SumSeries = %v, want 7", got)
+	}
+	// Label order canonicalization: both orders hit the same series.
+	text2 := "ft_y{b=\"2\",a=\"1\"} 5\nft_y{a=\"1\",b=\"2\"} 5\n"
+	snap2, err := ParsePrometheus(strings.NewReader(text2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := snap2.Family("ft_y")
+	if len(f.Series()) != 1 {
+		t.Fatalf("label orders not canonicalized: %d series", len(f.Series()))
+	}
+}

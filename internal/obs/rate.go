@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow turns a monotonically increasing counter into a rolling
+// rate: callers push periodic (time, value) samples and read back the
+// delta-per-second over the retained window. It is the client-side
+// building block ftop uses to show cluster QPS from cumulative
+// Prometheus counters, and is tolerant of counter resets (a process
+// restart re-anchors the window instead of reporting a negative rate).
+type RateWindow struct {
+	mu      sync.Mutex
+	samples []rateSample // oldest first, len ≤ cap(samples)
+}
+
+type rateSample struct {
+	at time.Time
+	v  float64
+}
+
+// NewRateWindow returns a window retaining up to n samples (n ≥ 2 —
+// a rate needs two points).
+func NewRateWindow(n int) *RateWindow {
+	if n < 2 {
+		n = 2
+	}
+	return &RateWindow{samples: make([]rateSample, 0, n)}
+}
+
+// Observe pushes one cumulative counter sample. A value below the
+// previous sample means the counter reset; the window re-anchors at the
+// new value. Non-monotonic timestamps are dropped.
+func (w *RateWindow) Observe(at time.Time, v float64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n := len(w.samples); n > 0 {
+		last := w.samples[n-1]
+		if !at.After(last.at) {
+			return
+		}
+		if v < last.v {
+			w.samples = w.samples[:0]
+		}
+	}
+	if len(w.samples) == cap(w.samples) {
+		copy(w.samples, w.samples[1:])
+		w.samples = w.samples[:len(w.samples)-1]
+	}
+	w.samples = append(w.samples, rateSample{at, v})
+}
+
+// Rate returns the average delta per second across the retained window,
+// or 0 with fewer than two samples.
+func (w *RateWindow) Rate() float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.samples)
+	if n < 2 {
+		return 0
+	}
+	first, last := w.samples[0], w.samples[n-1]
+	dt := last.at.Sub(first.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (last.v - first.v) / dt
+}

@@ -484,6 +484,7 @@ func (s *Server) leadSolve(ctx context.Context, req *SolveRequest, g *graph.Grap
 		// pointless.
 		s.metrics.queueRejected.Add(1)
 		s.metrics.shedQueue.Inc()
+		s.event("shed", "reason", "queue")
 		return nil, http.StatusTooManyRequests, err
 	case errors.Is(err, errDraining):
 		s.metrics.queueRejected.Add(1)
@@ -799,7 +800,7 @@ func (s *Server) handleSessionFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp, st, err := sess.fail(req.Nodes)
+	resp, st, err := sess.fail(req.Nodes, obs.TraceFrom(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -833,7 +834,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	resp, st, err := sess.delta(ops)
+	resp, st, err := sess.delta(ops, obs.TraceFrom(r.Context()))
 	if err != nil {
 		if errors.Is(err, errFallbackFailed) {
 			writeError(w, http.StatusInternalServerError, err)

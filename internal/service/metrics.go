@@ -20,8 +20,9 @@ var endpointLabels = []string{
 	"/v1/session", "/v1/session/{id}", "/v1/session/{id}/fail",
 	"/v1/session/{id}/delta",
 	"/cluster/v1/gossip", "/cluster/v1/peers",
+	"/cluster/v1/fleet", "/cluster/v1/fleet/metrics",
 	"/metrics", "/debug/metrics", "/debug/trace", "/debug/trace/{id}",
-	"/healthz", "other",
+	"/debug/events", "/healthz", "other",
 }
 
 // endpointLabel maps a request path onto its route pattern.
@@ -29,7 +30,8 @@ func endpointLabel(path string) string {
 	switch path {
 	case "/v1/solve", "/v1/solvebatch", "/v1/verify", "/v1/session",
 		"/cluster/v1/gossip", "/cluster/v1/peers",
-		"/metrics", "/debug/metrics", "/debug/trace", "/healthz":
+		"/cluster/v1/fleet", "/cluster/v1/fleet/metrics",
+		"/metrics", "/debug/metrics", "/debug/trace", "/debug/events", "/healthz":
 		return path
 	}
 	switch {
@@ -77,6 +79,12 @@ type metrics struct {
 	// but only the former says "add capacity".
 	shedQueue *obs.Counter // 429s from queue overflow
 	shedRate  *obs.Counter // 429s from the per-client token bucket
+
+	// Fleet-scrape accounting: attempts and failures of the per-peer
+	// /metrics pulls behind /cluster/v1/fleet. A dead peer degrades the
+	// summary and bumps the error counter; it never fails the endpoint.
+	fleetScrapes      *obs.Counter
+	fleetScrapeErrors *obs.Counter
 
 	sessionsCreated *obs.Counter
 	repairs         *obs.Counter // accepted mutation batches (fail + delta)
@@ -141,6 +149,11 @@ func newMetrics(now time.Time) *metrics {
 			"requests shed by admission control, by reason", "reason", "queue"),
 		shedRate: reg.Counter("ftclust_shed_total",
 			"requests shed by admission control, by reason", "reason", "ratelimit"),
+
+		fleetScrapes: reg.Counter("ftclust_fleet_scrapes_total",
+			"per-peer metric scrapes attempted by the fleet endpoint"),
+		fleetScrapeErrors: reg.Counter("ftclust_fleet_scrape_errors_total",
+			"fleet scrapes that failed (peer down, timeout, or unparseable body)"),
 
 		sessionsCreated: reg.Counter("ftclust_sessions_created_total", "sessions created"),
 		repairs:         reg.Counter("ftclust_repairs_total", "session failure repairs"),
@@ -252,6 +265,8 @@ type MetricsSnapshot struct {
 	QueueRejected   int64   `json:"queue_rejected"`
 	ShedQueue       int64   `json:"shed_queue"`
 	ShedRatelimit   int64   `json:"shed_ratelimit"`
+	FleetScrapes    int64   `json:"fleet_scrapes"`
+	FleetScrapeErrs int64   `json:"fleet_scrape_errors"`
 	Canceled        int64   `json:"canceled"`
 	InFlight        int64   `json:"in_flight"`
 	SlowRequests    int64   `json:"slow_requests"`
@@ -286,6 +301,8 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		QueueRejected:   m.queueRejected.Value(),
 		ShedQueue:       m.shedQueue.Value(),
 		ShedRatelimit:   m.shedRate.Value(),
+		FleetScrapes:    m.fleetScrapes.Value(),
+		FleetScrapeErrs: m.fleetScrapeErrors.Value(),
 		Canceled:        m.canceled.Value(),
 		InFlight:        m.inFlight.Load(),
 		SlowRequests:    m.slowRequests.Value(),

@@ -3,6 +3,7 @@ package service
 import (
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,24 +15,48 @@ import (
 // length) so callers can stitch service traces into their own.
 const requestIDHeader = "X-Request-ID"
 
+// Cross-node trace propagation headers. A forwarding origin sends the
+// trace parent (its request ID) with the proxied request; the remote
+// node answers with its span subtree in the export header, bounded to
+// maxTraceExportBytes, and the origin grafts it under its forward span
+// so /debug/trace/{id} shows one tree spanning both nodes.
+const (
+	// traceParentHeader marks a forwarded request as part of the
+	// sender's trace; its value is the originating request ID.
+	traceParentHeader = "X-Trace-Parent"
+	// traceExportHeader carries the remote leg's span subtree back to
+	// the origin (obs trace-export encoding).
+	traceExportHeader = "X-Trace-Export"
+	// maxTraceExportBytes bounds the export header value; deeper span
+	// levels are pruned first (truncated="true" on the exported root).
+	maxTraceExportBytes = 8 << 10
+)
+
 // statusWriter records the status code and body size a handler produced
-// so the middleware can log and label them after the fact.
+// so the middleware can log and label them after the fact. beforeWrite,
+// when set, runs exactly once immediately before the status line is
+// committed — the last moment a response header can still be set.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
-	bytes  int64
+	status      int
+	bytes       int64
+	beforeWrite func()
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
 		w.status = code
+		if w.beforeWrite != nil {
+			w.beforeWrite()
+			w.beforeWrite = nil
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
-		w.status = http.StatusOK
+		w.WriteHeader(http.StatusOK)
 	}
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += int64(n)
@@ -53,7 +78,9 @@ func requestID(r *http.Request) string {
 // an X-Request-ID on every response, a span-tree trace stored in the
 // debug ring (for /v1/* endpoints), per-endpoint latency histograms and
 // request counters, a structured access log, and a slow-request warning
-// over the configured threshold.
+// over the configured threshold. Requests carrying a trace parent (the
+// remote leg of a forwarded solve) additionally answer with their span
+// subtree in the trace-export response header.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -61,6 +88,9 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		endpoint := endpointLabel(r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w}
 		sw.Header().Set(requestIDHeader, id)
+		// Expose the resolved ID to handlers (the forwarding path sends
+		// it to the key's owner so both nodes trace under one ID).
+		r.Header.Set(requestIDHeader, id)
 
 		// Only API requests are traced: metrics scrapes and health probes
 		// would churn the bounded ring without ever being debugged.
@@ -68,6 +98,16 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		if strings.HasPrefix(r.URL.Path, "/v1/") {
 			tr = obs.NewTrace(id, r.Method+" "+endpoint)
 			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+			if r.Header.Get(traceParentHeader) != "" {
+				// Forwarded leg: hand our span subtree back to the origin.
+				// Encoding at first-write time captures every span the
+				// handler recorded; only response encoding is still open.
+				sw.beforeWrite = func() {
+					if enc, _ := obs.EncodeTraceExport(tr, maxTraceExportBytes); enc != "" {
+						sw.Header().Set(traceExportHeader, enc)
+					}
+				}
+			}
 		}
 
 		next.ServeHTTP(sw, r)
@@ -117,4 +157,32 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, t.Snapshot())
+}
+
+// event records one structured service event in the ring and mirrors it
+// to slog. attrs are pairwise key, value strings.
+func (s *Server) event(typ string, attrs ...string) {
+	s.events.Add(typ, attrs...)
+	logAttrs := make([]any, 0, len(attrs))
+	for i := 0; i+1 < len(attrs); i += 2 {
+		logAttrs = append(logAttrs, slog.String(attrs[i], attrs[i+1]))
+	}
+	s.logger.Info("event "+typ, logAttrs...)
+}
+
+// handleEvents serves GET /debug/events: the cluster/service event log,
+// newest first. ?n= bounds the count (default all retained).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Events []obs.Event `json:"events"`
+	}{Events: s.events.List(limit)})
 }

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ftclust/internal/obs"
 )
 
 // Cluster routing headers.
@@ -50,6 +52,7 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 			ok, retryAfter := s.limiter.Allow(clientKey(r))
 			if !ok {
 				s.metrics.shedRate.Inc()
+				s.event("shed", "reason", "ratelimit", "client", clientKey(r))
 				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 				writeError(w, http.StatusTooManyRequests,
 					errors.New("rate limit exceeded; retry after the indicated delay"))
@@ -127,19 +130,29 @@ func (s *Server) shouldRoute(hdr http.Header) bool {
 // forwardSolve proxies a /v1/solve request body to the key's owner and
 // relays the response verbatim — status, X-Cache, Retry-After and body
 // bytes — so a forwarded response is byte-identical to the one the
-// owner would serve directly. It reports whether the request was
-// handled; a transport failure reports false and the caller solves
-// locally (the owner is probably dying; its suspicion is the gossip
-// layer's job).
+// owner would serve directly. The hop is recorded as a "forward" span,
+// and the remote node's span subtree (returned in the trace-export
+// response header) is grafted under it, so the origin's trace shows
+// both legs. It reports whether the request was handled; a transport
+// failure reports false and the caller solves locally (the owner is
+// probably dying; its suspicion is the gossip layer's job).
 func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
-	resp, err := s.proxyPost(r.Context(), owner, r.URL.Path, body, r.Header.Get(clientIDHeader))
+	tr := obs.TraceFrom(r.Context())
+	sp := tr.StartSpan(nil, "forward")
+	sp.SetAttr("owner", owner)
+	resp, err := s.proxyPost(r.Context(), owner, r.URL.Path, body,
+		r.Header.Get(clientIDHeader), r.Header.Get(requestIDHeader), tr != nil)
 	if err != nil {
+		sp.SetAttr("error", "transport")
+		sp.End()
 		s.cluster.Metrics().ForwardErrors.Inc()
+		s.event("forward-fallback", "owner", owner, "path", r.URL.Path)
 		s.logger.Warn("cluster forward failed; solving locally",
 			"owner", owner, "path", r.URL.Path, "err", err)
 		return false
 	}
 	defer resp.Body.Close()
+	s.stitchRemoteTrace(tr, sp, resp.Header.Get(traceExportHeader))
 	if xc := resp.Header.Get("X-Cache"); xc != "" {
 		w.Header().Set("X-Cache", xc)
 	}
@@ -150,7 +163,27 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner stri
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	sp.End()
 	return true
+}
+
+// stitchRemoteTrace grafts a remote span subtree (the trace-export
+// response header value) under parent. A missing header is normal (the
+// remote ran an older build, or the subtree outgrew even the pruned
+// budget); a malformed one is recorded as an attr and dropped — decode
+// validates every bound before anything touches the trace, so garbage
+// bytes can never corrupt the origin's ring.
+func (s *Server) stitchRemoteTrace(tr *obs.Trace, parent *obs.Span, enc string) {
+	if tr == nil || enc == "" {
+		return
+	}
+	sub, err := obs.DecodeTraceExport(enc)
+	if err != nil {
+		parent.SetAttr("export_error", "rejected")
+		s.logger.Warn("trace export rejected", "err", err)
+		return
+	}
+	tr.Graft(parent, sub)
 }
 
 // forwardSolveItem proxies one batch item to owner as a single
@@ -163,7 +196,11 @@ func (s *Server) forwardSolveItem(ctx context.Context, owner string, req *SolveR
 	if err != nil {
 		return nil, "", http.StatusInternalServerError, err
 	}
-	resp, err := s.proxyPost(ctx, owner, "/v1/solve", body, "")
+	// The batch's request ID travels with every item (one client request
+	// keeps one ID fleet-wide), but items do not ask for a trace export:
+	// several remote legs under one ID would collide in the remote
+	// node's trace ring.
+	resp, err := s.proxyPost(ctx, owner, "/v1/solve", body, "", reqIDFrom(ctx), false)
 	if err != nil {
 		return nil, "", 0, err
 	}
@@ -186,10 +223,18 @@ func (s *Server) forwardSolveItem(ctx context.Context, owner string, req *SolveR
 	return &sol, resp.Header.Get("X-Cache"), http.StatusOK, nil
 }
 
+// reqIDFrom recovers the request ID travelling in ctx's trace ("" when
+// the request is untraced).
+func reqIDFrom(ctx context.Context) string {
+	return obs.TraceFrom(ctx).ID()
+}
+
 // proxyPost performs the single forwarding hop: POST body to owner,
 // marked with this node's address as the loop guard, timed into the
-// forward-latency histogram.
-func (s *Server) proxyPost(ctx context.Context, owner, path string, body []byte, clientID string) (*http.Response, error) {
+// forward-latency histogram. requestID travels unchanged so the remote
+// leg logs and traces under the origin's ID; wantTrace additionally
+// asks the owner for its span subtree (the trace-export header).
+func (s *Server) proxyPost(ctx context.Context, owner, path string, body []byte, clientID, requestID string, wantTrace bool) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+owner+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -198,6 +243,12 @@ func (s *Server) proxyPost(ctx context.Context, owner, path string, body []byte,
 	req.Header.Set(clusterForwardedHeader, s.cluster.Self())
 	if clientID != "" {
 		req.Header.Set(clientIDHeader, clientID)
+	}
+	if requestID != "" {
+		req.Header.Set(requestIDHeader, requestID)
+		if wantTrace {
+			req.Header.Set(traceParentHeader, requestID)
+		}
 	}
 	m := s.cluster.Metrics()
 	start := time.Now()

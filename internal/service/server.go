@@ -16,6 +16,10 @@
 //   - GET  /debug/metrics     — the same state summarized as JSON
 //   - GET  /debug/trace       — recent request traces (newest first)
 //   - GET  /debug/trace/{id}  — one request's span tree as JSON
+//   - GET  /debug/events      — cluster/service event log (newest first)
+//   - GET  /cluster/v1/fleet  — fleet summary: per-peer health plus
+//     cluster-wide aggregates merged from every alive peer's /metrics
+//   - GET  /cluster/v1/fleet/metrics — the merged exposition itself
 //   - GET  /healthz           — liveness
 //
 // Behind the handlers sit a bounded job queue with a fixed solver-worker
@@ -90,6 +94,10 @@ type Config struct {
 	// (default 256). Only /v1/* requests are retained; probe endpoints
 	// would otherwise flush real solves out of the ring.
 	TraceRing int
+	// EventRing bounds the structured event log behind /debug/events:
+	// membership transitions, shed decisions, forward and repair
+	// fallbacks (default 256).
+	EventRing int
 	// Cluster enables cluster mode when non-nil: this node gossips
 	// membership with its peers and routes /v1/solve and /v1/solvebatch
 	// keys to their rendezvous owners.
@@ -158,6 +166,9 @@ func (c *Config) fillDefaults() {
 	if c.TraceRing <= 0 {
 		c.TraceRing = 256
 	}
+	if c.EventRing <= 0 {
+		c.EventRing = 256
+	}
 	if c.RatePerSec > 0 && c.RateBurst <= 0 {
 		c.RateBurst = int(2 * c.RatePerSec)
 		if c.RateBurst < 1 {
@@ -178,6 +189,7 @@ type Server struct {
 	metrics  *metrics
 	sessions *sessionStore
 	traces   *obs.Ring
+	events   *obs.EventRing
 	logger   *slog.Logger
 	cluster  *cluster.Node
 	limiter  *cluster.RateLimiter
@@ -199,6 +211,7 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(time.Now()),
 		sessions: newSessionStore(cfg.MaxSessions),
 		traces:   obs.NewRing(cfg.TraceRing),
+		events:   obs.NewEventRing(cfg.EventRing),
 		logger:   cfg.Logger,
 	}
 	s.metrics.queueDepth = s.queue.Depth
@@ -224,6 +237,7 @@ func New(cfg Config) *Server {
 			Client:         cc.Client,
 			Logger:         cfg.Logger,
 			Registry:       s.metrics.reg,
+			Events:         s.events,
 		})
 		if err != nil {
 			// Only reachable through a programming error (empty Self):
@@ -245,7 +259,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTraceList)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Fleet aggregation is mounted unconditionally: without cluster mode
+	// it degrades to a fleet of one (this node's own metrics).
+	s.mux.HandleFunc("GET "+FleetPath, s.handleFleet)
+	s.mux.HandleFunc("GET "+fleetMetricsPath, s.handleFleetMetrics)
 	if s.cluster != nil {
 		s.mux.HandleFunc("POST "+cluster.GossipPath, s.cluster.HandleGossip)
 		s.mux.HandleFunc("GET "+cluster.PeersPath, s.cluster.HandlePeers)

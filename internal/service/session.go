@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"ftclust"
 	"ftclust/internal/graph"
 	"ftclust/internal/maintain"
+	"ftclust/internal/obs"
 )
 
 // Session errors.
@@ -259,8 +261,9 @@ func (s *session) state() SessionState {
 
 // fail marks nodes dead and restores k-coverage with a local repair. The
 // whole batch is range-checked before any node is marked: a rejected
-// request leaves the session untouched.
-func (s *session) fail(nodes []int) (FailResponse, repairStats, error) {
+// request leaves the session untouched. tr (nil-safe) receives the
+// repair-phase spans.
+func (s *session) fail(nodes []int, tr *obs.Trace) (FailResponse, repairStats, error) {
 	ids := make([]graph.NodeID, len(nodes))
 	for i, v := range nodes {
 		ids[i] = graph.NodeID(v)
@@ -269,10 +272,21 @@ func (s *session) fail(nodes []int) (FailResponse, repairStats, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	repairSpan := tr.StartSpan(nil, "repair")
+	defer repairSpan.End()
+	assess := tr.StartSpan(repairSpan, "assess")
 	if err := s.engine.Validate(ops); err != nil {
+		assess.SetAttr("rejected", "true")
+		assess.End()
 		return FailResponse{}, repairStats{}, err
 	}
+	assess.End()
+	promote := tr.StartSpan(repairSpan, "promote")
 	p := s.engine.Apply(ops)
+	promote.SetAttr("touched", strconv.Itoa(p.Touched))
+	promote.SetAttr("iterations", strconv.Itoa(p.Iterations))
+	promote.SetAttr("promoted", strconv.Itoa(len(p.Entered)))
+	promote.End()
 	s.epoch++
 	s.repairs++
 	s.promotedTotal += len(p.Entered)
@@ -294,14 +308,25 @@ func (s *session) fail(nodes []int) (FailResponse, repairStats, error) {
 // drift-bound overflow it runs a certified full re-solve on the live
 // subgraph and adopts the result; the returned patch then carries the net
 // membership diff of the whole batch.
-func (s *session) delta(ops []maintain.Op) (DeltaResponse, repairStats, error) {
+func (s *session) delta(ops []maintain.Op, tr *obs.Trace) (DeltaResponse, repairStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	repairSpan := tr.StartSpan(nil, "repair")
+	defer repairSpan.End()
+	assess := tr.StartSpan(repairSpan, "assess")
 	if err := s.engine.Validate(ops); err != nil {
+		assess.SetAttr("rejected", "true")
+		assess.End()
 		return DeltaResponse{}, repairStats{}, err
 	}
+	assess.End()
 	preMask := s.engine.InSet()
+	promote := tr.StartSpan(repairSpan, "promote")
 	p := s.engine.Apply(ops)
+	promote.SetAttr("touched", strconv.Itoa(p.Touched))
+	promote.SetAttr("iterations", strconv.Itoa(p.Iterations))
+	promote.SetAttr("promoted", strconv.Itoa(len(p.Entered)))
+	promote.End()
 	s.epoch++
 	s.repairs++
 	s.promotedTotal += len(p.Entered)
@@ -325,11 +350,17 @@ func (s *session) delta(ops []maintain.Op) (DeltaResponse, repairStats, error) {
 		Feasible:        true,
 	}
 	if p.DriftExceeded {
+		fb := tr.StartSpan(repairSpan, "fallback")
 		if err := s.fallbackResolveLocked(); err != nil {
+			fb.SetAttr("error", "resolve-failed")
+			fb.End()
 			// The incremental state is still feasible; surface the resolve
 			// failure without corrupting the session.
 			return DeltaResponse{}, repairStats{}, fmt.Errorf("%w: %v", errFallbackFailed, err)
 		}
+		fb.SetAttr("certified", "true")
+		fb.SetAttr("size", strconv.Itoa(s.engine.Size()))
+		fb.End()
 		s.fallbacks++
 		resp.Fallback = true
 		resp.Size = s.engine.Size()
