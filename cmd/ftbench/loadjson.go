@@ -30,6 +30,11 @@ import (
 	"ftclust/internal/service"
 )
 
+// maxLoadBody caps how much of any harness-side HTTP response (solve
+// replies, the /metrics scrape) is buffered. The in-process server is
+// trusted, but the read-bound contract is module-wide.
+const maxLoadBody = 64 << 20
+
 // loadRecord is the sustained-load section of BENCH_pipeline.json.
 // Latency quantiles are interpolated from the scraped histogram buckets,
 // so they match what the service's /debug/metrics snapshot reports.
@@ -98,7 +103,7 @@ func measureLoad(scale float64, dur time.Duration) (loadRecord, error) {
 				body := fmt.Sprintf(`{"family":{"name":"gnp","n":%d,"degree":8,"seed":%d},"k":2}`, n, seed)
 				resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
 				if err == nil {
-					io.Copy(io.Discard, resp.Body)
+					io.Copy(io.Discard, io.LimitReader(resp.Body, maxLoadBody))
 					resp.Body.Close()
 					if resp.StatusCode != http.StatusOK {
 						err = fmt.Errorf("load solve: status %d", resp.StatusCode)
@@ -122,7 +127,7 @@ func measureLoad(scale float64, dur time.Duration) (loadRecord, error) {
 	if err != nil {
 		return loadRecord{}, fmt.Errorf("scraping /metrics: %w", err)
 	}
-	text, err := io.ReadAll(resp.Body)
+	text, err := io.ReadAll(io.LimitReader(resp.Body, maxLoadBody))
 	resp.Body.Close()
 	if err != nil {
 		return loadRecord{}, fmt.Errorf("reading /metrics: %w", err)

@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/ftlint [-checks detrand,maporder,…] [-vet] [packages]
+//	go run ./cmd/ftlint [-checks detrand,maporder,…] [-vet] [-json] [packages]
 //
 // With no packages, ./... is linted. Findings print as
-// file:line:col: message [check] and make the exit status 1. A finding
+// file:line:col: message [check] and make the exit status 1; -json
+// instead emits the findings as a JSON array of
+// {file,line,col,check,message} objects on stdout (an empty array when
+// the tree is clean), for editor and CI integration. A finding
 // can be waived in source with
 //
 //	//ftlint:allow <check> <reason…>
@@ -18,8 +21,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -35,6 +41,7 @@ func run() int {
 	checks := flag.String("checks", "", "comma-separated analyzer subset (default: all)")
 	vet := flag.Bool("vet", false, "also run the standard `go vet` suite over the same packages")
 	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout instead of text")
 	flag.Parse()
 
 	if *list {
@@ -76,12 +83,20 @@ func run() int {
 	}
 
 	status := 0
+	fset := pkgs[0].Fset
+	if *asJSON {
+		if err := writeJSON(os.Stdout, fset, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint:", err)
+			return 2
+		}
+	}
 	if len(diags) > 0 {
 		status = 1
-		fset := pkgs[0].Fset
-		for _, d := range diags {
-			pos := fset.Position(d.Pos)
-			fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Check)
+		if !*asJSON {
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Check)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "ftlint: %d finding(s)\n", len(diags))
 	}
@@ -92,6 +107,34 @@ func run() int {
 		}
 	}
 	return status
+}
+
+// jsonDiag is one finding in -json output.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits diags as a JSON array — always an array, [] when the
+// tree is clean, so consumers never special-case an empty run.
+func writeJSON(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File:    pos.Filename,
+			Line:    pos.Line,
+			Col:     pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectAnalyzers resolves the -checks flag.

@@ -32,6 +32,10 @@ import (
 	"ftclust/internal/service"
 )
 
+// maxFetchBody caps how much of a fleet/events response the dashboard
+// buffers per poll; a misbehaving peer cannot balloon the client.
+const maxFetchBody = 4 << 20
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ftop:", err)
@@ -55,7 +59,7 @@ func fetchJSON(client *http.Client, url string, out any) error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(io.LimitReader(resp.Body, maxFetchBody)).Decode(out)
 }
 
 // frame is one poll's worth of dashboard state.

@@ -26,8 +26,10 @@ import (
 )
 
 // An Analyzer describes one ftlint check. It mirrors the x/tools
-// go/analysis Analyzer shape minus facts and requirements, which these
-// checks do not need: every analyzer here is a pure single-package pass.
+// go/analysis Analyzer shape minus explicit facts and requirements: a
+// check is either a pure single-package pass (Run) or a whole-module
+// pass over the cross-package call graph (RunModule), which subsumes
+// what facts would communicate between packages.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //ftlint:allow comments. Lowercase, no spaces.
@@ -39,11 +41,17 @@ type Analyzer struct {
 	// Packages, when non-empty, restricts the analyzer to the listed
 	// import paths. Scoping is applied by Run, not by the analyzer
 	// body, so fixture tests can exercise an analyzer on any package.
+	// It applies only to single-package passes.
 	Packages []string
 
 	// Run reports diagnostics for one type-checked package via
-	// pass.Report.
+	// pass.Report. Nil for module analyzers.
 	Run func(pass *Pass) error
+
+	// RunModule reports diagnostics over the whole loaded package set
+	// at once, with the call graph available. Nil for single-package
+	// analyzers.
+	RunModule func(pass *ModulePass) error
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -77,6 +85,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of expression e, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
+// A ModulePass carries the whole loaded package set and its call graph
+// through one module analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     pos,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // inScope reports whether the analyzer applies to the package path.
 func (a *Analyzer) inScope(path string) bool {
 	if len(a.Packages) == 0 {
@@ -97,9 +124,24 @@ func (a *Analyzer) inScope(path string) bool {
 // name or missing reason) are themselves returned as diagnostics of the
 // synthetic check "allow".
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var perPkg, modWide []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modWide = append(modWide, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := runPackage(pkg, analyzers)
+		diags, err := runPackage(pkg, perPkg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	if len(modWide) > 0 && len(pkgs) > 0 {
+		diags, err := runModule(pkgs, modWide)
 		if err != nil {
 			return nil, err
 		}
@@ -107,6 +149,45 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	sortDiagnostics(pkgs, all)
 	return all, nil
+}
+
+// runModule runs the module-wide analyzers once over the call graph of
+// the whole package set and applies the allow comments of every package.
+// Malformed allows are reported by runPackage already, so only the valid
+// suppressions are consulted here.
+func runModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	mod := BuildModule(pkgs)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &ModulePass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Module:   mod,
+			diags:    &diags,
+		}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	allAllows := make([]allowSet, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		allows, _ := collectAllows(pkg)
+		allAllows = append(allAllows, allows)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for i := range allAllows {
+			if allAllows[i].suppresses(pkgs[i].Fset, d) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
 }
 
 // runPackage runs the in-scope analyzers over one package and applies

@@ -1,8 +1,13 @@
 package analysis
 
-// All returns every ftlint analyzer in catalog order.
+// All returns every ftlint analyzer in catalog order: the five
+// single-package determinism-era checks, then the four module-wide
+// distributed-era checks built on the cross-package call graph.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, ParClosure, ScratchAlias, ObsConst}
+	return []*Analyzer{
+		DetRand, MapOrder, ParClosure, ScratchAlias, ObsConst,
+		BoundedIO, GoLifetime, CtxFlow, LockScope,
+	}
 }
 
 // ByName resolves a comma-separable analyzer name, or nil.

@@ -13,11 +13,19 @@ func TestParClosureFixture(t *testing.T)   { RunFixture(t, ParClosure, "parclosu
 func TestScratchAliasFixture(t *testing.T) { RunFixture(t, ScratchAlias, "scratchalias") }
 func TestObsConstFixture(t *testing.T)     { RunFixture(t, ObsConst, "obsconst") }
 
+func TestBoundedIOFixture(t *testing.T)  { RunFixture(t, BoundedIO, "boundedio", "boundedio/bioutil") }
+func TestGoLifetimeFixture(t *testing.T) { RunFixture(t, GoLifetime, "golifetime") }
+func TestCtxFlowFixture(t *testing.T)    { RunFixture(t, CtxFlow, "ctxflow") }
+func TestLockScopeFixture(t *testing.T)  { RunFixture(t, LockScope, "lockscope") }
+
 func TestAllAnalyzersHaveDocsAndNames(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must have exactly one of Run and RunModule", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)

@@ -30,27 +30,38 @@ var testLoader = sync.OnceValue(NewLoader)
 // RunFixture runs a over testdata/src/<name> relative to the calling
 // test's directory and checks findings against // want comments.
 // The //ftlint:allow filter is active, so fixtures can also pin the
-// escape-hatch behavior.
-func RunFixture(t *testing.T, a *Analyzer, name string) {
+// escape-hatch behavior. Extra names load additional fixture packages
+// into the same run — module analyzers see them all in one call graph,
+// which is how cross-package summary propagation is fixtured. Wants are
+// collected from every loaded package.
+func RunFixture(t *testing.T, a *Analyzer, name string, extra ...string) {
 	t.Helper()
-	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg, err := testLoader().LoadDir(dir, "ftclust/internal/analysis/testdata/src/"+name)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", name, err)
+	var pkgs []*Package
+	for _, n := range append([]string{name}, extra...) {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := testLoader().LoadDir(dir, "ftclust/internal/analysis/testdata/src/"+n)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", n, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
 	// Fixtures live outside any analyzer's package scope on purpose;
 	// scoping is a runner concern, so strip it here.
 	unscoped := *a
 	unscoped.Packages = nil
-	diags, err := runPackage(pkg, []*Analyzer{&unscoped})
+	diags, err := Run(pkgs, []*Analyzer{&unscoped})
 	if err != nil {
 		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
 	}
 
-	wants := collectWants(t, pkg)
+	var wants []want
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	pkg := pkgs[0]
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)

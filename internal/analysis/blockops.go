@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared classification of blocking operations, used by ctxflow (blocked
+// without a ctx) and lockscope (blocked while holding a lock).
+
+// blockingCallKind classifies fn as a sleeping or network-bound call:
+// time.Sleep, the net/http convenience functions, http.Client methods,
+// and net dialing. Returns "" for everything else.
+func blockingCallKind(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm":
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && (sig.Recv() == nil || isMethodOn(fn, "net/http", "Client")) {
+				return "outbound HTTP"
+			}
+		case "Do":
+			if isMethodOn(fn, "net/http", "Client") {
+				return "outbound HTTP"
+			}
+		}
+	case "net":
+		switch fn.Name() {
+		case "Dial", "DialTimeout":
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && sig.Recv() == nil {
+				return "outbound dial"
+			}
+		}
+	}
+	return ""
+}
+
+// isStopChan reports whether t is a channel of empty structs — the
+// repo's stop/done-channel convention. Waiting on one is lifecycle
+// signalling, not data flow, and is exempt from the blocking rules
+// (ctx.Done() has exactly this type, so it is covered too).
+func isStopChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// selectHasDefault reports whether sel has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selectHasStopCase reports whether any case of sel receives from a stop
+// channel (chan struct{}, which includes ctx.Done()).
+func selectHasStopCase(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if recv := commRecvExpr(cc.Comm); recv != nil && isStopChan(info.TypeOf(recv.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+// commRecvExpr extracts the receive operation of a select comm
+// statement, or nil for sends.
+func commRecvExpr(comm ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u
+	}
+	return nil
+}
+
+// isCommOperation reports whether n (a SendStmt or receive UnaryExpr) is
+// the comm operation of a select case — those are governed by the
+// select's default/stop-case rules, not reported individually. Channel
+// operations in a case *body* are ordinary blocking operations.
+func isCommOperation(stack []ast.Node, n ast.Node) bool {
+	cur := n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.CommClause:
+			return p.Comm == cur
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ParenExpr:
+			cur = p
+		default:
+			return false
+		}
+	}
+	return false
+}

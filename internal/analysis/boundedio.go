@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedIO enforces PR 9's defensive-decode contract: every byte read
+// off the network is bounded before it is buffered. An HTTP body
+// (resp.Body or r.Body) must pass through io.LimitReader or
+// http.MaxBytesReader before it reaches a buffering sink — io.ReadAll,
+// io.Copy, json.NewDecoder, or obs.ParsePrometheus — including when the
+// flow crosses function and package boundaries through a helper that
+// takes an io.Reader. Decode loops over wire data additionally need an
+// element cap, or a peer can stream an unbounded array into memory.
+//
+// The cross-package half works by per-function summaries over the call
+// graph: a helper whose reader parameter reaches a sink is summarized,
+// and the finding is reported at the call site that feeds it an
+// unbounded body — the same shape a go/analysis fact would have.
+var BoundedIO = &Analyzer{
+	Name: "boundedio",
+	Doc: "HTTP bodies must pass http.MaxBytesReader or io.LimitReader before " +
+		"flowing into io.ReadAll/io.Copy/json.NewDecoder/obs.ParsePrometheus, " +
+		"transitively through helpers; decode loops over wire data need an " +
+		"element cap",
+	RunModule: runBoundedIO,
+}
+
+func runBoundedIO(pass *ModulePass) error {
+	b := &bioState{
+		m:       pass.Module,
+		summary: make(map[string]map[int]string),
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range b.m.Keys() {
+			if b.analyzeFunc(b.m.Funcs[key], nil) {
+				changed = true
+			}
+		}
+	}
+	for _, key := range b.m.Keys() {
+		b.analyzeFunc(b.m.Funcs[key], pass)
+		checkDecodeLoops(pass, b.m.Funcs[key])
+	}
+	return nil
+}
+
+type bioState struct {
+	m *Module
+	// summary records, per function key, which reader-typed parameter
+	// indices flow into a buffering sink, with the sink's description
+	// ("io.ReadAll", "json.NewDecoder via service.decodeInto", …).
+	summary map[string]map[int]string
+}
+
+type bioClass int
+
+const (
+	bioUnknown bioClass = iota
+	bioBounded
+	bioSource
+	bioParam
+)
+
+// analyzeFunc classifies every sink argument in fi. During the fixpoint
+// (pass == nil) it records parameter summaries and reports nothing;
+// during the report pass it emits findings for unbounded body flows.
+// Returns whether the summary changed.
+func (b *bioState) analyzeFunc(fi *FuncInfo, pass *ModulePass) bool {
+	info := fi.Pkg.Info
+	bounded, aliased := b.collectFlows(fi)
+
+	classify := func(e ast.Expr, use token.Pos) (bioClass, int) {
+		e = ast.Unparen(e)
+		s := types.ExprString(e)
+		if p, ok := bounded[s]; ok && p < use {
+			return bioBounded, 0
+		}
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && isBounderFunc(fn) {
+				return bioBounded, 0
+			}
+			return bioUnknown, 0
+		case *ast.SelectorExpr:
+			if isBodySelector(info, x) {
+				return bioSource, 0
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				if idx, ok := readerParamIndex(fi, v); ok {
+					return bioParam, idx
+				}
+			}
+			if p, ok := aliased[s]; ok && p < use {
+				return bioSource, 0
+			}
+		}
+		return bioUnknown, 0
+	}
+
+	changed := false
+	handle := func(arg ast.Expr, sink string) {
+		cls, idx := classify(arg, arg.Pos())
+		switch cls {
+		case bioSource:
+			if pass != nil {
+				pass.Reportf(arg.Pos(),
+					"%s flows unbounded into %s: wrap it with http.MaxBytesReader or io.LimitReader first",
+					types.ExprString(ast.Unparen(arg)), sink)
+			}
+		case bioParam:
+			if b.summary[fi.Key] == nil {
+				b.summary[fi.Key] = make(map[int]string)
+			}
+			if _, ok := b.summary[fi.Key][idx]; !ok {
+				b.summary[fi.Key][idx] = sink
+				changed = true
+			}
+		}
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if idx, desc, ok := sinkCall(fn); ok && idx < len(call.Args) {
+			handle(call.Args[idx], desc)
+			return true
+		}
+		// Calls into summarized module functions: the callee's reader
+		// params that reach a sink make this call site a sink too.
+		var keys []string
+		b.m.addCallEdges(func(key string) { keys = append(keys, key) }, fn)
+		for _, key := range keys {
+			for idx, desc := range b.summary[key] {
+				if idx < len(call.Args) {
+					handle(call.Args[idx], desc+" via "+shortKey(key))
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// collectFlows prepasses fi's whole body (goroutine literals included:
+// an unbounded read is unbounded on any goroutine) recording, by
+// expression string: paths assigned from a bounding wrapper (bounded)
+// and local variables assigned from a raw body (aliased sources).
+func (b *bioState) collectFlows(fi *FuncInfo) (bounded, aliased map[string]token.Pos) {
+	info := fi.Pkg.Info
+	bounded = make(map[string]token.Pos)
+	aliased = make(map[string]token.Pos)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			rhs = ast.Unparen(rhs)
+			lhs := types.ExprString(ast.Unparen(as.Lhs[i]))
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && isBounderFunc(fn) {
+					bounded[lhs] = as.Pos()
+					continue
+				}
+			}
+			if sel, ok := rhs.(*ast.SelectorExpr); ok && isBodySelector(info, sel) {
+				aliased[lhs] = as.Pos()
+			}
+		}
+		return true
+	})
+	return bounded, aliased
+}
+
+// isBounderFunc reports whether fn caps the bytes read from its reader:
+// io.LimitReader or http.MaxBytesReader.
+func isBounderFunc(fn *types.Func) bool {
+	return isPkgFunc(fn, "io", "LimitReader") || isPkgFunc(fn, "net/http", "MaxBytesReader")
+}
+
+// isBodySelector reports whether sel is the Body field of an
+// http.Request or http.Response — wire data controlled by the peer.
+func isBodySelector(info *types.Info, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Body" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	return typeIsNamed(t, "net/http", "Request") || typeIsNamed(t, "net/http", "Response")
+}
+
+// sinkCall classifies fn as a buffering sink and returns which argument
+// index is the reader.
+func sinkCall(fn *types.Func) (argIdx int, desc string, ok bool) {
+	switch {
+	case isPkgFunc(fn, "io", "ReadAll"):
+		return 0, "io.ReadAll", true
+	case isPkgFunc(fn, "io", "Copy"):
+		return 1, "io.Copy", true
+	case isPkgFunc(fn, "io", "CopyBuffer"):
+		return 1, "io.CopyBuffer", true
+	case isPkgFunc(fn, "encoding/json", "NewDecoder"):
+		return 0, "json.NewDecoder", true
+	case isPkgFunc(fn, obsPkgPath, "ParsePrometheus"):
+		return 0, "obs.ParsePrometheus", true
+	}
+	return 0, "", false
+}
+
+// readerParamIndex returns v's position in fi's parameter list when v is
+// a reader-interface parameter (any interface with a Read method).
+func readerParamIndex(fi *FuncInfo, v *types.Var) (int, bool) {
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return 0, false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i, isReaderType(v.Type())
+		}
+	}
+	return 0, false
+}
+
+// isReaderType reports whether t is an interface with a Read method
+// (io.Reader, io.ReadCloser, and friends).
+func isReaderType(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == "Read" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDecodeLoops flags `for dec.More() { … }` style loops over a
+// json.Decoder that have no element cap: a comparison guarded break or
+// return inside the body. Without one a peer can stream an arbitrarily
+// long array and the loop buffers it element by element.
+func checkDecodeLoops(pass *ModulePass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond == nil {
+			return true
+		}
+		if !condUsesDecoderMore(info, loop.Cond) {
+			return true
+		}
+		if !hasCapGuard(loop.Body) {
+			pass.Reportf(loop.Pos(),
+				"decode loop over wire data has no element cap: bound the element count before decoding further")
+		}
+		return true
+	})
+}
+
+// condUsesDecoderMore reports whether the loop condition calls
+// (*json.Decoder).More.
+func condUsesDecoderMore(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil &&
+				fn.Name() == "More" && isMethodOn(fn, "encoding/json", "Decoder") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCapGuard reports whether the loop body contains an if statement
+// whose condition compares magnitudes and whose branch breaks out
+// (break or return) — the shape of an element cap.
+func hasCapGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found {
+			return !found
+		}
+		bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.GTR, token.GEQ, token.LSS, token.LEQ:
+		default:
+			return true
+		}
+		ast.Inspect(ifs.Body, func(c ast.Node) bool {
+			switch br := c.(type) {
+			case *ast.BranchStmt:
+				if br.Tok == token.BREAK {
+					found = true
+				}
+			case *ast.ReturnStmt:
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Cross-package call graph. The loader type-checks every package
+// independently with the source importer, so the same function is
+// represented by *different* *types.Func objects depending on which
+// package's type-check reached it (our parsed copy vs the importer's
+// copy). Pointer identity therefore cannot link a call site in package A
+// to a declaration in package B; the graph is keyed by a stable string
+// instead — "pkg/path.Func" for functions, "pkg/path.(Recv).Method" for
+// methods — which is the same fact key a go/analysis Facts-based
+// implementation would serialize across package boundaries.
+
+// modulePath is the import path of the module root. Its exported
+// package-level functions are the engine façade and count as solver
+// entry-point roots.
+const modulePath = "ftclust"
+
+// A Module is the whole-program view over every loaded package: the
+// function index, the synchronous call edges between declared functions,
+// and the go-statement spawn sites. Module analyzers receive it through
+// ModulePass.
+type Module struct {
+	Pkgs  []*Package
+	Funcs map[string]*FuncInfo
+
+	keys          []string            // sorted Funcs keys, for deterministic iteration
+	spawns        []*Spawn            // every go statement in declaration order
+	methodsByName map[string][]string // method name -> sorted keys, for interface dispatch
+}
+
+// A FuncInfo is one declared function or method plus its per-function
+// summary inputs: the static callees reachable from its body on the
+// synchronous path, and the goroutines it spawns.
+type FuncInfo struct {
+	Key  string
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Calls holds the keys of every declared function referenced from
+	// the body outside go statements — direct calls, method calls,
+	// interface calls (resolved to every candidate method), and
+	// function/method values (handler registrations, callbacks).
+	// Function literals are attributed to the enclosing declaration.
+	// Keys may name functions outside the loaded packages (stdlib);
+	// those have no Funcs entry.
+	Calls []string
+
+	// Spawns holds the go statements in the body.
+	Spawns []*Spawn
+}
+
+// A Spawn is one go statement.
+type Spawn struct {
+	Caller *FuncInfo
+	Stmt   *ast.GoStmt
+
+	// EntryKey names the spawned function when the go statement calls a
+	// declared function or method directly; it is empty for function
+	// literals and for dynamic values (go fn() where fn is a variable).
+	EntryKey string
+
+	// Lit is the spawned literal, if any. Its body is excluded from the
+	// caller's synchronous Calls and analyzed as its own goroutine.
+	Lit *ast.FuncLit
+}
+
+// Body returns the spawned code to inspect: the literal body, or the
+// entry function's declaration body when it is part of the module.
+func (s *Spawn) body(m *Module) ast.Node {
+	if s.Lit != nil {
+		return s.Lit.Body
+	}
+	if fi := m.Funcs[s.EntryKey]; fi != nil && fi.Decl.Body != nil {
+		return fi.Decl.Body
+	}
+	return nil
+}
+
+// funcKey returns the cross-package identity of fn: "pkg.Name" for
+// package-level functions and "pkg.(Recv).Name" for methods, with the
+// receiver stripped to its defining named type so value and pointer
+// methods collide deliberately.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if named := recvNamed(fn); named != nil {
+		return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Interface method: key it on the interface's named type when
+		// there is one, so the dispatch index can report it.
+		if named := namedType(sig.Recv().Type()); named != nil {
+			return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// BuildModule indexes every declared function in pkgs and links the call
+// edges between them.
+func BuildModule(pkgs []*Package) *Module {
+	m := &Module{
+		Pkgs:          pkgs,
+		Funcs:         make(map[string]*FuncInfo),
+		methodsByName: make(map[string][]string),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				key := funcKey(obj)
+				if key == "" || m.Funcs[key] != nil {
+					continue
+				}
+				m.Funcs[key] = &FuncInfo{Key: key, Obj: obj, Decl: fd, Pkg: pkg}
+				m.keys = append(m.keys, key)
+			}
+		}
+	}
+	sort.Strings(m.keys)
+	for _, key := range m.keys {
+		fi := m.Funcs[key]
+		if fi.Decl.Recv != nil {
+			name := fi.Obj.Name()
+			m.methodsByName[name] = append(m.methodsByName[name], key)
+		}
+	}
+	for _, key := range m.keys {
+		m.collectEdges(m.Funcs[key])
+	}
+	return m
+}
+
+// collectEdges walks fi's body recording synchronous call edges and go
+// spawn sites. Code under a go statement belongs to the spawned
+// goroutine, not to fi's synchronous path.
+func (m *Module) collectEdges(fi *FuncInfo) {
+	seen := make(map[string]bool)
+	add := func(key string) {
+		if key != "" && !seen[key] {
+			seen[key] = true
+			fi.Calls = append(fi.Calls, key)
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			sp := &Spawn{Caller: fi, Stmt: x}
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				sp.Lit = lit
+			} else if fn := calleeFunc(fi.Pkg.Info, x.Call); fn != nil {
+				sp.EntryKey = funcKey(fn)
+			}
+			fi.Spawns = append(fi.Spawns, sp)
+			m.spawns = append(m.spawns, sp)
+			return false
+		case *ast.Ident:
+			if fn, ok := fi.Pkg.Info.Uses[x].(*types.Func); ok {
+				m.addCallEdges(add, fn)
+			}
+		}
+		return true
+	})
+}
+
+// addCallEdges records the edge(s) for one referenced function. A call
+// through an interface method dispatches to every module method with the
+// same name and parameter count — name+arity matching rather than
+// types.Implements, because interface and implementation may live in
+// different type-check universes where Implements cannot compare them.
+func (m *Module) addCallEdges(add func(string), fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		for _, key := range m.methodsByName[fn.Name()] {
+			cand := m.Funcs[key]
+			csig, ok := cand.Obj.Type().(*types.Signature)
+			if ok && csig.Params().Len() == sig.Params().Len() {
+				add(key)
+			}
+		}
+		return
+	}
+	add(funcKey(fn))
+}
+
+// Spawns returns every go statement across the module in deterministic
+// (package, position) order.
+func (m *Module) Spawns() []*Spawn {
+	out := append([]*Spawn(nil), m.spawns...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Stmt.Pos() < out[j].Stmt.Pos()
+	})
+	return out
+}
+
+// Keys returns the sorted function keys.
+func (m *Module) Keys() []string { return m.keys }
+
+// callsUnder returns the keys of declared functions referenced under n
+// (used to summarize a spawned literal's transitive behavior).
+func (m *Module) callsUnder(pkg *Package, n ast.Node) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				m.addCallEdges(func(key string) {
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, key)
+					}
+				}, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// RootKind classifies why a function is an analysis entry point.
+type RootKind string
+
+const (
+	RootHandler   RootKind = "http handler"
+	RootFacade    RootKind = "façade entry"
+	RootGoroutine RootKind = "background goroutine"
+)
+
+// Roots returns every reachability root: functions with the
+// http.HandlerFunc shape (request roots), exported package-level
+// functions of the module root package (solver façade roots), and named
+// functions launched by go statements (cluster/janitor/worker loops).
+func (m *Module) Roots() map[string]RootKind {
+	roots := make(map[string]RootKind)
+	for _, key := range m.keys {
+		fi := m.Funcs[key]
+		sig, ok := fi.Obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch {
+		case isHandlerShaped(sig):
+			roots[key] = RootHandler
+		case fi.Pkg.Path == modulePath && fi.Decl.Recv == nil && fi.Decl.Name.IsExported():
+			roots[key] = RootFacade
+		}
+	}
+	for _, sp := range m.spawns {
+		if sp.EntryKey != "" && m.Funcs[sp.EntryKey] != nil {
+			if _, ok := roots[sp.EntryKey]; !ok {
+				roots[sp.EntryKey] = RootGoroutine
+			}
+		}
+	}
+	return roots
+}
+
+// isHandlerShaped reports whether sig is func(http.ResponseWriter,
+// *http.Request) — the shape the mux registration APIs accept.
+func isHandlerShaped(sig *types.Signature) bool {
+	p := sig.Params()
+	return p.Len() == 2 &&
+		typeIsNamed(p.At(0).Type(), "net/http", "ResponseWriter") &&
+		typeIsNamed(p.At(1).Type(), "net/http", "Request")
+}
+
+// ReachableFrom walks the synchronous call edges from roots and returns,
+// for every reachable module function, the key of one root that reaches
+// it (for diagnostics). Spawn edges are excluded: code a root merely
+// launches runs on its own goroutine and is rooted separately.
+func (m *Module) ReachableFrom(roots map[string]RootKind) map[string]string {
+	out := make(map[string]string)
+	var queue []string
+	rootKeys := make([]string, 0, len(roots))
+	for key := range roots {
+		rootKeys = append(rootKeys, key)
+	}
+	sort.Strings(rootKeys)
+	for _, key := range rootKeys {
+		if m.Funcs[key] != nil && out[key] == "" {
+			out[key] = key
+			queue = append(queue, key)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, callee := range m.Funcs[key].Calls {
+			if m.Funcs[callee] == nil {
+				continue
+			}
+			if _, ok := out[callee]; !ok {
+				out[callee] = out[key]
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return out
+}
+
+// PropagateFromCallees closes a per-function boolean fact over the call
+// graph: a function acquires the fact if any synchronous callee has it.
+// This is the summary-propagation fixpoint module analyzers use to reason
+// through helpers across package boundaries.
+func (m *Module) PropagateFromCallees(direct map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(direct))
+	for key, v := range direct {
+		out[key] = v
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range m.keys {
+			if out[key] {
+				continue
+			}
+			for _, callee := range m.Funcs[key].Calls {
+				if out[callee] {
+					out[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// shortKey trims the module path prefix off a function key for messages.
+func shortKey(key string) string {
+	return strings.TrimPrefix(key, modulePath+"/")
+}

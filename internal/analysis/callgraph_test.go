@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+const cgFixturePath = "ftclust/internal/analysis/testdata/src/callgraph"
+
+func loadFixturePackages(t *testing.T, names ...string) []*Package {
+	t.Helper()
+	var pkgs []*Package
+	for _, name := range names {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := testLoader().LoadDir(dir, "ftclust/internal/analysis/testdata/src/"+name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	m := BuildModule(loadFixturePackages(t, "callgraph"))
+	measure := m.Funcs[cgFixturePath+".measure"]
+	if measure == nil {
+		t.Fatalf("measure not indexed; keys: %v", m.Keys())
+	}
+	wantEdge := func(key string) {
+		t.Helper()
+		if !slices.Contains(measure.Calls, key) {
+			t.Errorf("measure lacks dispatch edge to %s; has %v", key, measure.Calls)
+		}
+	}
+	wantEdge(cgFixturePath + ".(square).area")
+	wantEdge(cgFixturePath + ".(circle).area")
+	if slices.Contains(measure.Calls, cgFixturePath+".(blob).area") {
+		t.Errorf("measure must not dispatch to the different-arity (blob).area; has %v", measure.Calls)
+	}
+}
+
+func TestCallGraphMethodValueEdge(t *testing.T) {
+	m := BuildModule(loadFixturePackages(t, "callgraph"))
+	mv := m.Funcs[cgFixturePath+".methodValue"]
+	if mv == nil {
+		t.Fatal("methodValue not indexed")
+	}
+	if !slices.Contains(mv.Calls, cgFixturePath+".(square).area") {
+		t.Errorf("method value reference should create an edge; has %v", mv.Calls)
+	}
+}
+
+func TestCallGraphSpawns(t *testing.T) {
+	m := BuildModule(loadFixturePackages(t, "callgraph"))
+	spawnNamed := m.Funcs[cgFixturePath+".spawnNamed"]
+	if len(spawnNamed.Spawns) != 1 || spawnNamed.Spawns[0].EntryKey != cgFixturePath+".helper" {
+		t.Errorf("spawnNamed should record a named spawn of helper: %+v", spawnNamed.Spawns)
+	}
+	if slices.Contains(spawnNamed.Calls, cgFixturePath+".helper") {
+		t.Errorf("spawned entry must not be a synchronous call edge; has %v", spawnNamed.Calls)
+	}
+	spawnLit := m.Funcs[cgFixturePath+".spawnLit"]
+	if len(spawnLit.Spawns) != 1 || spawnLit.Spawns[0].Lit == nil {
+		t.Errorf("spawnLit should record a literal spawn: %+v", spawnLit.Spawns)
+	}
+	if slices.Contains(spawnLit.Calls, cgFixturePath+".measure") {
+		t.Errorf("literal spawn body must not contribute synchronous edges; has %v", spawnLit.Calls)
+	}
+	if got := m.callsUnder(spawnLit.Pkg, spawnLit.Spawns[0].Lit.Body); !slices.Contains(got, cgFixturePath+".measure") {
+		t.Errorf("callsUnder(lit) should see measure; got %v", got)
+	}
+}
+
+func TestCallGraphRoots(t *testing.T) {
+	m := BuildModule(loadFixturePackages(t, "callgraph"))
+	roots := m.Roots()
+	if roots[cgFixturePath+".handleThing"] != RootHandler {
+		t.Errorf("handleThing should be a handler root; roots: %v", roots)
+	}
+	if roots[cgFixturePath+".helper"] != RootGoroutine {
+		t.Errorf("helper should be a goroutine root; roots: %v", roots)
+	}
+	if _, ok := roots[cgFixturePath+".measure"]; ok {
+		t.Errorf("measure must not be a root")
+	}
+	reach := m.ReachableFrom(roots)
+	if reach[cgFixturePath+".(circle).area"] == "" {
+		t.Errorf("(circle).area should be reachable from handleThing via measure; reach: %v", reach)
+	}
+}
+
+func TestCallGraphCrossPackageSummaries(t *testing.T) {
+	m := BuildModule(loadFixturePackages(t, "boundedio", "boundedio/bioutil"))
+	const bioPath = "ftclust/internal/analysis/testdata/src/boundedio"
+	caller := m.Funcs[bioPath+".badCrossPackage"]
+	if caller == nil {
+		t.Fatal("badCrossPackage not indexed")
+	}
+	if !slices.Contains(caller.Calls, bioPath+"/bioutil.ReadAllOf") {
+		t.Errorf("cross-package call edge missing; has %v", caller.Calls)
+	}
+	// The fact that makes boundedio's cross-package reporting work:
+	// sink-ness propagates callee→caller across the package boundary.
+	direct := map[string]bool{bioPath + "/bioutil.ReadAllOf": true}
+	closed := m.PropagateFromCallees(direct)
+	if !closed[bioPath+".badCrossPackage"] {
+		t.Error("PropagateFromCallees did not cross the package boundary")
+	}
+	if closed[bioPath+".goodHelperNotSink"] {
+		t.Error("PropagateFromCallees leaked to an unrelated caller")
+	}
+}
+
+func TestCallGraphFacadeRoots(t *testing.T) {
+	// The real module root: its exported functions are solver façade
+	// roots, and the engine façade's edges cross into internal/core.
+	root, _, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := testLoader().LoadDir(root, modulePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := BuildModule([]*Package{pkg})
+	roots := m.Roots()
+	foundFacade := false
+	for key, kind := range roots {
+		if kind == RootFacade {
+			foundFacade = true
+			_ = key
+		}
+	}
+	if !foundFacade {
+		t.Errorf("module root package should contribute façade roots; roots: %v", roots)
+	}
+}

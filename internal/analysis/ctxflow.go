@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CtxFlow enforces the PR 2/7 cancellation contract: any function on a
+// synchronous path from a request, solver-façade, or background-loop
+// root that can block — sleeping, channel operations, outbound HTTP or
+// dials — must accept and consult a context (or an *http.Request, whose
+// Context it can use), so cancellation and shutdown reach every blocked
+// frame. Minting a fresh context.Background()/TODO() below such a root
+// severs that chain and is a finding in its own right.
+//
+// Lifecycle waits are exempt: receiving from a chan struct{} (the
+// stop/done convention, which includes ctx.Done()) and selects that have
+// a default or a stop case do not count as blocking.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "functions reachable from request/solver/goroutine roots that block " +
+		"(sleep, channel ops, outbound HTTP) must accept and consult a ctx; " +
+		"context.Background() below a root is a finding",
+	RunModule: runCtxFlow,
+}
+
+func runCtxFlow(pass *ModulePass) error {
+	m := pass.Module
+	roots := m.Roots()
+	reach := m.ReachableFrom(roots)
+	for _, key := range m.Keys() {
+		rootKey, ok := reach[key]
+		if !ok {
+			continue
+		}
+		fi := m.Funcs[key]
+		from := string(roots[rootKey]) + " " + shortKey(rootKey)
+		for _, pos := range backgroundCalls(fi) {
+			pass.Reportf(pos, "context.Background() below a %s: thread the caller's ctx instead", from)
+		}
+		blocks := directBlocks(fi)
+		if len(blocks) == 0 || consultsCtx(fi) {
+			continue
+		}
+		for _, b := range blocks {
+			pass.Reportf(b.pos, "%s blocks (%s) without consulting a ctx; reachable from %s",
+				fi.Obj.Name(), b.what, from)
+		}
+	}
+	return nil
+}
+
+type blockSite struct {
+	pos  token.Pos
+	what string
+}
+
+// directBlocks returns the blocking operations on fi's synchronous path.
+// Code under go statements belongs to the spawned goroutine (rooted
+// separately); function literals that are not immediately invoked run at
+// an unknown time and are skipped too.
+func directBlocks(fi *FuncInfo) []blockSite {
+	var out []blockSite
+	info := fi.Pkg.Info
+	walkStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == x {
+					return true // immediately invoked: synchronous
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil {
+				if what := blockingCallKind(fn); what != "" {
+					out = append(out, blockSite{x.Pos(), what})
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) && !selectHasStopCase(info, x) {
+				out = append(out, blockSite{x.Pos(), "select with no default or stop case"})
+			}
+		case *ast.SendStmt:
+			if !isCommOperation(stack, x) {
+				out = append(out, blockSite{x.Pos(), "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !isCommOperation(stack, x) && !isStopChan(info.TypeOf(x.X)) {
+				out = append(out, blockSite{x.Pos(), "channel receive"})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// backgroundCalls returns the context.Background()/TODO() call sites on
+// fi's synchronous path.
+func backgroundCalls(fi *FuncInfo) []token.Pos {
+	var out []token.Pos
+	info := fi.Pkg.Info
+	walkStack(fi.Decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil &&
+				(isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO")) {
+				out = append(out, x.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// consultsCtx reports whether fi can reach a cancellation signal: its
+// body touches a context value (a ctx parameter, a stored ctx field, a
+// captured ctx), or it takes an *http.Request parameter and uses it
+// (r.Context is one call away). A locally-built *http.Request does NOT
+// count — constructing an outbound request with http.NewRequest instead
+// of NewRequestWithContext is exactly the bug this check exists to
+// catch. The Background/TODO constructors do not count either: their
+// result is a CallExpr, not an identifier or selector, so minting a
+// context is never evidence of consulting one.
+func consultsCtx(fi *FuncInfo) bool {
+	info := fi.Pkg.Info
+	if sig, ok := fi.Obj.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			v := sig.Params().At(i)
+			if typeIsNamed(v.Type(), "net/http", "Request") &&
+				v.Name() != "" && v.Name() != "_" &&
+				mentionsObject(info, fi.Decl.Body, v) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.Ident:
+			if typeIsNamed(info.TypeOf(x), "context", "Context") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if typeIsNamed(info.TypeOf(x), "context", "Context") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

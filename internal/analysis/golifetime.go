@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifetime enforces the PR 6–9 goroutine contract: nothing in shipped
+// code is fire-and-forget. Every go statement must be tied to a lifetime
+// — the spawned code (transitively, through the call graph) signals a
+// sync.WaitGroup, communicates on a channel (a stop channel, a job
+// channel, or a select), or consults a ctx. A goroutine with none of
+// those can outlive Shutdown, leak under churn, and race the test
+// harness's teardown.
+var GoLifetime = &Analyzer{
+	Name: "golifetime",
+	Doc: "every go statement must be tied to a lifetime: the spawned code must " +
+		"(transitively) signal a sync.WaitGroup, communicate on a channel, or " +
+		"consult a ctx; fire-and-forget goroutines are findings",
+	RunModule: runGoLifetime,
+}
+
+func runGoLifetime(pass *ModulePass) error {
+	m := pass.Module
+	direct := make(map[string]bool)
+	for _, key := range m.Keys() {
+		fi := m.Funcs[key]
+		if hasLifetimeEvidence(fi.Pkg.Info, fi.Decl.Body) {
+			direct[key] = true
+		}
+	}
+	evidence := m.PropagateFromCallees(direct)
+	for _, sp := range m.Spawns() {
+		ok := false
+		switch {
+		case sp.Lit != nil:
+			ok = hasLifetimeEvidence(sp.Caller.Pkg.Info, sp.Lit.Body)
+			if !ok {
+				for _, callee := range m.callsUnder(sp.Caller.Pkg, sp.Lit.Body) {
+					if evidence[callee] {
+						ok = true
+						break
+					}
+				}
+			}
+		case sp.EntryKey != "":
+			if m.Funcs[sp.EntryKey] != nil {
+				ok = evidence[sp.EntryKey]
+			} else {
+				// Spawning a function outside the loaded packages
+				// (stdlib); its body is not ours to judge.
+				ok = true
+			}
+		default:
+			// Dynamic function value: the body is unknowable
+			// statically. Not flagged — the declared-function and
+			// literal cases cover every spawn in this repo.
+			ok = true
+		}
+		if !ok {
+			pass.Reportf(sp.Stmt.Pos(),
+				"goroutine has no lifetime: tie it to a sync.WaitGroup, a stop channel, or a ctx")
+		}
+	}
+	return nil
+}
+
+// hasLifetimeEvidence reports whether the code under body participates
+// in any lifetime mechanism: WaitGroup signalling, channel traffic
+// (send, receive, select, range-over-channel), or touching a ctx value.
+func hasLifetimeEvidence(info *types.Info, body ast.Node) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil {
+				if isMethodOn(fn, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if typeIsNamed(info.TypeOf(x), "context", "Context") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope enforces the sharded-store discipline from PRs 6–9: a held
+// sync.Mutex/RWMutex region must not sleep, perform outbound network
+// I/O (directly or through any transitively-reached helper), or do a
+// blocking channel send. The 16-shard session store and the fleet
+// scraper pay for every microsecond a shard lock is held; a network
+// round-trip under one serializes the shard for the round-trip time.
+//
+// The region model is intra-procedural and conservative in the safe
+// direction: a lock is held from the Lock/RLock statement until the
+// matching Unlock statement on the same receiver path, until the end of
+// the function for `defer mu.Unlock()`, and a branch that releases the
+// lock anywhere inside it ends the tracked region at the branch.
+// Channel sends inside a select with a default clause are non-blocking
+// and exempt.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "no outbound network call, blocking channel send, or sleep while a " +
+		"sync.Mutex/RWMutex is held (transitively through helpers for " +
+		"sleep/network; directly for sends)",
+	RunModule: runLockScope,
+}
+
+func runLockScope(pass *ModulePass) error {
+	m := pass.Module
+	direct := make(map[string]bool)
+	for _, key := range m.Keys() {
+		if hasDirectNetSleep(m.Funcs[key]) {
+			direct[key] = true
+		}
+	}
+	netsleep := m.PropagateFromCallees(direct)
+	for _, key := range m.Keys() {
+		checkLockRegions(pass, m, m.Funcs[key], netsleep)
+	}
+	return nil
+}
+
+// hasDirectNetSleep reports whether fi's synchronous path contains a
+// sleeping or network-bound call.
+func hasDirectNetSleep(fi *FuncInfo) bool {
+	found := false
+	info := fi.Pkg.Info
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && blockingCallKind(fn) != "" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+type lockOpKind int
+
+const (
+	lockOpNone lockOpKind = iota
+	lockOpLock
+	lockOpUnlock
+)
+
+// lockOpCall classifies a call as Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex (including embedded ones) and returns the
+// receiver path (e.g. "s.mu", "sh.mu") as the lock's identity.
+func lockOpCall(info *types.Info, call *ast.CallExpr) (path string, kind lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || (!isMethodOn(fn, "sync", "Mutex") && !isMethodOn(fn, "sync", "RWMutex")) {
+		return "", lockOpNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), lockOpLock
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), lockOpUnlock
+	}
+	return "", lockOpNone
+}
+
+// lockOpStmt classifies a bare statement as a lock or unlock.
+func lockOpStmt(info *types.Info, st ast.Stmt) (string, lockOpKind) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", lockOpNone
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return "", lockOpNone
+	}
+	return lockOpCall(info, call)
+}
+
+// checkLockRegions scans fi's statements tracking which lock paths are
+// held and reports blocking work inside held regions.
+func checkLockRegions(pass *ModulePass, m *Module, fi *FuncInfo, netsleep map[string]bool) {
+	info := fi.Pkg.Info
+
+	report := func(pos token.Pos, what string, held map[string]bool) {
+		pass.Reportf(pos, "%s while %s is held", what, lockList(held))
+	}
+
+	// checkNode reports blocking operations under n given the held set.
+	checkNode := func(n ast.Node, held map[string]bool) {
+		walkStack(n, func(c ast.Node, stack []ast.Node) bool {
+			switch x := c.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.FuncLit:
+				if len(stack) > 0 {
+					if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == x {
+						return true // immediately invoked under the lock
+					}
+				}
+				return false // runs later, likely after release
+			case *ast.CallExpr:
+				fn := calleeFunc(info, x)
+				if fn == nil {
+					return true
+				}
+				if what := blockingCallKind(fn); what != "" {
+					report(x.Pos(), what, held)
+					return true
+				}
+				var offender string
+				m.addCallEdges(func(key string) {
+					if offender == "" && netsleep[key] {
+						offender = key
+					}
+				}, fn)
+				if offender != "" {
+					report(x.Pos(), "call to "+shortKey(offender)+" (sleeps or performs network I/O)", held)
+				}
+			case *ast.SendStmt:
+				// Comm-position sends are judged by the select's
+				// default clause below; body sends always block.
+				if !isCommOperation(stack, x) {
+					report(x.Pos(), "blocking channel send", held)
+				}
+			case *ast.SelectStmt:
+				reportSelectSends(x, held, report)
+			}
+			return true
+		})
+	}
+
+	var scan func(stmts []ast.Stmt, held map[string]bool)
+	scan = func(stmts []ast.Stmt, held map[string]bool) {
+		for _, st := range stmts {
+			if path, kind := lockOpStmt(info, st); kind == lockOpLock {
+				held[path] = true
+				continue
+			} else if kind == lockOpUnlock {
+				delete(held, path)
+				continue
+			}
+			if d, ok := st.(*ast.DeferStmt); ok {
+				if path, kind := lockOpCall(info, d.Call); kind == lockOpUnlock {
+					// Held until the function returns, past every
+					// statement that follows.
+					held[path] = true
+				}
+				continue
+			}
+			switch s := st.(type) {
+			case *ast.BlockStmt:
+				scan(s.List, held)
+			case *ast.IfStmt:
+				if len(held) > 0 {
+					if s.Init != nil {
+						checkNode(s.Init, held)
+					}
+					checkNode(s.Cond, held)
+				}
+				scan(s.Body.List, copyHeld(held))
+				if s.Else != nil {
+					scan([]ast.Stmt{s.Else}, copyHeld(held))
+				}
+				clearUnlocked(info, s, held)
+			case *ast.ForStmt:
+				if len(held) > 0 {
+					if s.Init != nil {
+						checkNode(s.Init, held)
+					}
+					if s.Cond != nil {
+						checkNode(s.Cond, held)
+					}
+					if s.Post != nil {
+						checkNode(s.Post, held)
+					}
+				}
+				scan(s.Body.List, copyHeld(held))
+				clearUnlocked(info, s, held)
+			case *ast.RangeStmt:
+				if len(held) > 0 {
+					checkNode(s.X, held)
+				}
+				scan(s.Body.List, copyHeld(held))
+				clearUnlocked(info, s, held)
+			case *ast.SwitchStmt:
+				if len(held) > 0 {
+					if s.Init != nil {
+						checkNode(s.Init, held)
+					}
+					if s.Tag != nil {
+						checkNode(s.Tag, held)
+					}
+				}
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						scan(c.Body, copyHeld(held))
+					}
+				}
+				clearUnlocked(info, s, held)
+			case *ast.TypeSwitchStmt:
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CaseClause); ok {
+						scan(c.Body, copyHeld(held))
+					}
+				}
+				clearUnlocked(info, s, held)
+			case *ast.SelectStmt:
+				if len(held) > 0 {
+					reportSelectSends(s, held, report)
+				}
+				for _, cc := range s.Body.List {
+					if c, ok := cc.(*ast.CommClause); ok {
+						scan(c.Body, copyHeld(held))
+					}
+				}
+				clearUnlocked(info, s, held)
+			case *ast.LabeledStmt:
+				scan([]ast.Stmt{s.Stmt}, held)
+			default:
+				if len(held) > 0 {
+					checkNode(st, held)
+				}
+			}
+		}
+	}
+	scan(fi.Decl.Body.List, make(map[string]bool))
+}
+
+// reportSelectSends reports the comm-position sends of a select that has
+// no default clause: without one the select can park the goroutine — and
+// the lock — until a peer is ready.
+func reportSelectSends(sel *ast.SelectStmt, held map[string]bool, report func(token.Pos, string, map[string]bool)) {
+	if selectHasDefault(sel) {
+		return
+	}
+	for _, cc := range sel.Body.List {
+		comm, ok := cc.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		if _, isSend := comm.Comm.(*ast.SendStmt); isSend {
+			report(comm.Comm.Pos(), "blocking channel send (select has no default)", held)
+		}
+	}
+}
+
+// copyHeld clones a held-lock set for branch-local tracking.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// clearUnlocked removes from held every lock path that n releases
+// anywhere inside it: after a branch that may have unlocked, the region
+// is conservatively over (the safe direction — under-reporting, never
+// false-positive on released locks).
+func clearUnlocked(info *types.Info, n ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if path, kind := lockOpCall(info, call); kind == lockOpUnlock {
+				delete(held, path)
+			}
+		}
+		return len(held) > 0
+	})
+}
+
+// lockList formats the held set for messages.
+func lockList(held map[string]bool) string {
+	paths := make([]string, 0, len(held))
+	for p := range held {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return strings.Join(paths, ", ")
+}

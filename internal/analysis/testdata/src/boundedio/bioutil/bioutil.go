@@ -1,0 +1,34 @@
+// Package bioutil is the cross-package half of the boundedio fixture:
+// helpers whose reader parameters do (or do not) reach buffering sinks.
+// The analyzer summarizes these and reports at the call sites in the
+// parent fixture package that feed them raw HTTP bodies.
+package bioutil
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ReadAllOf buffers everything from r: its parameter is summarized as
+// reaching io.ReadAll.
+func ReadAllOf(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r)
+}
+
+// decodeInto is the inner hop of the two-level propagation case.
+func decodeInto(r io.Reader, out any) error {
+	return json.NewDecoder(r).Decode(out)
+}
+
+// DecodeVia reaches json.NewDecoder only through decodeInto, so its
+// summary exists only via propagation.
+func DecodeVia(r io.Reader, out any) error {
+	return decodeInto(r, out)
+}
+
+// FirstByte reads a bounded prefix; its parameter never reaches a sink.
+func FirstByte(r io.Reader) byte {
+	var b [1]byte
+	io.ReadFull(r, b[:])
+	return b[0]
+}

@@ -1,0 +1,120 @@
+// Fixture for the boundedio analyzer: HTTP bodies must pass
+// http.MaxBytesReader or io.LimitReader before reaching a buffering
+// sink (io.ReadAll, io.Copy, json.NewDecoder, obs.ParsePrometheus),
+// including through helpers in other packages, and decode loops over
+// wire data need an element cap.
+package boundedio
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"ftclust/internal/analysis/testdata/src/boundedio/bioutil"
+	"ftclust/internal/obs"
+)
+
+const maxBody = 1 << 20
+
+// badReadAll buffers a response body with no cap.
+func badReadAll(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body) // want `resp.Body flows unbounded into io.ReadAll`
+}
+
+// badRequestDecode decodes a request body with no cap.
+func badRequestDecode(r *http.Request, out any) error {
+	return json.NewDecoder(r.Body).Decode(out) // want `r.Body flows unbounded into json.NewDecoder`
+}
+
+// badCopy drains a response body with no cap.
+func badCopy(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) // want `resp.Body flows unbounded into io.Copy`
+}
+
+// badParse feeds a raw body to the Prometheus parser.
+func badParse(resp *http.Response) (*obs.PromSnapshot, error) {
+	return obs.ParsePrometheus(resp.Body) // want `resp.Body flows unbounded into obs.ParsePrometheus`
+}
+
+// badAlias reads through a local alias of the raw body.
+func badAlias(resp *http.Response) ([]byte, error) {
+	body := resp.Body
+	return io.ReadAll(body) // want `body flows unbounded into io.ReadAll`
+}
+
+// goodLimited wraps the body inline.
+func goodLimited(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, maxBody))
+}
+
+// goodMaxBytes rebinds r.Body through MaxBytesReader before decoding —
+// the service handler idiom.
+func goodMaxBytes(w http.ResponseWriter, r *http.Request, out any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	return json.NewDecoder(r.Body).Decode(out)
+}
+
+// goodBoundVar decodes a wrapped reader held in a variable.
+func goodBoundVar(resp *http.Response, out any) error {
+	lr := io.LimitReader(resp.Body, maxBody)
+	return json.NewDecoder(lr).Decode(out)
+}
+
+// badCrossPackage feeds a raw body to a helper in another package whose
+// reader parameter reaches io.ReadAll — the summary-propagation case.
+func badCrossPackage(resp *http.Response) ([]byte, error) {
+	return bioutil.ReadAllOf(resp.Body) // want `resp.Body flows unbounded into io.ReadAll via .*bioutil.ReadAllOf`
+}
+
+// badCrossPackageDeep crosses two helper hops.
+func badCrossPackageDeep(resp *http.Response, out any) error {
+	return bioutil.DecodeVia(resp.Body, out) // want `resp.Body flows unbounded into json.NewDecoder via .*bioutil`
+}
+
+// goodCrossPackage bounds the body before handing it to the helper.
+func goodCrossPackage(resp *http.Response) ([]byte, error) {
+	return bioutil.ReadAllOf(io.LimitReader(resp.Body, maxBody))
+}
+
+// goodHelperNotSink passes a raw body to a helper that only inspects
+// bounded prefixes; no summary, no finding.
+func goodHelperNotSink(resp *http.Response) byte {
+	return bioutil.FirstByte(resp.Body)
+}
+
+// badDecodeLoop streams elements with no element cap.
+func badDecodeLoop(r *http.Request) ([]int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	var out []int
+	for dec.More() { // want `decode loop over wire data has no element cap`
+		var v int
+		if err := dec.Decode(&v); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// goodDecodeLoop caps the element count.
+func goodDecodeLoop(r *http.Request) ([]int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	var out []int
+	for dec.More() {
+		if len(out) >= 1024 {
+			break
+		}
+		var v int
+		if err := dec.Decode(&v); err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// allowedReadAll shows the reasoned waiver.
+func allowedReadAll(resp *http.Response) ([]byte, error) {
+	//ftlint:allow boundedio fixture: trusted in-process test server
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,55 @@
+// Fixture for the call-graph builder: method sets, interface dispatch
+// by name and arity, method values, go-spawn edges, and root detection.
+package callgraph
+
+import "net/http"
+
+type shaper interface {
+	area(x int) int
+}
+
+type square struct{}
+
+func (square) area(x int) int { return x * x }
+
+type circle struct{}
+
+func (circle) area(x int) int { return 3 * x * x }
+
+// blob's area has a different arity and must not be a dispatch target.
+type blob struct{}
+
+func (blob) area(x, y int) int { return x * y }
+
+// measure dispatches through the interface: edges to every same-name,
+// same-arity method in the module.
+func measure(s shaper) int { return s.area(2) }
+
+// methodValue references a method without calling it: still an edge.
+func methodValue() func(int) int {
+	sq := square{}
+	return sq.area
+}
+
+// helper is spawned by spawnNamed, making it a goroutine root.
+func helper() {}
+
+func spawnNamed() {
+	go helper()
+}
+
+// spawnLit's literal body is excluded from its synchronous calls.
+func spawnLit() {
+	go func() {
+		measure(square{})
+	}()
+}
+
+// handleThing is a request root by shape.
+func handleThing(w http.ResponseWriter, r *http.Request) {
+	_ = measure(circle{})
+	_ = r
+}
+
+// uses keeps the otherwise-unreferenced functions alive for vet.
+var uses = []any{methodValue, spawnNamed, spawnLit, handleThing, blob{}}

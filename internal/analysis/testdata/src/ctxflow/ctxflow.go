@@ -1,0 +1,136 @@
+// Fixture for the ctxflow analyzer: functions reachable from request,
+// solver, or background-goroutine roots that block must accept and
+// consult a ctx (or an *http.Request); minting context.Background()
+// below a root is a finding. Stop-channel waits and selects with a
+// default or stop case are exempt.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// handleSlow is a request root (detected by shape); the finding lands in
+// the ctx-less helper it reaches.
+func handleSlow(w http.ResponseWriter, r *http.Request) {
+	retryDelay()
+	_ = r
+}
+
+// retryDelay blocks with no way to cancel it.
+func retryDelay() {
+	time.Sleep(10 * time.Millisecond) // want `retryDelay blocks \(time.Sleep\) without consulting a ctx`
+}
+
+// handlePause threads the request ctx into a cancellable wait: no
+// findings anywhere on this path.
+func handlePause(w http.ResponseWriter, r *http.Request) {
+	pauseCtx(r.Context())
+}
+
+// pauseCtx waits under a select with a stop case (ctx.Done()).
+func pauseCtx(ctx context.Context) {
+	t := time.NewTimer(10 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// handleBackground severs the cancellation chain at the root.
+func handleBackground(w http.ResponseWriter, r *http.Request) {
+	doFetch(context.Background()) // want `context.Background\(\) below a http handler`
+	_ = r
+}
+
+// doFetch blocks on outbound HTTP but consults its ctx: fine.
+func doFetch(ctx context.Context) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://peer.invalid/", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// handleProxy reaches a ctx-less outbound call.
+func handleProxy(w http.ResponseWriter, r *http.Request) {
+	fetchNoCtx("http://peer.invalid/")
+	_ = r
+}
+
+// fetchNoCtx performs outbound HTTP that nothing can cancel.
+func fetchNoCtx(url string) int {
+	resp, err := http.Get(url) // want `fetchNoCtx blocks \(outbound HTTP\) without consulting a ctx`
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+type worker struct {
+	jobs chan int
+	stop chan struct{}
+}
+
+// run is a goroutine root via startWorker; its select has a stop case,
+// so it is not a blocking finding.
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+func startWorker(w *worker) {
+	go w.run()
+}
+
+// drain is a goroutine root that parks on a data channel with no stop
+// path and no ctx.
+func (w *worker) drain() {
+	j := <-w.jobs // want `drain blocks \(channel receive\) without consulting a ctx`
+	_ = j
+}
+
+func startDrain(w *worker) {
+	go w.drain()
+}
+
+// awaitDone waits on a stop channel: lifecycle signalling, exempt even
+// though it is handler-reachable.
+func awaitDone(done chan struct{}) {
+	<-done
+}
+
+func handleAwait(w http.ResponseWriter, r *http.Request) {
+	awaitDone(make(chan struct{}))
+	_ = r
+}
+
+// sleepyUnreachable blocks but no root reaches it: out of scope.
+func sleepyUnreachable() {
+	time.Sleep(time.Millisecond)
+}
+
+// pollPeers shows the reasoned waiver.
+func pollPeers() {
+	//ftlint:allow ctxflow fixture: bounded one-shot backoff, shutdown joins via process exit
+	time.Sleep(time.Millisecond)
+}
+
+func handlePoll(w http.ResponseWriter, r *http.Request) {
+	pollPeers()
+	_ = r
+}

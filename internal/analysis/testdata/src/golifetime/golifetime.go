@@ -1,0 +1,106 @@
+// Fixture for the golifetime analyzer: every go statement must be tied
+// to a lifetime — the spawned code signals a sync.WaitGroup, talks on a
+// channel, or consults a ctx, directly or through the functions it
+// calls.
+package golifetime
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	stop chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+// badFireAndForget spawns a literal nothing can stop or await.
+func badFireAndForget(xs []int) {
+	go func() { // want `goroutine has no lifetime`
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+}
+
+// orphanLoop has no lifetime mechanism of its own.
+func orphanLoop(xs []int) {
+	for i := range xs {
+		xs[i]++
+	}
+}
+
+// badNamedOrphan spawns a declared function that has no lifetime either.
+func badNamedOrphan(xs []int) {
+	go orphanLoop(xs) // want `goroutine has no lifetime`
+}
+
+// goodWaitGroup signals a WaitGroup from the spawned literal.
+func goodWaitGroup(s *server, xs []int) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+	s.wg.Wait()
+}
+
+// loop selects on the stop channel: direct evidence.
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.jobs:
+			_ = j
+		}
+	}
+}
+
+// goodNamedLoop spawns a declared function with its own stop path.
+func goodNamedLoop(s *server) {
+	go s.loop()
+}
+
+// goodIndirect spawns a literal whose lifetime evidence lives one call
+// down, in loop — the transitive case.
+func goodIndirect(s *server) {
+	go func() {
+		s.loop()
+	}()
+}
+
+// goodCtx consults a ctx in the spawned literal.
+func goodCtx(ctx context.Context, xs []int) {
+	go func() {
+		for i := range xs {
+			if ctx.Err() != nil {
+				return
+			}
+			xs[i]++
+		}
+	}()
+}
+
+// goodChannelWorker drains a job channel: range over a channel ends when
+// the channel is closed.
+func goodChannelWorker(s *server) {
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// allowedFireAndForget shows the reasoned waiver.
+func allowedFireAndForget(xs []int) {
+	//ftlint:allow golifetime fixture: process-lifetime helper, exits with main
+	go func() {
+		for i := range xs {
+			xs[i]++
+		}
+	}()
+}

@@ -1,0 +1,136 @@
+// Fixture for the lockscope analyzer: no sleep, outbound network I/O
+// (direct or through helpers), or blocking channel send while a
+// sync.Mutex/RWMutex is held. Select sends with a default clause are
+// non-blocking; a branch that unlocks ends the tracked region.
+package lockscope
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	m   map[string]int
+	ch  chan int
+	url string
+}
+
+// badSleep sleeps inside the critical section.
+func (s *store) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+// badHTTP holds the lock (via defer) across an outbound request.
+func (s *store) badHTTP() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get(s.url) // want `outbound HTTP while s.mu is held`
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// slowTouch hides the network call one frame down.
+func slowTouch(url string) {
+	resp, err := http.Get(url)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// badTransitive reaches the network through a helper: caught by the
+// netsleep summary, reported at the call site under the lock.
+func (s *store) badTransitive() {
+	s.mu.Lock()
+	slowTouch(s.url) // want `call to .*slowTouch \(sleeps or performs network I/O\) while s.mu is held`
+	s.mu.Unlock()
+}
+
+// badSend parks the lock behind a channel peer.
+func (s *store) badSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `blocking channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+// goodSend is non-blocking: select with a default.
+func (s *store) goodSend(v int) {
+	s.mu.Lock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// badSelectSend has no default, so the send can park the lock.
+func (s *store) badSelectSend(v int, stop chan struct{}) {
+	s.mu.Lock()
+	select {
+	case s.ch <- v: // want `blocking channel send \(select has no default\) while s.mu is held`
+	case <-stop:
+	}
+	s.mu.Unlock()
+}
+
+// goodUnlockFirst releases before blocking.
+func (s *store) goodUnlockFirst() {
+	s.mu.Lock()
+	n := s.m["k"]
+	s.mu.Unlock()
+	time.Sleep(time.Duration(n))
+}
+
+// goodBranchRelease unlocks inside the branch before sleeping; the
+// region ends with the release.
+func (s *store) goodBranchRelease(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// badRead applies to read locks too.
+func (s *store) badRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	time.Sleep(time.Microsecond) // want `time.Sleep while s.rw is held`
+	return s.m["k"]
+}
+
+// goodCompute is what a critical section should look like.
+func (s *store) goodCompute(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = v
+}
+
+// goodSpawnUnderLock: the spawned goroutine does not hold s.mu; the
+// spawn itself does not block (golifetime, not lockscope, owns the
+// goroutine's lifetime).
+func (s *store) goodSpawnUnderLock(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		slowTouch(s.url)
+		close(done)
+	}()
+}
+
+// allowedSleep shows the reasoned waiver.
+func (s *store) allowedSleep() {
+	s.mu.Lock()
+	//ftlint:allow lockscope fixture: test-only store, contention is acceptable here
+	time.Sleep(time.Microsecond)
+	s.mu.Unlock()
+}

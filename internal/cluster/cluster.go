@@ -22,6 +22,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -135,6 +136,12 @@ type Node struct {
 
 	hbSeq atomic.Int64 // this node's heartbeat counter, bumped per round
 
+	// ctx is the node's lifetime context, canceled by Stop. It threads
+	// through round into every outbound exchange so an in-flight gossip
+	// dial aborts at shutdown instead of riding out the client timeout.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -155,6 +162,7 @@ func New(cfg Config) (*Node, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	n.ctx, n.cancel = context.WithCancel(context.Background())
 	n.metrics = newMetrics(cfg.Registry, func() float64 { return float64(n.mem.size()) })
 	now := cfg.Now()
 	for _, seed := range cfg.Seeds {
@@ -203,10 +211,13 @@ func (n *Node) Start() {
 	go n.loop()
 }
 
-// Stop terminates the gossip loop and waits for it to exit. Safe to
-// call more than once.
+// Stop terminates the gossip loop — canceling any in-flight exchange —
+// and waits for it to exit. Safe to call more than once.
 func (n *Node) Stop() {
-	n.stopOnce.Do(func() { close(n.stop) })
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.cancel()
+	})
 	<-n.done
 }
 
@@ -221,7 +232,7 @@ func (n *Node) loop() {
 		case <-n.stop:
 			return
 		case <-timer.C:
-			n.round()
+			n.round(n.ctx)
 			timer.Reset(n.jitter())
 		}
 	}
@@ -242,8 +253,9 @@ func (n *Node) jitter() time.Duration {
 // round is one gossip heartbeat: advance our own heartbeat counter,
 // age the view (suspicion and eviction), then push-pull shuffle with a
 // random fanout of peers — falling back to the seeds whenever the view
-// is empty so a partitioned or freshly started node (re)joins.
-func (n *Node) round() {
+// is empty so a partitioned or freshly started node (re)joins. ctx is
+// the node lifetime: Stop cancels it mid-exchange.
+func (n *Node) round(ctx context.Context) {
 	n.hbSeq.Add(1)
 	now := n.cfg.Now()
 	suspected, evicted := n.mem.age(now, n.cfg.SuspectAfter, n.cfg.EvictAfter)
@@ -269,7 +281,7 @@ func (n *Node) round() {
 	}
 	n.metrics.Shuffles.Inc()
 	for _, addr := range targets {
-		n.exchange(addr)
+		n.exchange(ctx, addr)
 	}
 }
 

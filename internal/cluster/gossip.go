@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -70,14 +71,15 @@ func (n *Node) HandlePeers(w http.ResponseWriter, r *http.Request) {
 // exchange performs one push-pull shuffle with addr: POST our view,
 // merge the returned one. Errors are deliberately quiet — an unreachable
 // peer simply stops refreshing its row and ages into suspicion, which
-// is the liveness signal, not the error itself.
-func (n *Node) exchange(addr string) {
+// is the liveness signal, not the error itself. The node-lifetime ctx
+// aborts the dial when Stop runs mid-round.
+func (n *Node) exchange(ctx context.Context, addr string) {
 	msg := gossipMsg{From: n.selfInfo(), Peers: n.mem.digest(n.selfInfo(), n.cfg.ViewSize)}
 	body, err := json.Marshal(msg)
 	if err != nil {
 		return
 	}
-	req, err := http.NewRequest(http.MethodPost, "http://"+addr+GossipPath, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+GossipPath, bytes.NewReader(body))
 	if err != nil {
 		return
 	}

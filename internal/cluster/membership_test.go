@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"log/slog"
 	"math/rand"
 	"net/http"
@@ -220,7 +221,7 @@ func TestGossipExchangeConverges(t *testing.T) {
 
 	a.hbSeq.Add(1)
 	b.hbSeq.Add(1)
-	a.exchange(addrB)
+	a.exchange(context.Background(), addrB)
 
 	if got := a.Members(); !reflect.DeepEqual(got, sortedAddrs("a.example:1", addrB)) {
 		t.Fatalf("A's view after exchange = %v", got)
@@ -268,7 +269,7 @@ func TestNodeEmitsMembershipEvents(t *testing.T) {
 
 	// Aging into suspicion and eviction lands in the ring too.
 	now = now.Add(time.Hour)
-	n.round()
+	n.round(context.Background())
 	types := make(map[string]bool)
 	for _, e := range events.List(0) {
 		types[e.Type] = true

@@ -177,6 +177,7 @@ func (p *Pool) Workers() int {
 func (p *Pool) worker(id int) {
 	defer p.join.Done()
 	for {
+		//ftlint:allow ctxflow parked worker awaiting its 1-buffered signal channel; lifetime is owned by Pool.Stop, not a request ctx
 		if <-p.sig[id-1] == cmdStop {
 			return
 		}
@@ -228,6 +229,7 @@ func (p *Pool) Run(n int, fn func(worker, lo, hi int)) {
 	p.cursor.Store(0)
 	p.run.Add(p.nw)
 	for i := 0; i < p.nw; i++ {
+		//ftlint:allow ctxflow sig is 1-buffered and its parked worker always drains it, so this send cannot block indefinitely
 		p.sig[i] <- cmdRun
 	}
 	p.claimLane(0)
@@ -240,6 +242,7 @@ func (p *Pool) Run(n int, fn func(worker, lo, hi int)) {
 // solve calls without leaking goroutines between them.
 func (p *Pool) Stop() {
 	for i := 0; i < p.nw; i++ {
+		//ftlint:allow ctxflow sig is 1-buffered and its parked worker always drains it, so this send cannot block indefinitely
 		p.sig[i] <- cmdStop
 	}
 	p.join.Wait()

@@ -211,6 +211,68 @@ func TestClusterForwardedByteIdentical(t *testing.T) {
 	}
 }
 
+// An owner response larger than MaxBodyBytes is a forward error, not a
+// truncated relay: forwardSolve must bail before committing anything to
+// the client and report false so the caller solves locally, with the
+// failure counted in ftclust_cluster_forward_errors_total. A body of
+// exactly MaxBodyBytes stays within contract and relays intact, and
+// forwardSolveItem applies the same cap+1 detection on the batch path.
+func TestClusterForwardOversizeFallsBack(t *testing.T) {
+	n := startClusterNode(t, nil, func(c *Config) { c.MaxBodyBytes = 256 })
+
+	bodySize := 512
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(bytes.Repeat([]byte("x"), bodySize))
+	}))
+	defer owner.Close()
+	ownerAddr := owner.Listener.Addr().String()
+
+	errsBefore := n.srv.cluster.Metrics().ForwardErrors.Value()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(""))
+	if n.srv.forwardSolve(rec, req, ownerAddr, []byte(solveBodyForSeed(1))) {
+		t.Fatal("forwardSolve relayed an over-limit owner body instead of falling back")
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("fallback wrote %d bytes to the client before bailing", rec.Body.Len())
+	}
+	if route := rec.Header().Get("X-Cluster-Route"); route != "" {
+		t.Fatalf("fallback committed X-Cluster-Route=%q before bailing", route)
+	}
+	if errs := n.srv.cluster.Metrics().ForwardErrors.Value(); errs != errsBefore+1 {
+		t.Fatalf("forward_errors went %d → %d, want +1", errsBefore, errs)
+	}
+
+	// Exactly at the cap: within contract, relayed byte-for-byte.
+	bodySize = 256
+	rec = httptest.NewRecorder()
+	if !n.srv.forwardSolve(rec, req, ownerAddr, []byte(solveBodyForSeed(1))) {
+		t.Fatal("forwardSolve rejected a body of exactly MaxBodyBytes")
+	}
+	if rec.Body.Len() != 256 {
+		t.Fatalf("at-cap relay wrote %d bytes, want 256", rec.Body.Len())
+	}
+	if route := rec.Header().Get("X-Cluster-Route"); route != "forwarded" {
+		t.Fatalf("at-cap relay X-Cluster-Route=%q, want forwarded", route)
+	}
+
+	// Batch path: the same over-limit detection, surfaced as a status-0
+	// error so solveBatchItem falls back to its local solve.
+	bodySize = 512
+	var sreq SolveRequest
+	if !jsonDecode(solveBodyForSeed(1), &sreq) {
+		t.Fatal("bad test body")
+	}
+	_, _, status, err := n.srv.forwardSolveItem(context.Background(), ownerAddr, &sreq)
+	if err == nil {
+		t.Fatal("forwardSolveItem accepted an over-limit owner body")
+	}
+	if status != 0 {
+		t.Fatalf("over-limit item status = %d, want 0 (local fallback)", status)
+	}
+}
+
 // The loop guard: a request already carrying the forwarded marker is
 // served locally even by a non-owner, so divergent rings cannot bounce
 // a request between nodes.

@@ -134,24 +134,40 @@ func (s *Server) shouldRoute(hdr http.Header) bool {
 // and the remote node's span subtree (returned in the trace-export
 // response header) is grafted under it, so the origin's trace shows
 // both legs. It reports whether the request was handled; a transport
-// failure reports false and the caller solves locally (the owner is
-// probably dying; its suspicion is the gossip layer's job).
+// failure, a body read error, or an over-limit body reports false and
+// the caller solves locally (the owner is probably dying or
+// misbehaving; its suspicion is the gossip layer's job).
 func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
 	tr := obs.TraceFrom(r.Context())
 	sp := tr.StartSpan(nil, "forward")
 	sp.SetAttr("owner", owner)
+	fail := func(reason string, err error) bool {
+		sp.SetAttr("error", reason)
+		sp.End()
+		s.cluster.Metrics().ForwardErrors.Inc()
+		s.event("forward-fallback", "owner", owner, "path", r.URL.Path, "reason", reason)
+		s.logger.Warn("cluster forward failed; solving locally",
+			"owner", owner, "path", r.URL.Path, "reason", reason, "err", err)
+		return false
+	}
 	resp, err := s.proxyPost(r.Context(), owner, r.URL.Path, body,
 		r.Header.Get(clientIDHeader), r.Header.Get(requestIDHeader), tr != nil)
 	if err != nil {
-		sp.SetAttr("error", "transport")
-		sp.End()
-		s.cluster.Metrics().ForwardErrors.Inc()
-		s.event("forward-fallback", "owner", owner, "path", r.URL.Path)
-		s.logger.Warn("cluster forward failed; solving locally",
-			"owner", owner, "path", r.URL.Path, "err", err)
-		return false
+		return fail("transport", err)
 	}
 	defer resp.Body.Close()
+	// Buffer the owner's whole body before touching the ResponseWriter:
+	// once WriteHeader runs the response is committed, and a read error
+	// or an over-limit body discovered mid-copy would truncate what the
+	// client sees with no way left to fall back locally. Reading cap+1
+	// bytes distinguishes a body of exactly cap from one that overflows.
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return fail("read", err)
+	}
+	if int64(len(payload)) > s.cfg.MaxBodyBytes {
+		return fail("oversize", fmt.Errorf("owner response exceeds %d bytes", s.cfg.MaxBodyBytes))
+	}
 	s.stitchRemoteTrace(tr, sp, resp.Header.Get(traceExportHeader))
 	if xc := resp.Header.Get("X-Cache"); xc != "" {
 		w.Header().Set("X-Cache", xc)
@@ -162,7 +178,7 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner stri
 	w.Header().Set(clusterRouteHeader, routeForwarded)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.Write(payload)
 	sp.End()
 	return true
 }
@@ -205,9 +221,15 @@ func (s *Server) forwardSolveItem(ctx context.Context, owner string, req *SolveR
 		return nil, "", 0, err
 	}
 	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes))
+	// Read cap+1 so an over-limit body is detected rather than silently
+	// truncated (a truncated payload would surface as a confusing JSON
+	// parse error); status 0 routes the caller to its local fallback.
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBodyBytes+1))
 	if err != nil {
 		return nil, "", 0, err
+	}
+	if int64(len(payload)) > s.cfg.MaxBodyBytes {
+		return nil, "", 0, fmt.Errorf("owner %s: response exceeds %d bytes", owner, s.cfg.MaxBodyBytes)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody

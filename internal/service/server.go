@@ -298,7 +298,7 @@ func (s *Server) sessionJanitor(stop <-chan struct{}) {
 		case now := <-ticker.C:
 			if n := s.sessions.sweep(now.Add(-s.cfg.SessionTTL)); n > 0 {
 				s.metrics.sessionsExpired.Add(int64(n))
-				s.logger.LogAttrs(context.Background(), slog.LevelInfo, "sessions expired",
+				s.logger.Info("sessions expired",
 					slog.Int("swept", n),
 					slog.Duration("ttl", s.cfg.SessionTTL),
 					slog.Int("remaining", s.sessions.len()))
